@@ -1,0 +1,55 @@
+"""C5 — media density projections (§5).
+
+Paper: a 66 m microfilm reel holds 1.3 GB, so a terabyte-scale data lake
+needs ~800 reels and petabyte-scale archives hundreds of thousands — which is
+why DNA (theoretical density 1 EB/mm^3) is the future-work medium.
+"""
+
+from repro.core import (
+    CINEMA_PROFILE,
+    MICROFILM_DENSE_PROFILE,
+    MICROFILM_PROFILE,
+    PAPER_PROFILE,
+)
+from repro.media.dna import DNAChannel
+from repro.media.film import CINEMA_REEL, MICROFILM_REEL
+
+from conftest import report
+
+
+def test_media_density_table(benchmark):
+    benchmark.pedantic(lambda: MICROFILM_REEL.frames_per_reel, rounds=1, iterations=1)
+    per_frame_dense = MICROFILM_DENSE_PROFILE.spec.payload_capacity
+    rows = [
+        ("A4 paper @600 dpi", f"{PAPER_PROFILE.spec.payload_capacity / 1000:.0f} kB/page"),
+        ("microfilm (conservative)", f"{MICROFILM_PROFILE.spec.payload_capacity / 1000:.0f} kB/frame"),
+        ("microfilm (dense)", f"{per_frame_dense / 1000:.0f} kB/frame"),
+        ("66 m reel capacity (dense)", f"{MICROFILM_REEL.reel_capacity_bytes(per_frame_dense) / 1e9:.2f} GB"),
+        ("cinema 2K frame", f"{CINEMA_PROFILE.spec.payload_capacity / 1000:.0f} kB/frame"),
+        ("305 m cinema reel", f"{CINEMA_REEL.reel_capacity_bytes(CINEMA_PROFILE.spec.payload_capacity) / 1e9:.2f} GB"),
+    ]
+    report("C5: per-frame and per-reel densities", rows)
+    assert MICROFILM_REEL.reel_capacity_bytes(per_frame_dense) > 0.8e9
+
+
+def test_reels_for_large_archives(benchmark):
+    per_frame = MICROFILM_DENSE_PROFILE.spec.payload_capacity
+    benchmark.pedantic(lambda: MICROFILM_REEL.reels_for(10**12, per_frame),
+                       rounds=1, iterations=1)
+    terabyte = MICROFILM_REEL.reels_for(10**12, per_frame)
+    petabyte = MICROFILM_REEL.reels_for(10**15, per_frame)
+    report("C5: reels needed for large archives (paper: ~800/TB)", [
+        ("1 TB", terabyte), ("1 PB", petabyte),
+        ("DNA theoretical density", "1 EB per cubic millimetre"),
+    ])
+    assert 500 <= terabyte <= 1500
+    assert petabyte >= 500_000
+
+
+def test_dna_channel_roundtrip(benchmark):
+    """The future-work DNA backend restores data through a noisy sequencer."""
+    channel = DNAChannel(coverage=10, dropout_rate=0.03, substitution_rate=0.002, seed=5)
+    payload = bytes(range(256)) * 20
+    restored = benchmark.pedantic(channel.roundtrip, args=(payload,),
+                                  kwargs={"seed": 5}, rounds=1, iterations=1)
+    assert restored == payload

@@ -1,0 +1,69 @@
+"""E2 — the microfilm experiment (§4 "Microfilm archive").
+
+Paper: a 102 KB TIFF image is encoded into 3 emblems written as 3888x5498
+bitonal frames on 16 mm microfilm and restored without errors; the system
+"is capable of storing 1.3 GB in a single 66 meter reel".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Archiver, Restorer, MICROFILM_PROFILE, MICROFILM_DENSE_PROFILE
+from repro.media.film import MICROFILM_REEL
+from repro.mocoder.mocoder import MOCoder
+
+from conftest import FILM_IMAGE_BYTES, report, scaled
+
+
+@pytest.fixture(scope="module")
+def image_payload():
+    rng = np.random.default_rng(42)
+    # A synthetic stand-in for the 102 kB logo TIFF (mixed structure + noise).
+    structured = (b"OLONYS-LOGO-SCANLINE" * 16)[:256]
+    blocks = [structured, bytes(rng.integers(0, 256, size=256, dtype=np.uint8))]
+    payload = (b"".join(blocks) * ((scaled(FILM_IMAGE_BYTES) // 512) + 1))[:scaled(FILM_IMAGE_BYTES)]
+    return payload
+
+
+def test_microfilm_emblem_count_full_scale():
+    """102 kB -> 3 emblems with the conservative microfilm spec (no outer code)."""
+    mocoder = MOCoder(MICROFILM_PROFILE.spec, outer_code=False)
+    emblems = mocoder.data_emblems_needed(FILM_IMAGE_BYTES)
+    report("E2: microfilm emblem count (full scale)", [
+        ("payload bytes", FILM_IMAGE_BYTES),
+        ("payload per frame", MICROFILM_PROFILE.spec.payload_capacity),
+        ("emblems", emblems),
+        ("paper reports", "3 emblems"),
+    ])
+    assert emblems == 3
+
+
+def test_reel_capacity_full_scale():
+    """1.3 GB per 66 m reel with the dense microfilm spec."""
+    per_frame = MICROFILM_DENSE_PROFILE.spec.payload_capacity
+    capacity = MICROFILM_REEL.reel_capacity_bytes(per_frame)
+    report("E2: reel capacity (full scale)", [
+        ("frames per 66 m reel", MICROFILM_REEL.frames_per_reel),
+        ("payload per frame (dense spec)", per_frame),
+        ("reel capacity GB", f"{capacity / 1e9:.2f}"),
+        ("paper reports", "1.3 GB per reel"),
+    ])
+    assert 0.8 <= capacity / 1e9 <= 1.6
+
+
+def test_microfilm_roundtrip(benchmark, image_payload):
+    archiver = Archiver(MICROFILM_PROFILE, outer_code=False)
+    archive = archiver.archive_bytes(image_payload, payload_kind="tiff")
+    restorer = Restorer(MICROFILM_PROFILE)
+
+    def roundtrip():
+        return restorer.restore_via_channel(archive, seed=13)
+
+    result = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    report("E2: bitonal microfilm roundtrip (scaled payload)", [
+        ("payload bytes", len(image_payload)),
+        ("emblems", archive.manifest.data_emblem_count),
+        ("error-free restore", result.payload == image_payload),
+        ("RS symbol corrections", result.data_report.rs_corrections),
+    ])
+    assert result.payload == image_payload

@@ -1,0 +1,76 @@
+"""C3 / T1 — the universal-emulation stack.
+
+Reproduces Table 1 (the DynaRisc ISA) as a printed listing and measures the
+cost of the nested-emulation design: the same archived decoder run natively
+(Python reference), under the DynaRisc emulator, and under the full
+DynaRisc-in-VeRisc nested stack — the price paid for needing only a
+four-instruction machine implemented by hand in the future.
+"""
+
+from repro.dbcoder.lz77 import lzss_compress
+from repro.dynarisc import DynaRiscEmulator, Opcode, PAPER_TABLE1_MNEMONICS
+from repro.dynarisc.programs import get_program
+from repro.dbcoder.lz77 import lzss_decompress
+from repro.nested import NestedDynaRiscMachine, dynarisc_emulator_image
+
+from conftest import report
+
+
+def test_table1_isa_listing(benchmark):
+    """Table 1: the DynaRisc instruction sample, plus the full reconstructed ISA."""
+    benchmark.pedantic(lambda: list(Opcode), rounds=1, iterations=1)
+    rows = [("paper Table 1 mnemonics", ", ".join(PAPER_TABLE1_MNEMONICS))]
+    rows.append(("full reconstructed ISA (23)", ", ".join(op.name for op in Opcode)))
+    report("T1: DynaRisc instruction set", rows)
+    assert len(Opcode) == 23
+    assert all(name in Opcode.__members__ for name in PAPER_TABLE1_MNEMONICS)
+
+
+def test_emulation_overhead(benchmark):
+    """Decode the same LZSS stream at each level of the emulation stack."""
+    payload = (b"INSERT INTO nation VALUES (1, 'ARGENTINA', 1, 'regular deposits');\n" * 6)
+    stream = lzss_compress(payload)
+    program = get_program("lzss_decoder")
+
+    native = lzss_decompress(stream)
+    dynarisc = DynaRiscEmulator(program.code, input_data=stream)
+    assert dynarisc.run(program.entry) == payload == native
+
+    def nested_run():
+        machine = NestedDynaRiscMachine(program.code, input_data=stream, entry=program.entry)
+        output = machine.run()
+        return output, machine.steps
+
+    output, verisc_steps = benchmark.pedantic(nested_run, rounds=1, iterations=1)
+    assert output == payload
+    report("C3: emulation-stack cost for one decode", [
+        ("payload bytes", len(payload)),
+        ("DynaRisc instructions executed", dynarisc.steps),
+        ("VeRisc instructions executed (nested)", verisc_steps),
+        ("nested blow-up factor", f"{verisc_steps / max(1, dynarisc.steps):.0f}x"),
+        ("interpreter image (VeRisc words)", len(dynarisc_emulator_image())),
+    ])
+
+
+def test_archived_decoder_footprint(benchmark):
+    """The decoding machinery ULE ships with each archive is tiny (§2)."""
+    from repro.baselines import StackEmulationBaseline
+    from repro.baselines.stack_emulation import ule_decoder_footprint
+    from repro.bootstrap import build_bootstrap
+
+    bootstrap = build_bootstrap(
+        dynarisc_emulator_image().to_bytes(), get_program("manchester_unpack").code
+    )
+    footprint = ule_decoder_footprint(
+        bootstrap_text_bytes=len(bootstrap.render().encode()),
+        system_emblem_payload_bytes=len(get_program("lzss_decoder").code),
+    )
+    stack = StackEmulationBaseline()
+    benchmark.pedantic(bootstrap.render, rounds=1, iterations=1)
+    report("C3: archived decoding machinery vs archiving the DBMS stack", [
+        ("ULE footprint (bootstrap + system emblems)", f"{footprint / 1000:.0f} kB"),
+        ("DBMS-stack-emulation footprint", f"{stack.stack_bytes / 1e9:.1f} GB"),
+        ("ratio", f"{stack.stack_bytes / footprint:,.0f}x"),
+    ])
+    assert footprint < 1_000_000
+    assert stack.stack_bytes / footprint > 10_000

@@ -1,0 +1,171 @@
+"""E4 — portability and user friendliness (§4).
+
+Paper: people with diverse backgrounds implemented the VeRisc emulator from
+its <500-line pseudocode in JavaScript, Python, C++ and C# within a week, and
+Olonys was ported to ARM, Z80, 68k platforms.
+
+Here: several *independently written* Python implementations of the VeRisc
+machine — each written only against the Bootstrap pseudocode, in deliberately
+different styles — are run against the reference emulator on the archived
+decoder programs, and the Bootstrap's size is checked against the paper's
+"four pages of pseudocode" budget.
+"""
+
+from repro.bootstrap.document import VERISC_PSEUDOCODE, build_bootstrap
+from repro.dbcoder.lz77 import lzss_compress
+from repro.dynarisc.programs import get_program
+from repro.dynarisc.emulator import DynaRiscEmulator
+from repro.nested import dynarisc_emulator_image, NestedDynaRiscMachine
+from repro.nested.dynarisc_in_verisc import HOST_BASE
+
+from conftest import report
+
+
+# --------------------------------------------------------------------------- #
+# Independent VeRisc implementations (each follows only the Bootstrap text)
+# --------------------------------------------------------------------------- #
+def verisc_implementation_dict_style(words, origin, entry, input_data):
+    """Implementation #1: dictionary-based memory, while-loop."""
+    memory = {}
+    for offset, word in enumerate(words):
+        memory[origin + offset] = word & 0xFFFF
+    accumulator, borrow, pc = 0, 0, entry
+    input_position, output = 0, bytearray()
+
+    def read(address):
+        nonlocal borrow, input_position
+        if address == 65535:
+            return pc
+        if address == 65534:
+            return borrow
+        if address == 65532:
+            if input_position >= len(input_data):
+                borrow = 1
+                return 0
+            borrow = 0
+            value = input_data[input_position]
+            input_position += 1
+            return value
+        return memory.get(address, 0)
+
+    while True:
+        opcode, address = memory.get(pc, 0), memory.get(pc + 1, 0)
+        pc += 2
+        if opcode == 0:
+            accumulator = read(address)
+        elif opcode == 1:
+            if address == 65535:
+                pc = accumulator
+            elif address == 65534:
+                borrow = accumulator & 1
+            elif address == 65533:
+                output.append(accumulator & 0xFF)
+            elif address == 65531:
+                return bytes(output)
+            else:
+                memory[address] = accumulator
+        elif opcode == 2:
+            result = accumulator - read(address) - borrow
+            borrow = 1 if result < 0 else 0
+            accumulator = result & 0xFFFF
+        else:
+            accumulator &= read(address)
+            borrow = 0
+
+
+def verisc_implementation_array_style(words, origin, entry, input_data):
+    """Implementation #2: flat list memory, recursion-free, compact."""
+    memory = [0] * 65536
+    memory[origin:origin + len(words)] = [word & 0xFFFF for word in words]
+    state = {"acc": 0, "borrow": 0, "pc": entry, "in": 0}
+    out = bytearray()
+    while True:
+        opcode, address = memory[state["pc"]], memory[state["pc"] + 1]
+        state["pc"] += 2
+        if address == 65532 and opcode in (0, 2, 3):
+            if state["in"] < len(input_data):
+                value, state["borrow"] = input_data[state["in"]], 0
+                state["in"] += 1
+            else:
+                value, state["borrow"] = 0, 1
+        elif address == 65535:
+            value = state["pc"]
+        elif address == 65534:
+            value = state["borrow"]
+        else:
+            value = memory[address]
+        if opcode == 0:
+            state["acc"] = value
+        elif opcode == 1:
+            if address == 65535:
+                state["pc"] = state["acc"]
+            elif address == 65534:
+                state["borrow"] = state["acc"] & 1
+            elif address == 65533:
+                out.append(state["acc"] & 0xFF)
+            elif address == 65531:
+                return bytes(out)
+            else:
+                memory[address] = state["acc"]
+        elif opcode == 2:
+            difference = state["acc"] - value - state["borrow"]
+            state["borrow"] = 1 if difference < 0 else 0
+            state["acc"] = difference & 0xFFFF
+        elif opcode == 3:
+            state["acc"] &= value
+            state["borrow"] = 0
+    return bytes(out)
+
+
+INDEPENDENT_IMPLEMENTATIONS = {
+    "dict-style": verisc_implementation_dict_style,
+    "array-style": verisc_implementation_array_style,
+}
+
+
+def _nested_setup(program_name, payload):
+    archived = get_program(program_name)
+    interpreter = dynarisc_emulator_image()
+    words = list(interpreter.words) + [0] * (HOST_BASE - len(interpreter.words))
+    words[interpreter.symbols["v_pc"]] = archived.entry
+    words = words + list(archived.code)
+    expected = DynaRiscEmulator(archived.code, input_data=payload).run(archived.entry)
+    return words, interpreter.entry, payload, expected
+
+
+def test_bootstrap_size_matches_paper_budget(benchmark):
+    """The Bootstrap must stay a short, human-implementable document."""
+    bootstrap = build_bootstrap(
+        dynarisc_emulator_image().to_bytes(), get_program("manchester_unpack").code
+    )
+    benchmark.pedantic(bootstrap.render, rounds=1, iterations=1)
+    report("E4: Bootstrap document size", [
+        ("pseudocode lines", len(VERISC_PSEUDOCODE.splitlines())),
+        ("paper budget", "< 500 lines of pseudocode"),
+        ("letter count", bootstrap.letter_count),
+        ("rendered pages (60 lines/page)", bootstrap.page_count),
+        ("paper reports", "7 pages (hand-optimised emulator)"),
+    ])
+    assert len(VERISC_PSEUDOCODE.splitlines()) < 500
+
+
+def test_independent_implementations_agree(benchmark):
+    """Every independently written VeRisc emulator restores the same bytes."""
+    payload = lzss_compress(b"SELECT 1; -- portability check\n" * 12)
+    words, entry, input_data, expected = _nested_setup("lzss_decoder", payload)
+
+    results = {}
+    for name, implementation in INDEPENDENT_IMPLEMENTATIONS.items():
+        results[name] = implementation(words, 0, entry, input_data)
+
+    def reference_run():
+        archived = get_program("lzss_decoder")
+        return NestedDynaRiscMachine(archived.code, input_data=payload,
+                                     entry=archived.entry).run()
+
+    reference = benchmark.pedantic(reference_run, rounds=1, iterations=1)
+    rows = [("reference (library)", reference == expected)]
+    rows += [(name, output == expected) for name, output in results.items()]
+    report("E4: independent VeRisc implementations, bit-exact restore", rows)
+    assert all(output == expected for output in results.values())
+    assert reference == expected

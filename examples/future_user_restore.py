@@ -1,0 +1,100 @@
+"""Scenario: the year-2085 restoration, starting from the Bootstrap alone.
+
+A future user holds only (1) the Bootstrap text and (2) scans of the system
+and data emblems.  Following the Bootstrap's instructions they implement the
+four-instruction VeRisc machine (here: a ~60-line implementation written
+against the pseudocode, independent of the library's reference emulator),
+load the archived DynaRisc emulator from the letter pages, run the archived
+decoders, and end up with a plain SQL file any future database can load.
+
+    python examples/future_user_restore.py
+"""
+
+from repro import Archiver, TEST_PROFILE, generate_tpch
+from repro.bootstrap import BootstrapDocument
+from repro.dbcoder.formats import unpack_container
+from repro.dbms import db_load
+from repro.dynarisc.programs import get_program
+from repro.mocoder import MOCoder
+from repro.nested.dynarisc_in_verisc import HOST_BASE, dynarisc_emulator_image
+
+
+def hand_written_verisc(memory_words, entry, input_data):
+    """A VeRisc interpreter written only from the Bootstrap pseudocode."""
+    memory = [0] * 65536
+    memory[: len(memory_words)] = [word & 0xFFFF for word in memory_words]
+    accumulator, borrow, pc, cursor = 0, 0, entry, 0
+    output = bytearray()
+    while True:
+        opcode, address = memory[pc], memory[pc + 1]
+        pc += 2
+        if opcode in (0, 2, 3):                      # instructions that read
+            if address == 65535:
+                value = pc
+            elif address == 65534:
+                value = borrow
+            elif address == 65532:
+                if cursor < len(input_data):
+                    value, borrow = input_data[cursor], 0
+                    cursor += 1
+                else:
+                    value, borrow = 0, 1
+            else:
+                value = memory[address]
+        if opcode == 0:                              # LD
+            accumulator = value
+        elif opcode == 1:                            # ST
+            if address == 65535:
+                pc = accumulator
+            elif address == 65534:
+                borrow = accumulator & 1
+            elif address == 65533:
+                output.append(accumulator & 0xFF)
+            elif address == 65531:
+                return bytes(output)
+            else:
+                memory[address] = accumulator
+        elif opcode == 2:                            # SBB
+            result = accumulator - value - borrow
+            borrow = 1 if result < 0 else 0
+            accumulator = result & 0xFFFF
+        else:                                        # AND
+            accumulator &= value
+            borrow = 0
+
+
+def main() -> None:
+    # ----- today: the archive is produced and put on the shelf -------------
+    database = generate_tpch(scale_factor=0.00001, seed=3)
+    archive = Archiver(TEST_PROFILE).archive_database(database)
+
+    # ----- 2085: only the Bootstrap text and the emblem scans survive ------
+    bootstrap = BootstrapDocument.parse(archive.bootstrap_text)
+    emulator_section = bootstrap.section("DYNARISC-EMULATOR")
+    print(f"Bootstrap verified: {len(bootstrap.sections)} sections, "
+          f"{bootstrap.letter_count} letters")
+
+    # The emblems are read back with the (future) MOCoder implementation.
+    mocoder = MOCoder(TEST_PROFILE.spec)
+    decoder_code, _ = mocoder.decode(archive.system_emblem_images)
+    container, _ = mocoder.decode(archive.data_emblem_images)
+    header, compressed = unpack_container(container)
+
+    # Build the combined VeRisc memory image exactly as the Bootstrap says:
+    # the archived DynaRisc emulator at address 0, the decoder program in the
+    # hosted memory window, its entry address in the v_pc word.
+    image = dynarisc_emulator_image()           # same bytes as the letter pages
+    assert image.to_bytes() == emulator_section.payload
+    words = list(image.words) + [0] * (HOST_BASE - len(image.words)) + list(decoder_code)
+    words[image.symbols["v_pc"]] = get_program("lzss_decoder").entry
+
+    sql_bytes = hand_written_verisc(words, emulator_section.entry_point, compressed)
+    assert len(sql_bytes) == header.original_length
+    restored = db_load(sql_bytes.decode("utf-8"))
+    print(f"restored SQL archive: {len(sql_bytes):,} bytes, "
+          f"{restored.total_rows} rows")
+    print("matches the database archived decades earlier:", restored == database)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Universal Layout Emulation (ULE) for long-term database archival.
+
+A faithful, pure-Python reproduction of *"Universal Layout Emulation for
+Long-Term Database Archival"* (Appuswamy & Joguin, CIDR 2021) and of
+Micr'Olonys, its end-to-end archival system for visual analog media.
+
+Public API highlights
+---------------------
+* :class:`repro.core.Archiver` / :class:`repro.core.Restorer` — the end-to-end
+  archival and restoration flows of Figure 2.
+* :class:`repro.dbcoder.DBCoder` — database layout coder (LZSS + arithmetic
+  coding, plus a columnar extension).
+* :class:`repro.mocoder.MOCoder` — media layout coder (emblems, differential
+  Manchester cells, nested Reed-Solomon codes).
+* :mod:`repro.verisc`, :mod:`repro.dynarisc`, :mod:`repro.nested` — the
+  universal emulation stack (4-instruction VeRisc, 23-instruction DynaRisc,
+  and the DynaRisc emulator written in VeRisc).
+* :mod:`repro.media` — simulated paper, microfilm, cinema film and DNA
+  channels with archival-realistic distortions.
+* :mod:`repro.dbms` — the miniature relational engine, TPC-H-like generator
+  and ``db_dump`` / ``db_load``.
+"""
+
+from repro.core import (
+    Archiver,
+    Restorer,
+    RestorationResult,
+    MicrOlonysArchive,
+    ArchiveManifest,
+    MediaProfile,
+    PAPER_PROFILE,
+    MICROFILM_PROFILE,
+    MICROFILM_DENSE_PROFILE,
+    CINEMA_PROFILE,
+    TEST_PROFILE,
+    PROFILES,
+    get_profile,
+)
+from repro.dbcoder import DBCoder, Profile
+from repro.mocoder import MOCoder, EmblemSpec, EmblemKind
+from repro.dbms import Database, Table, Column, ColumnType, db_dump, db_load, generate_tpch
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Archiver",
+    "Restorer",
+    "RestorationResult",
+    "MicrOlonysArchive",
+    "ArchiveManifest",
+    "MediaProfile",
+    "PAPER_PROFILE",
+    "MICROFILM_PROFILE",
+    "MICROFILM_DENSE_PROFILE",
+    "CINEMA_PROFILE",
+    "TEST_PROFILE",
+    "PROFILES",
+    "get_profile",
+    "DBCoder",
+    "Profile",
+    "MOCoder",
+    "EmblemSpec",
+    "EmblemKind",
+    "Database",
+    "Table",
+    "Column",
+    "ColumnType",
+    "db_dump",
+    "db_load",
+    "generate_tpch",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baselines the paper argues against.
+
+* :mod:`repro.baselines.barcode2d` — a conventional QR-style 2-D barcode with
+  a separate clocking system (finder + timing patterns), small per-code
+  capacity and no archival-grade error correction; §3.1 explains why such
+  codes are the wrong tool for multi-megabyte archival streams.
+* :mod:`repro.baselines.stack_emulation` — a cost model of the alternative
+  §2 rejects: archiving the whole DBMS software stack and emulating it.
+* Plain-text / no-compression archival is covered by
+  :class:`repro.dbcoder.Profile.STORE`.
+"""
+
+from repro.baselines.barcode2d import BarcodeSpec, SimpleBarcode
+from repro.baselines.stack_emulation import StackEmulationBaseline, StackComponent
+
+__all__ = [
+    "BarcodeSpec",
+    "SimpleBarcode",
+    "StackEmulationBaseline",
+    "StackComponent",
+]

@@ -1,0 +1,75 @@
+"""Cost model of archiving the whole DBMS stack under emulation.
+
+§2 of the paper rejects the "archive the DBMS software stack and emulate it"
+approach: it requires meticulously archiving the DBMS, its libraries, runtime
+and OS with every archive, ties every restoration to one emulated DBMS
+version, complicates licensing, and presumes a faithful x86-class emulator
+will exist.  This module quantifies the storage side of that argument so the
+benchmarks can print a concrete comparison between the two approaches for the
+same archived database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StackComponent:
+    """One component that must be archived alongside the data."""
+
+    name: str
+    size_bytes: int
+    must_be_emulated: bool = True
+
+
+#: A representative full-stack inventory (sizes are typical installed sizes).
+DEFAULT_STACK = (
+    StackComponent("DBMS server binaries + extensions", 250_000_000),
+    StackComponent("Language runtimes and client libraries", 400_000_000),
+    StackComponent("Operating system image", 2_500_000_000),
+    StackComponent("x86-class full-system emulator", 50_000_000),
+    StackComponent("Device firmware / BIOS images", 16_000_000),
+)
+
+
+@dataclass
+class StackEmulationBaseline:
+    """Storage accounting for the DBMS-stack-emulation alternative."""
+
+    components: tuple[StackComponent, ...] = DEFAULT_STACK
+    notes: list[str] = field(default_factory=lambda: [
+        "every archived snapshot pins one DBMS version; restored data must be "
+        "manually synchronised with the then-current version",
+        "archived proprietary software raises licensing questions decades later",
+        "the approach presumes a future emulator faithful to today's ISA "
+        "extensions (SIMD, HTM, virtualisation), which must be maintained forever",
+    ])
+
+    @property
+    def stack_bytes(self) -> int:
+        """Bytes of software that must be archived with every database."""
+        return sum(component.size_bytes for component in self.components)
+
+    def archive_bytes(self, database_archive_bytes: int) -> int:
+        """Total archived bytes for one database snapshot under this approach."""
+        return self.stack_bytes + database_archive_bytes
+
+    def overhead_factor(self, database_archive_bytes: int) -> float:
+        """How many times larger the archive is than the data itself."""
+        if database_archive_bytes <= 0:
+            raise ValueError("database archive size must be positive")
+        return self.archive_bytes(database_archive_bytes) / database_archive_bytes
+
+
+def ule_decoder_footprint(
+    bootstrap_text_bytes: int,
+    system_emblem_payload_bytes: int,
+) -> int:
+    """Bytes of decoding machinery ULE archives with each database.
+
+    The counterpart number to :meth:`StackEmulationBaseline.stack_bytes`: the
+    Bootstrap document plus the system-emblem payload (the archived DBCoder
+    decoder), typically a few kilobytes in total.
+    """
+    return bootstrap_text_bytes + system_emblem_payload_bytes

@@ -1,0 +1,24 @@
+"""The Bootstrap: the human-readable seed of the whole restoration chain.
+
+§3.2 of the paper: the MOCoder decoder and the DynaRisc emulator cannot be
+stored as emblems (they are needed *before* emblems can be read), so their
+instruction streams are converted into a list of letters — A to P encoding
+hexadecimal 0xF down to 0x0 — and appended to a plain-text description of the
+VeRisc emulation algorithm.  The resulting short document ("four pages of
+algorithm pseudocode and three pages of alphabetic characters") is written to
+the analog medium alongside the emblems and is everything a future user needs
+to type in by hand or OCR.
+"""
+
+from repro.bootstrap.letters import bytes_to_letters, letters_to_bytes, format_letter_pages
+from repro.bootstrap.document import BootstrapDocument, build_bootstrap
+from repro.bootstrap.ocr import SimulatedOCR
+
+__all__ = [
+    "bytes_to_letters",
+    "letters_to_bytes",
+    "format_letter_pages",
+    "BootstrapDocument",
+    "build_bootstrap",
+    "SimulatedOCR",
+]

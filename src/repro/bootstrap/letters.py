@@ -1,0 +1,78 @@
+"""The hexadecimal letter encoding used by the Bootstrap.
+
+The paper specifies the mapping exactly: "letters A to P are used to encode
+hexadecimal values 0xF to 0x0 respectively" — that is, ``A`` is 0xF, ``B`` is
+0xE, ..., ``P`` is 0x0.  Each byte becomes two letters (high nibble first).
+Using only sixteen distinct, visually unambiguous capital letters keeps the
+text trivially OCR-able and even hand-typable decades from now.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LetterCodecError
+
+#: Letter used for nibble value v is ALPHABET[v]; ALPHABET[0xF] == "A".
+ALPHABET = "PONMLKJIHGFEDCBA"
+
+#: Reverse lookup table from letter to nibble value.
+LETTER_VALUES = {letter: value for value, letter in enumerate(ALPHABET)}
+
+#: Characters that are ignored when decoding (layout whitespace).
+_IGNORED = set(" \t\r\n")
+
+
+def bytes_to_letters(data: bytes) -> str:
+    """Encode bytes as Bootstrap letters, two letters per byte (high nibble first)."""
+    letters = []
+    for byte in data:
+        letters.append(ALPHABET[(byte >> 4) & 0xF])
+        letters.append(ALPHABET[byte & 0xF])
+    return "".join(letters)
+
+
+def letters_to_bytes(text: str) -> bytes:
+    """Decode Bootstrap letters back into bytes, ignoring whitespace.
+
+    Raises
+    ------
+    LetterCodecError
+        On characters outside A..P or an odd number of letters.
+    """
+    nibbles = []
+    for position, char in enumerate(text):
+        if char in _IGNORED:
+            continue
+        upper = char.upper()
+        if upper not in LETTER_VALUES:
+            raise LetterCodecError(
+                f"invalid Bootstrap letter {char!r} at position {position}"
+            )
+        nibbles.append(LETTER_VALUES[upper])
+    if len(nibbles) % 2:
+        raise LetterCodecError("odd number of letters: each byte needs two")
+    out = bytearray()
+    for index in range(0, len(nibbles), 2):
+        out.append((nibbles[index] << 4) | nibbles[index + 1])
+    return bytes(out)
+
+
+def format_letter_pages(
+    letters: str,
+    letters_per_line: int = 64,
+    lines_per_page: int = 60,
+) -> list[str]:
+    """Lay the letter stream out into printable pages of grouped lines.
+
+    Letters are grouped in blocks of eight separated by spaces so a human can
+    keep their place while typing them back in; whitespace is ignored by
+    :func:`letters_to_bytes`.
+    """
+    lines = []
+    for start in range(0, len(letters), letters_per_line):
+        chunk = letters[start:start + letters_per_line]
+        grouped = " ".join(chunk[i:i + 8] for i in range(0, len(chunk), 8))
+        lines.append(grouped)
+    pages = []
+    for start in range(0, len(lines), lines_per_page):
+        pages.append("\n".join(lines[start:start + lines_per_page]))
+    return pages or [""]

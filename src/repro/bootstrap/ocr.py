@@ -1,0 +1,36 @@
+"""Simulated OCR of the Bootstrap's letter pages.
+
+During restoration (Figure 2b, step 1) "any OCR program can be used" to turn
+the scanned Bootstrap pages back into text.  OCR is imperfect, so this module
+models it: a configurable per-character error rate substitutes letters within
+the A..P alphabet (the most common real failure mode once the glyph set is
+restricted to sixteen capital letters).  The per-section CRC32 lines in the
+Bootstrap let the user detect a mis-read and re-scan, which the failure
+injection tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.bootstrap.letters import ALPHABET
+from repro.util.rng import deterministic_rng
+
+
+class SimulatedOCR:
+    """A toy OCR engine with a configurable character error rate."""
+
+    def __init__(self, error_rate: float = 0.0, seed: int | None = None):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error rate must be between 0 and 1")
+        self.error_rate = error_rate
+        self.seed = seed
+
+    def read(self, text: str) -> str:
+        """Return the text as the OCR engine would recognise it."""
+        if self.error_rate == 0.0:
+            return text
+        rng = deterministic_rng(self.seed)
+        characters = list(text)
+        for index, char in enumerate(characters):
+            if char.upper() in ALPHABET and rng.random() < self.error_rate:
+                characters[index] = ALPHABET[int(rng.integers(0, len(ALPHABET)))]
+        return "".join(characters)

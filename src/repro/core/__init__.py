@@ -1,0 +1,45 @@
+"""Micr'Olonys: the end-to-end ULE archival system.
+
+This package ties the substrates together into the two flows of Figure 2:
+
+* :class:`~repro.core.archiver.Archiver` — the seven archival steps: dump the
+  database, compress it with DBCoder, lay it out as data emblems with
+  MOCoder, archive the DBCoder decoder as system emblems, and render the
+  Bootstrap document holding the DynaRisc emulator and the MOCoder decoder as
+  letter pages.
+* :class:`~repro.core.restorer.Restorer` — the six restoration steps, up to
+  and including loading the recovered SQL archive into the miniature DBMS;
+  optionally the database-layout decoding runs inside the emulated DynaRisc
+  processor (or the full nested VeRisc stack), exactly as a future user
+  would run it.
+"""
+
+from repro.core.profiles import (
+    MediaProfile,
+    PAPER_PROFILE,
+    MICROFILM_PROFILE,
+    MICROFILM_DENSE_PROFILE,
+    CINEMA_PROFILE,
+    TEST_PROFILE,
+    get_profile,
+    PROFILES,
+)
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive
+from repro.core.archiver import Archiver
+from repro.core.restorer import Restorer, RestorationResult
+
+__all__ = [
+    "MediaProfile",
+    "PAPER_PROFILE",
+    "MICROFILM_PROFILE",
+    "MICROFILM_DENSE_PROFILE",
+    "CINEMA_PROFILE",
+    "TEST_PROFILE",
+    "PROFILES",
+    "get_profile",
+    "ArchiveManifest",
+    "MicrOlonysArchive",
+    "Archiver",
+    "Restorer",
+    "RestorationResult",
+]

@@ -1,0 +1,92 @@
+"""The archived artefact: emblem images, system emblems and the Bootstrap.
+
+A :class:`MicrOlonysArchive` is exactly what gets written to the analog
+medium (step 7 of Figure 2a): the data emblems, the system emblems holding
+the DBCoder decoder, and the Bootstrap text.  It can be saved to a directory
+of PGM images plus plain-text files and loaded back, which is also how the
+examples hand artefacts to the restoration side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ArchiveError
+from repro.media.image import read_pgm, write_pgm
+
+
+@dataclass(frozen=True)
+class ArchiveManifest:
+    """Description of an archive, stored alongside the images."""
+
+    profile_name: str
+    dbcoder_profile: str
+    archive_bytes: int
+    archive_crc32: int
+    data_emblem_count: int
+    system_emblem_count: int
+    payload_kind: str = "sql"
+
+    def to_json(self) -> str:
+        """Serialise the manifest as JSON text."""
+        return json.dumps(self.__dict__, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArchiveManifest":
+        """Parse a manifest from JSON text."""
+        return cls(**json.loads(text))
+
+
+@dataclass
+class MicrOlonysArchive:
+    """Everything that goes onto the analog medium for one database."""
+
+    manifest: ArchiveManifest
+    data_emblem_images: list[np.ndarray]
+    system_emblem_images: list[np.ndarray]
+    bootstrap_text: str
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_emblem_count(self) -> int:
+        """Total number of emblem frames on the medium."""
+        return len(self.data_emblem_images) + len(self.system_emblem_images)
+
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> Path:
+        """Write the archive to a directory of PGM images and text files."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "manifest.json").write_text(self.manifest.to_json())
+        (directory / "bootstrap.txt").write_text(self.bootstrap_text)
+        for index, image in enumerate(self.data_emblem_images):
+            write_pgm(directory / f"data_emblem_{index:04d}.pgm", image)
+        for index, image in enumerate(self.system_emblem_images):
+            write_pgm(directory / f"system_emblem_{index:04d}.pgm", image)
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "MicrOlonysArchive":
+        """Load an archive previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.exists():
+            raise ArchiveError(f"{directory} does not contain an archive manifest")
+        manifest = ArchiveManifest.from_json(manifest_path.read_text())
+        bootstrap_text = (directory / "bootstrap.txt").read_text()
+        data_images = [
+            read_pgm(path) for path in sorted(directory.glob("data_emblem_*.pgm"))
+        ]
+        system_images = [
+            read_pgm(path) for path in sorted(directory.glob("system_emblem_*.pgm"))
+        ]
+        return cls(
+            manifest=manifest,
+            data_emblem_images=data_images,
+            system_emblem_images=system_images,
+            bootstrap_text=bootstrap_text,
+        )

@@ -1,0 +1,122 @@
+"""The Micr'Olonys archival flow (Figure 2a).
+
+Seven steps, mapped onto the substrates of this library:
+
+1. existing database tools extract the data — :func:`repro.dbms.db_dump`;
+2. DBCoder compresses the textual archive into a compact binary form;
+3. MOCoder turns the binary stream into *data emblems*;
+4. the decoding halves of DBCoder and MOCoder exist as DynaRisc programs
+   (:mod:`repro.dynarisc.programs`);
+5. the DBCoder decoder's instruction stream is itself passed through MOCoder,
+   producing the *system emblems*;
+6. the MOCoder decoder and the DynaRisc emulator (a VeRisc program,
+   :mod:`repro.nested`) are letter-encoded into the Bootstrap document;
+7. emblems and Bootstrap are written to the analog medium
+   (:mod:`repro.media`).
+
+The :class:`Archiver` performs steps 1-6 and hands back a
+:class:`~repro.core.archive.MicrOlonysArchive`; step 7 is the
+channel's ``record``/``scan`` pair, kept separate so benchmarks can reuse one
+archive across many scanner conditions.
+"""
+
+from __future__ import annotations
+
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive
+from repro.core.profiles import MediaProfile, TEST_PROFILE
+from repro.bootstrap.document import build_bootstrap
+from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dbms.database import Database
+from repro.dbms.dump import db_dump
+from repro.dynarisc.programs import get_program
+from repro.mocoder.emblem import EmblemKind
+from repro.mocoder.mocoder import MOCoder
+from repro.nested import dynarisc_emulator_image
+from repro.util.crc import crc32_of
+
+
+class Archiver:
+    """Archive databases (or raw byte payloads) onto analog media.
+
+    Parameters
+    ----------
+    profile:
+        Media profile selecting the emblem geometry (default: the small test
+        profile; use :data:`repro.core.PAPER_PROFILE` etc. for real media).
+    dbcoder_profile:
+        DBCoder compression profile.  ``PORTABLE`` keeps the archived stream
+        decodable by the archived DynaRisc decoder; ``DENSE`` adds arithmetic
+        coding for maximum density.
+    outer_code:
+        Whether MOCoder adds the 17+3 inter-emblem parity groups.
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile = TEST_PROFILE,
+        dbcoder_profile: Profile = Profile.PORTABLE,
+        outer_code: bool = True,
+    ):
+        self.profile = profile
+        self.dbcoder = DBCoder(dbcoder_profile)
+        self.mocoder = MOCoder(profile.spec, outer_code=outer_code)
+        # System emblems never need an outer code of their own in the paper's
+        # description, but losing the decoder would be fatal, so they get one
+        # too whenever the data emblems do.
+        self._system_mocoder = MOCoder(profile.spec, outer_code=outer_code)
+
+    # ------------------------------------------------------------------ #
+    def archive_database(self, database: Database) -> MicrOlonysArchive:
+        """Run steps 1-6 for a database; returns the archive artefact."""
+        archive_text = db_dump(database)
+        return self.archive_text(archive_text, payload_kind="sql")
+
+    def archive_text(self, archive_text: str, payload_kind: str = "sql") -> MicrOlonysArchive:
+        """Archive an already-extracted textual archive."""
+        return self.archive_bytes(archive_text.encode("utf-8"), payload_kind=payload_kind)
+
+    def archive_bytes(self, payload: bytes, payload_kind: str = "binary") -> MicrOlonysArchive:
+        """Archive an arbitrary byte payload (used for the film experiments)."""
+        # Step 2: database layout encoding.
+        container = self.dbcoder.encode(payload)
+        # Step 3: media layout encoding of the data.
+        data_stream = self.mocoder.encode(container, kind=EmblemKind.DATA)
+        # Steps 4-5: the DBCoder decoder (a DynaRisc program) becomes system emblems.
+        dbcoder_decoder = get_program("lzss_decoder")
+        system_stream = self._system_mocoder.encode(
+            dbcoder_decoder.code, kind=EmblemKind.SYSTEM
+        )
+        # Step 6: the DynaRisc emulator (VeRisc) and the MOCoder cell decoder
+        # (DynaRisc) become the Bootstrap letter pages.
+        emulator = dynarisc_emulator_image()
+        mocoder_decoder = get_program("manchester_unpack")
+        bootstrap = build_bootstrap(
+            dynarisc_emulator_image=emulator.to_bytes(),
+            mocoder_decoder_image=mocoder_decoder.code,
+            dynarisc_entry=emulator.entry,
+            mocoder_entry=mocoder_decoder.entry,
+        )
+        manifest = ArchiveManifest(
+            profile_name=self.profile.name,
+            dbcoder_profile=self.dbcoder.profile.name,
+            archive_bytes=len(payload),
+            archive_crc32=crc32_of(payload),
+            data_emblem_count=len(data_stream.emblems),
+            system_emblem_count=len(system_stream.emblems),
+            payload_kind=payload_kind,
+        )
+        return MicrOlonysArchive(
+            manifest=manifest,
+            data_emblem_images=data_stream.images(),
+            system_emblem_images=system_stream.images(),
+            bootstrap_text=bootstrap.render(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def estimate_emblems(self, payload_bytes: int) -> int:
+        """Estimate the number of data emblems for a payload of ``payload_bytes``.
+
+        The DBCoder container adds a fixed 20-byte header; compression is not
+        estimated (use :meth:`archive_bytes` for exact numbers).
+        """
+        return self.mocoder.total_emblems_needed(payload_bytes + 20)

@@ -1,0 +1,127 @@
+"""Media profiles: emblem geometry matched to each analog medium.
+
+Each profile pairs an :class:`~repro.mocoder.emblem.EmblemSpec` with the
+channel whose frames it is sized for.  The paper profile is calibrated so
+that a ~1.2 MB SQL archive lands on ~26 A4 pages (about 50 KB per page, §4);
+the conservative microfilm profile reproduces the 102 KB-image-in-3-emblems
+experiment, while the dense microfilm profile reproduces the 1.3 GB-per-66 m
+reel figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.media.channel import MediaChannel
+from repro.media.distortions import OFFICE_SCAN
+from repro.media.film import CinemaFilmChannel, MicrofilmChannel
+from repro.media.paper import PaperChannel
+from repro.mocoder.emblem import EmblemSpec
+
+
+@dataclass(frozen=True)
+class MediaProfile:
+    """An emblem spec plus the channel it targets."""
+
+    name: str
+    description: str
+    spec: EmblemSpec
+    channel_factory: Callable[[], MediaChannel] = field(repr=False)
+
+    def channel(self) -> MediaChannel:
+        """Instantiate the media channel for this profile."""
+        return self.channel_factory()
+
+
+#: Emblems printed one-per-page on A4 paper at 600 dpi.
+PAPER_PROFILE = MediaProfile(
+    name="paper-a4-600dpi",
+    description="A4 laser paper at 600 dpi, ~60 kB of payload per emblem",
+    spec=EmblemSpec(
+        name="paper-a4-600dpi",
+        data_cells_x=1064,
+        data_cells_y=1056,
+        cell_pixels=4,
+    ),
+    channel_factory=PaperChannel,
+)
+
+#: Conservative microfilm emblems (reproduces 102 kB -> 3 emblems).
+MICROFILM_PROFILE = MediaProfile(
+    name="microfilm-16mm",
+    description="16 mm microfilm frames, conservative cell size (~35 kB/frame)",
+    spec=EmblemSpec(
+        name="microfilm-16mm",
+        data_cells_x=800,
+        data_cells_y=800,
+        cell_pixels=4,
+    ),
+    channel_factory=MicrofilmChannel,
+)
+
+#: Dense microfilm emblems (reproduces the 1.3 GB-per-reel capacity figure).
+MICROFILM_DENSE_PROFILE = MediaProfile(
+    name="microfilm-16mm-dense",
+    description="16 mm microfilm frames at 3 px/cell (~125 kB/frame)",
+    spec=EmblemSpec(
+        name="microfilm-16mm-dense",
+        data_cells_x=1272,
+        data_cells_y=1792,
+        cell_pixels=3,
+    ),
+    channel_factory=MicrofilmChannel,
+)
+
+#: Full-aperture 2K cinema film frames.
+CINEMA_PROFILE = MediaProfile(
+    name="cinema-35mm-2k",
+    description="35 mm cinema film, 2K full-aperture frames scanned at 4K",
+    spec=EmblemSpec(
+        name="cinema-35mm-2k",
+        data_cells_x=1000,
+        data_cells_y=752,
+        cell_pixels=2,
+    ),
+    channel_factory=CinemaFilmChannel,
+)
+
+#: Small, fast emblems for tests and examples.  A small emblem holds a single
+#: Reed-Solomon block, so it enjoys none of the interleaving protection of the
+#: full-size profiles; its channel therefore uses a proportionally gentler
+#: scanner model (the full-severity sweeps live in the robustness benchmark).
+TEST_PROFILE = MediaProfile(
+    name="test-small",
+    description="small emblems (199-byte payload) for fast tests and examples",
+    spec=EmblemSpec(
+        name="test-small",
+        data_cells_x=64,
+        data_cells_y=64,
+        cell_pixels=4,
+    ),
+    channel_factory=lambda: PaperChannel(
+        dpi=72, distortion=OFFICE_SCAN.scaled(0.25, name="office-scan-small")
+    ),
+)
+
+#: All named profiles.
+PROFILES = {
+    profile.name: profile
+    for profile in (
+        PAPER_PROFILE,
+        MICROFILM_PROFILE,
+        MICROFILM_DENSE_PROFILE,
+        CINEMA_PROFILE,
+        TEST_PROFILE,
+    )
+}
+
+
+def get_profile(name: str) -> MediaProfile:
+    """Look a media profile up by name."""
+    try:
+        return PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown media profile {name!r}; available: {sorted(PROFILES)}"
+        ) from exc

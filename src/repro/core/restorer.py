@@ -1,0 +1,201 @@
+"""The Micr'Olonys restoration flow (Figure 2b).
+
+Six steps, as a future user would perform them:
+
+1. scan the medium; OCR the Bootstrap text and image-preprocess the emblems —
+   here the scanned images arrive from a :class:`~repro.media.channel.
+   MediaChannel` and the Bootstrap text from :class:`~repro.bootstrap.ocr.
+   SimulatedOCR`;
+2. implement the VeRisc emulator from the Bootstrap pseudocode (the
+   portability benchmark exercises independent implementations; the library
+   ships the reference one);
+3. instantiate the archived DynaRisc emulator and the MOCoder decoder;
+4. decode the *system emblems* to obtain the DBCoder decoder;
+5. decode the *data emblems* with MOCoder, then run the DBCoder decoder on
+   the result to obtain the SQL text archive;
+6. load the archive into a present-day DBMS (:func:`repro.dbms.db_load`).
+
+``decode_mode`` selects how faithfully step 5 is executed: ``"python"`` uses
+the reference decoders, ``"dynarisc"`` runs the archived DBCoder decoder
+under the DynaRisc emulator, and ``"nested"`` runs it inside the full
+VeRisc-hosted nested emulator — the complete ULE chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RestorationError
+from repro.core.archive import MicrOlonysArchive
+from repro.core.profiles import MediaProfile, TEST_PROFILE, get_profile
+from repro.bootstrap.document import BootstrapDocument
+from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dbcoder.formats import unpack_container
+from repro.dbms.database import Database
+from repro.dbms.dump import db_load
+from repro.dynarisc.emulator import DynaRiscEmulator
+from repro.mocoder.mocoder import DecodeReport, MOCoder
+from repro.nested import NestedDynaRiscMachine
+from repro.util.crc import crc32_of
+
+#: Valid values for ``decode_mode``.
+DECODE_MODES = ("python", "dynarisc", "nested")
+
+
+@dataclass
+class RestorationResult:
+    """Everything recovered from a scanned archive."""
+
+    payload: bytes
+    database: Database | None
+    archive_text: str | None
+    data_report: DecodeReport
+    system_report: DecodeReport | None
+    decode_mode: str
+    emulator_steps: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def bit_exact(self) -> bool:
+        """True when every integrity check passed (always true on success)."""
+        return True
+
+
+class Restorer:
+    """Restore databases from scanned emblem images and the Bootstrap text."""
+
+    def __init__(self, profile: MediaProfile = TEST_PROFILE, decode_mode: str = "python"):
+        if decode_mode not in DECODE_MODES:
+            raise ValueError(f"decode_mode must be one of {DECODE_MODES}")
+        self.profile = profile
+        self.decode_mode = decode_mode
+        self.mocoder = MOCoder(profile.spec)
+
+    # ------------------------------------------------------------------ #
+    def restore(self, archive: MicrOlonysArchive) -> RestorationResult:
+        """Restore directly from an archive artefact (no scanner in between)."""
+        return self.restore_from_scans(
+            data_images=archive.data_emblem_images,
+            system_images=archive.system_emblem_images,
+            bootstrap_text=archive.bootstrap_text,
+            payload_kind=archive.manifest.payload_kind,
+        )
+
+    def restore_via_channel(
+        self, archive: MicrOlonysArchive, seed: int | None = None
+    ) -> RestorationResult:
+        """Record the archive on the profile's medium, scan it back, restore."""
+        channel = self.profile.channel()
+        data_scans = channel.roundtrip(archive.data_emblem_images, seed=seed)
+        system_scans = channel.roundtrip(archive.system_emblem_images, seed=seed)
+        return self.restore_from_scans(
+            data_images=data_scans,
+            system_images=system_scans,
+            bootstrap_text=archive.bootstrap_text,
+            payload_kind=archive.manifest.payload_kind,
+        )
+
+    # ------------------------------------------------------------------ #
+    def restore_from_scans(
+        self,
+        data_images: list[np.ndarray],
+        system_images: list[np.ndarray] | None = None,
+        bootstrap_text: str | None = None,
+        payload_kind: str = "sql",
+    ) -> RestorationResult:
+        """Run restoration steps 1-6 on scanned images.
+
+        Raises
+        ------
+        RestorationError
+            If the recovered stream fails any of its integrity checks.
+        """
+        notes: list[str] = []
+        emulator_steps = 0
+
+        # Steps 2-3: the Bootstrap provides the emulator and MOCoder decoder.
+        if bootstrap_text is not None:
+            bootstrap = BootstrapDocument.parse(bootstrap_text)
+            notes.append(
+                f"bootstrap verified: {len(bootstrap.sections)} sections, "
+                f"{bootstrap.letter_count} letters, ~{bootstrap.page_count} pages"
+            )
+
+        # Step 4: recover the archived DBCoder decoder from the system emblems.
+        system_report = None
+        decoder_code: bytes | None = None
+        if system_images:
+            decoder_code, system_report = self.mocoder.decode(system_images)
+            notes.append(
+                f"system emblems decoded: {system_report.emblems_decoded} of "
+                f"{system_report.emblems_seen} scans, "
+                f"{system_report.rs_corrections} symbol corrections"
+            )
+
+        # Step 5a: recover the DBCoder container from the data emblems.
+        container, data_report = self.mocoder.decode(data_images)
+
+        # Step 5b: run the database-layout decoder.
+        header, payload_stream = unpack_container(container)
+        profile = Profile(header.profile_id)
+        if self.decode_mode == "python" or decoder_code is None:
+            payload = DBCoder.decompress_payload(payload_stream, profile)
+            if self.decode_mode != "python":
+                notes.append(
+                    "no system emblems were provided; fell back to the reference decoder"
+                )
+        else:
+            if profile != Profile.PORTABLE:
+                raise RestorationError(
+                    f"the archived DynaRisc decoder handles the PORTABLE profile; "
+                    f"this archive used {profile.name}"
+                )
+            payload, emulator_steps = self._run_archived_decoder(decoder_code, payload_stream)
+            notes.append(
+                f"database layout decoded under the {self.decode_mode} emulator "
+                f"({emulator_steps} emulated steps)"
+            )
+        if len(payload) != header.original_length or crc32_of(payload) != header.original_crc32:
+            raise RestorationError(
+                "restored stream does not match the archived length/CRC; "
+                "the restoration is not bit-for-bit"
+            )
+
+        # Step 6: load the SQL archive into a present-day database.
+        database = None
+        archive_text = None
+        if payload_kind == "sql":
+            archive_text = payload.decode("utf-8")
+            database = db_load(archive_text)
+
+        return RestorationResult(
+            payload=payload,
+            database=database,
+            archive_text=archive_text,
+            data_report=data_report,
+            system_report=system_report,
+            decode_mode=self.decode_mode,
+            emulator_steps=emulator_steps,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_archived_decoder(self, decoder_code: bytes, stream: bytes) -> tuple[bytes, int]:
+        """Execute the recovered DBCoder decoder under the selected emulator."""
+        if self.decode_mode == "dynarisc":
+            emulator = DynaRiscEmulator(decoder_code, input_data=stream, step_limit=2_000_000_000)
+            payload = emulator.run(0)
+            return payload, emulator.steps
+        nested = NestedDynaRiscMachine(decoder_code, input_data=stream, entry=0,
+                                       step_limit=2_000_000_000)
+        payload = nested.run()
+        return payload, nested.steps
+
+
+def restore_archive_directory(directory: str, profile_name: str, decode_mode: str = "python") -> RestorationResult:
+    """Convenience wrapper: load a saved archive directory and restore it."""
+    archive = MicrOlonysArchive.load(directory)
+    restorer = Restorer(get_profile(profile_name), decode_mode=decode_mode)
+    return restorer.restore(archive)

@@ -1,0 +1,39 @@
+"""DBCoder: the database layout encoder/decoder of Micr'Olonys.
+
+DBCoder turns the textual, software-independent database archive (a SQL dump)
+into a compact binary stream, and back.  The paper's DBCoder uses a generic
+scheme "based on LZ77 and arithmetic coding" whose ratio is close to 7-Zip's
+LZMA; the decoding half is archived as DynaRisc instructions.
+
+Profiles
+--------
+``PORTABLE``
+    Byte-aligned LZSS only.  This is the profile whose decoder is archived in
+    DynaRisc assembly (:mod:`repro.dynarisc.programs.lzss`) and therefore the
+    profile used by the emulated restoration path.
+``DENSE``
+    LZSS followed by an adaptive arithmetic coder; closest to the paper's
+    stated LZ77+arithmetic-coding pipeline and to LZMA-class ratios.
+``STORE``
+    No compression (baseline and debugging aid).
+
+The columnar layout scheme the paper lists as future work is implemented in
+:mod:`repro.dbcoder.columnar`.
+"""
+
+from repro.dbcoder.lz77 import lzss_compress, lzss_decompress
+from repro.dbcoder.arithmetic import arithmetic_encode, arithmetic_decode
+from repro.dbcoder.formats import ContainerHeader, pack_container, unpack_container
+from repro.dbcoder.dbcoder import DBCoder, Profile
+
+__all__ = [
+    "lzss_compress",
+    "lzss_decompress",
+    "arithmetic_encode",
+    "arithmetic_decode",
+    "ContainerHeader",
+    "pack_container",
+    "unpack_container",
+    "DBCoder",
+    "Profile",
+]

@@ -1,0 +1,236 @@
+"""Adaptive arithmetic coding (the entropy-coding half of DBCoder's DENSE profile).
+
+The paper describes DBCoder's generic scheme as "LZ77 and arithmetic coding"
+with compression performance close to 7-Zip's LZMA.  This module provides the
+arithmetic-coding stage: an adaptive order-0 coder over a 257-symbol alphabet
+(256 byte values plus an end-of-stream symbol), using 32-bit integer range
+arithmetic and a Fenwick tree for the adaptive frequency model so encoding and
+decoding stay O(log n) per symbol.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecompressionError
+
+_EOF_SYMBOL = 256
+_ALPHABET = 257
+
+_TOP = 0xFFFFFFFF
+_HALF = 0x80000000
+_QUARTER = 0x40000000
+_THREE_QUARTERS = 0xC0000000
+
+#: Frequencies are rescaled once the total exceeds this bound, which both
+#: keeps the model adaptive and guarantees ``total <= range`` never overflows.
+_MAX_TOTAL = 1 << 16
+
+#: Increment applied to a symbol's frequency each time it is coded.
+_INCREMENT = 32
+
+
+class _FrequencyModel:
+    """Adaptive order-0 frequency model backed by a Fenwick tree."""
+
+    def __init__(self) -> None:
+        self._freq = [1] * _ALPHABET
+        self._tree = [0] * (_ALPHABET + 1)
+        for symbol in range(_ALPHABET):
+            self._tree_add(symbol + 1, 1)
+        self.total = _ALPHABET
+
+    def _tree_add(self, index: int, delta: int) -> None:
+        while index <= _ALPHABET:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def _prefix(self, index: int) -> int:
+        """Sum of frequencies of symbols < index."""
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def interval(self, symbol: int) -> tuple[int, int, int]:
+        """Return (cum_low, cum_high, total) for ``symbol``."""
+        low = self._prefix(symbol)
+        return low, low + self._freq[symbol], self.total
+
+    def find(self, value: int) -> int:
+        """Return the symbol whose cumulative interval contains ``value``."""
+        index = 0
+        mask = 1
+        while mask * 2 <= _ALPHABET:
+            mask *= 2
+        remaining = value
+        while mask:
+            probe = index + mask
+            if probe <= _ALPHABET and self._tree[probe] <= remaining:
+                index = probe
+                remaining -= self._tree[probe]
+            mask //= 2
+        return index
+
+    def update(self, symbol: int) -> None:
+        """Increase the frequency of ``symbol``, rescaling when needed."""
+        self._freq[symbol] += _INCREMENT
+        self._tree_add(symbol + 1, _INCREMENT)
+        self.total += _INCREMENT
+        if self.total > _MAX_TOTAL:
+            self._rescale()
+
+    def _rescale(self) -> None:
+        self._freq = [(count + 1) // 2 for count in self._freq]
+        self._tree = [0] * (_ALPHABET + 1)
+        for symbol, count in enumerate(self._freq):
+            self._tree_add(symbol + 1, count)
+        self.total = sum(self._freq)
+
+
+class _BitOutput:
+    """MSB-first bit sink used by the encoder."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self._current = 0
+        self._count = 0
+
+    def put(self, bit: int) -> None:
+        self._current = (self._current << 1) | bit
+        self._count += 1
+        if self._count == 8:
+            self.buffer.append(self._current)
+            self._current = 0
+            self._count = 0
+
+    def finish(self) -> bytes:
+        if self._count:
+            self.buffer.append(self._current << (8 - self._count))
+        return bytes(self.buffer)
+
+
+class _BitInput:
+    """MSB-first bit source used by the decoder; reads 0 past the end.
+
+    The number of bits read past the end of the buffer is tracked so the
+    decoder can tell a legitimately finished stream (the final symbol may
+    need a few phantom zero bits) from a corrupt one that never terminates.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._current = 0
+        self._count = 0
+        self.past_end_bits = 0
+
+    def get(self) -> int:
+        if self._count == 0:
+            if self._pos < len(self._data):
+                self._current = self._data[self._pos]
+                self._pos += 1
+            else:
+                self._current = 0
+                self.past_end_bits += 8
+            self._count = 8
+        self._count -= 1
+        return (self._current >> self._count) & 1
+
+
+def arithmetic_encode(data: bytes) -> bytes:
+    """Encode ``data`` with the adaptive arithmetic coder."""
+    model = _FrequencyModel()
+    output = _BitOutput()
+    low = 0
+    high = _TOP
+    pending = 0
+
+    def emit(bit: int) -> None:
+        nonlocal pending
+        output.put(bit)
+        while pending:
+            output.put(1 - bit)
+            pending -= 1
+
+    symbols = list(data) + [_EOF_SYMBOL]
+    for symbol in symbols:
+        cum_low, cum_high, total = model.interval(symbol)
+        span = high - low + 1
+        high = low + (span * cum_high) // total - 1
+        low = low + (span * cum_low) // total
+        while True:
+            if high < _HALF:
+                emit(0)
+            elif low >= _HALF:
+                emit(1)
+                low -= _HALF
+                high -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                pending += 1
+                low -= _QUARTER
+                high -= _QUARTER
+            else:
+                break
+            low = low * 2
+            high = high * 2 + 1
+        model.update(symbol)
+
+    pending += 1
+    if low < _QUARTER:
+        emit(0)
+    else:
+        emit(1)
+    return output.finish()
+
+
+def arithmetic_decode(stream: bytes) -> bytes:
+    """Decode a stream produced by :func:`arithmetic_encode`.
+
+    Raises
+    ------
+    DecompressionError
+        If the stream ends before the end-of-stream symbol is decoded.
+    """
+    model = _FrequencyModel()
+    bits = _BitInput(stream)
+
+    low = 0
+    high = _TOP
+    code = 0
+    for _ in range(32):
+        code = (code << 1) | bits.get()
+
+    output = bytearray()
+    while True:
+        # A well-formed stream reaches its EOF symbol using at most a few
+        # phantom bits beyond the buffer; anything more means corruption.
+        if bits.past_end_bits > 128:
+            break
+        total = model.total
+        span = high - low + 1
+        value = ((code - low + 1) * total - 1) // span
+        symbol = model.find(value)
+        cum_low, cum_high, total = model.interval(symbol)
+        high = low + (span * cum_high) // total - 1
+        low = low + (span * cum_low) // total
+        while True:
+            if high < _HALF:
+                pass
+            elif low >= _HALF:
+                low -= _HALF
+                high -= _HALF
+                code -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                low -= _QUARTER
+                high -= _QUARTER
+                code -= _QUARTER
+            else:
+                break
+            low = low * 2
+            high = high * 2 + 1
+            code = (code << 1) | bits.get()
+        model.update(symbol)
+        if symbol == _EOF_SYMBOL:
+            return bytes(output)
+        output.append(symbol)
+    raise DecompressionError("arithmetic stream ended without an end-of-stream symbol")

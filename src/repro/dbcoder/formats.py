@@ -1,0 +1,92 @@
+"""The DBCoder container format.
+
+The compressed payload is wrapped in a small self-describing header so that a
+restoration can (a) know which decoding profile to apply and (b) prove that
+the archive was recovered bit-for-bit, via the stored CRC-32 and original
+length.
+
+Layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"ULEA"
+    4       1     format version (currently 1)
+    5       1     profile identifier
+    6       2     reserved (zero)
+    8       4     original (uncompressed) length in bytes
+    12      4     CRC-32 of the original data
+    16      4     payload length in bytes
+    20      n     payload
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ContainerFormatError
+from repro.util.crc import crc32_of
+
+MAGIC = b"ULEA"
+FORMAT_VERSION = 1
+HEADER_SIZE = 20
+
+_HEADER_STRUCT = struct.Struct("<4sBBHIII")
+
+
+@dataclass(frozen=True)
+class ContainerHeader:
+    """Parsed DBCoder container header."""
+
+    version: int
+    profile_id: int
+    original_length: int
+    original_crc32: int
+    payload_length: int
+
+
+def pack_container(profile_id: int, original_data: bytes, payload: bytes) -> bytes:
+    """Wrap ``payload`` in a container describing ``original_data``."""
+    header = _HEADER_STRUCT.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        profile_id & 0xFF,
+        0,
+        len(original_data),
+        crc32_of(original_data),
+        len(payload),
+    )
+    return header + payload
+
+
+def unpack_container(container: bytes) -> tuple[ContainerHeader, bytes]:
+    """Split a container into its parsed header and payload.
+
+    Raises
+    ------
+    ContainerFormatError
+        If the magic, version, or advertised payload length do not match.
+    """
+    if len(container) < HEADER_SIZE:
+        raise ContainerFormatError(
+            f"container too short: {len(container)} bytes < header size {HEADER_SIZE}"
+        )
+    magic, version, profile_id, _reserved, original_length, original_crc32, payload_length = (
+        _HEADER_STRUCT.unpack(container[:HEADER_SIZE])
+    )
+    if magic != MAGIC:
+        raise ContainerFormatError(f"bad container magic: {magic!r}")
+    if version != FORMAT_VERSION:
+        raise ContainerFormatError(f"unsupported container version: {version}")
+    payload = container[HEADER_SIZE:]
+    if len(payload) != payload_length:
+        raise ContainerFormatError(
+            f"payload length mismatch: header says {payload_length}, got {len(payload)}"
+        )
+    header = ContainerHeader(
+        version=version,
+        profile_id=profile_id,
+        original_length=original_length,
+        original_crc32=original_crc32,
+        payload_length=payload_length,
+    )
+    return header, payload

@@ -1,0 +1,147 @@
+"""Byte-aligned LZSS compression (the LZ77 half of DBCoder).
+
+The stream format is deliberately byte-aligned and minimal so that the
+archived DynaRisc decoder (:mod:`repro.dynarisc.programs.lzss`) stays small —
+the paper's whole point is that the decoder must be easy to run in a far
+future with almost no infrastructure.
+
+Format
+------
+The stream is a sequence of *groups*.  Each group is one flag byte followed by
+up to eight items; bit ``i`` of the flag byte (LSB first) describes item ``i``:
+
+* flag bit 1 — the item is a single literal byte;
+* flag bit 0 — the item is a match: two bytes encoding a backwards offset
+  (1..4095) and a length (3..18)::
+
+      byte0 = offset & 0xFF
+      byte1 = ((offset >> 8) << 4) | (length - 3)
+
+The stream carries no explicit length; decoding stops at end of input, which
+matches the memory-mapped input port semantics of the emulated decoder.
+Matches may overlap the current position (offset < length), which both the
+Python and the DynaRisc decoders handle by copying byte-by-byte.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecompressionError
+
+#: Sliding-window size (offsets must fit in 12 bits).
+WINDOW_SIZE = 4096
+
+#: Minimum match length worth encoding (a 2-byte match token must beat it).
+MIN_MATCH = 3
+
+#: Maximum match length encodable in the 4-bit length field.
+MAX_MATCH = 18
+
+
+def _find_longest_match(data: bytes, pos: int, limit: int) -> tuple[int, int]:
+    """Return ``(offset, length)`` of the longest window match at ``pos``.
+
+    Uses ``bytes.rfind`` so the scanning runs at C speed; candidate start
+    positions are restricted to the 4095-byte window ending just before
+    ``pos``.  Returns ``(0, 0)`` when no match of at least MIN_MATCH exists.
+    """
+    best_offset = 0
+    best_length = 0
+    window_start = max(0, pos - (WINDOW_SIZE - 1))
+    length = MIN_MATCH
+    while length <= limit:
+        # The search region ends at pos + length - 1 so any hit starts at an
+        # index <= pos - 1, i.e. strictly before the current position, while
+        # still allowing matches that overlap the bytes being encoded.
+        index = data.rfind(data[pos:pos + length], window_start, pos + length - 1)
+        if index < 0:
+            break
+        best_offset = pos - index
+        best_length = length
+        length += 1
+    return best_offset, best_length
+
+
+def lzss_compress(data: bytes) -> bytes:
+    """Compress ``data`` with greedy LZSS parsing.
+
+    Empty input compresses to an empty stream.
+    """
+    data = bytes(data)
+    n = len(data)
+    if n == 0:
+        return b""
+
+    out = bytearray()
+    flags = 0
+    flag_count = 0
+    group = bytearray()
+    pos = 0
+
+    def flush_group() -> None:
+        nonlocal flags, flag_count, group
+        if flag_count:
+            out.append(flags)
+            out.extend(group)
+            flags = 0
+            flag_count = 0
+            group = bytearray()
+
+    while pos < n:
+        limit = min(MAX_MATCH, n - pos)
+        offset, length = (0, 0)
+        if limit >= MIN_MATCH:
+            offset, length = _find_longest_match(data, pos, limit)
+        if length >= MIN_MATCH:
+            group.append(offset & 0xFF)
+            group.append(((offset >> 8) << 4) | (length - MIN_MATCH))
+            pos += length
+        else:
+            flags |= 1 << flag_count
+            group.append(data[pos])
+            pos += 1
+        flag_count += 1
+        if flag_count == 8:
+            flush_group()
+    flush_group()
+    return bytes(out)
+
+
+def lzss_decompress(stream: bytes) -> bytes:
+    """Decompress an LZSS stream (Python reference for the DynaRisc decoder).
+
+    Raises
+    ------
+    DecompressionError
+        If a match token references history that does not exist.
+    """
+    out = bytearray()
+    pos = 0
+    n = len(stream)
+    while pos < n:
+        flags = stream[pos]
+        pos += 1
+        for item in range(8):
+            if pos >= n:
+                break
+            if (flags >> item) & 1:
+                out.append(stream[pos])
+                pos += 1
+            else:
+                if pos + 1 >= n:
+                    # A trailing, half-written match token means the encoder
+                    # stopped mid-stream; treat it as end of data.
+                    pos = n
+                    break
+                byte0 = stream[pos]
+                byte1 = stream[pos + 1]
+                pos += 2
+                offset = byte0 | ((byte1 >> 4) << 8)
+                length = (byte1 & 0x0F) + MIN_MATCH
+                if offset == 0 or offset > len(out):
+                    raise DecompressionError(
+                        f"match offset {offset} exceeds decoded history ({len(out)} bytes)"
+                    )
+                start = len(out) - offset
+                for index in range(length):
+                    out.append(out[start + index])
+    return bytes(out)

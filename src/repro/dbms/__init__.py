@@ -1,0 +1,24 @@
+"""The DBMS substrate: what gets archived.
+
+The paper's end-to-end experiment loads a TPC-H dataset into PostgreSQL and
+uses ``pg_dump`` to produce a textual SQL archive, which is then fed to
+DBCoder.  This package provides the equivalent substrate without an external
+database: a miniature in-memory relational engine, a deterministic TPC-H-like
+data generator, and a ``db_dump`` / ``db_load`` pair producing and consuming a
+software-independent SQL-text archive.
+"""
+
+from repro.dbms.database import Column, ColumnType, Table, Database
+from repro.dbms.dump import db_dump, db_load
+from repro.dbms.tpch import generate_tpch, tpch_archive_of_size
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Table",
+    "Database",
+    "db_dump",
+    "db_load",
+    "generate_tpch",
+    "tpch_archive_of_size",
+]

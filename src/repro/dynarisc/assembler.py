@@ -1,0 +1,300 @@
+"""Two-pass assembler for DynaRisc assembly source.
+
+The archived decoders (:mod:`repro.dynarisc.programs`) are written in this
+assembly language; the binary instruction streams the assembler produces are
+what Micr'Olonys stores on the analog medium (as emblems for DBCoder, as
+Bootstrap letters for MOCoder and the DynaRisc emulator).
+
+Syntax
+------
+::
+
+    ; comments run to end of line
+    start:                      ; labels end with a colon
+        LDI  r0, #42            ; immediates take a leading '#'
+        LDI  d0, #buffer        ; labels and .equ symbols are valid immediates
+        LDM  r1, [d0]           ; byte load through a pointer register
+        STM  r1, [d1]           ; byte store through a pointer register
+        ADD  r0, r1
+        CMP  r0, r2
+        JCOND ne, start         ; conditions: eq ne cs cc mi pl
+        CALL subroutine
+        RET
+        HALT
+
+    buffer: .byte 1, 2, 0x10
+    text:   .ascii "hello"
+            .word 0x1234, 7
+            .space 32
+            .equ WINDOW, 4096
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+from repro.dynarisc.isa import (
+    INPUT_PORT,
+    OUTPUT_PORT,
+    OPCODES_WITH_IMMEDIATE,
+    WORD_MASK,
+    Condition,
+    Instruction,
+    Opcode,
+    Register,
+)
+
+#: Symbols that are always defined (memory-mapped port addresses).
+BUILTIN_SYMBOLS = {
+    "INPUT_PORT": INPUT_PORT,
+    "OUTPUT_PORT": OUTPUT_PORT,
+}
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling a DynaRisc source file."""
+
+    code: bytes
+    origin: int
+    entry: int
+    symbols: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+@dataclass
+class _Statement:
+    kind: str           # "insn" | "byte" | "word" | "space" | "ascii"
+    payload: object
+    line: int
+    address: int = 0
+    size: int = 0
+
+
+class DynaRiscAssembler:
+    """Assemble DynaRisc source text into machine code."""
+
+    def assemble(self, source: str, origin: int = 0) -> AssembledProgram:
+        """Assemble ``source``; the entry point is the ``start`` label if present."""
+        statements, labels, equates = self._parse(source, origin)
+        symbols = dict(BUILTIN_SYMBOLS)
+        symbols.update(equates)
+        symbols.update(labels)
+        code = bytearray()
+        for statement in statements:
+            code.extend(self._emit(statement, symbols))
+        entry = labels.get("start", origin)
+        return AssembledProgram(bytes(code), origin, entry, symbols)
+
+    # ------------------------------------------------------------------ #
+    # Pass 1: parse and lay out
+    # ------------------------------------------------------------------ #
+    def _parse(self, source: str, origin: int):
+        statements: list[_Statement] = []
+        labels: dict[str, int] = {}
+        equates: dict[str, int] = {}
+        address = origin
+
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw_line).strip()
+            if not line:
+                continue
+            while ":" in line and not line.startswith((".ascii", ".byte")):
+                candidate, rest = line.split(":", 1)
+                candidate = candidate.strip()
+                if not candidate.isidentifier():
+                    break
+                if candidate.lower() in labels:
+                    raise AssemblyError(f"duplicate label {candidate!r}", line=line_number)
+                labels[candidate.lower()] = address
+                line = rest.strip()
+            if not line:
+                continue
+            statement = self._parse_statement(line, line_number)
+            if statement is None:
+                continue
+            if statement.kind == "equ":
+                name, value = statement.payload
+                equates[name] = value
+                continue
+            statement.address = address
+            address += statement.size
+            statements.append(statement)
+        return statements, labels, equates
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        # A ';' inside a string literal (only used by .ascii) must be kept.
+        result = []
+        in_string = False
+        for char in line:
+            if char == '"':
+                in_string = not in_string
+            if char == ";" and not in_string:
+                break
+            result.append(char)
+        return "".join(result)
+
+    def _parse_statement(self, line: str, line_number: int) -> _Statement | None:
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        rest = rest.strip()
+        if mnemonic == ".equ":
+            name, _, value_text = rest.partition(",")
+            name = name.strip().lower()
+            if not name.isidentifier():
+                raise AssemblyError(f"invalid .equ name {name!r}", line=line_number)
+            try:
+                value = int(value_text.strip(), 0)
+            except ValueError as exc:
+                raise AssemblyError(f"invalid .equ value {value_text!r}", line=line_number) from exc
+            return _Statement("equ", (name, value & WORD_MASK), line_number)
+        if mnemonic == ".byte":
+            values = [value.strip() for value in rest.split(",") if value.strip()]
+            if not values:
+                raise AssemblyError(".byte requires at least one value", line=line_number)
+            return _Statement("byte", values, line_number, size=len(values))
+        if mnemonic == ".word":
+            values = [value.strip() for value in rest.split(",") if value.strip()]
+            if not values:
+                raise AssemblyError(".word requires at least one value", line=line_number)
+            return _Statement("word", values, line_number, size=2 * len(values))
+        if mnemonic == ".ascii":
+            text = rest.strip()
+            if len(text) < 2 or not (text.startswith('"') and text.endswith('"')):
+                raise AssemblyError(".ascii requires a double-quoted string", line=line_number)
+            literal = text[1:-1]
+            return _Statement("ascii", literal, line_number, size=len(literal))
+        if mnemonic == ".space":
+            try:
+                count = int(rest, 0)
+            except ValueError as exc:
+                raise AssemblyError(f"invalid .space count {rest!r}", line=line_number) from exc
+            return _Statement("space", count, line_number, size=count)
+        if mnemonic.startswith("."):
+            raise AssemblyError(f"unknown directive {mnemonic!r}", line=line_number)
+
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line=line_number) from exc
+        operands = [operand.strip() for operand in rest.split(",")] if rest else []
+        operands = [operand for operand in operands if operand]
+        size = 4 if opcode in OPCODES_WITH_IMMEDIATE else 2
+        return _Statement("insn", (opcode, operands), line_number, size=size)
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: emit
+    # ------------------------------------------------------------------ #
+    def _emit(self, statement: _Statement, symbols: dict[str, int]) -> bytes:
+        if statement.kind == "byte":
+            return bytes(
+                self._value(text, symbols, statement.line) & 0xFF
+                for text in statement.payload
+            )
+        if statement.kind == "word":
+            out = bytearray()
+            for text in statement.payload:
+                value = self._value(text, symbols, statement.line)
+                out.append(value & 0xFF)
+                out.append((value >> 8) & 0xFF)
+            return bytes(out)
+        if statement.kind == "ascii":
+            return statement.payload.encode("ascii")
+        if statement.kind == "space":
+            return bytes(statement.payload)
+        opcode, operands = statement.payload
+        return self._emit_instruction(opcode, operands, symbols, statement.line)
+
+    def _emit_instruction(
+        self, opcode: Opcode, operands: list[str], symbols: dict[str, int], line: int
+    ) -> bytes:
+        rd = rs = 0
+        immediate = None
+
+        def reg(text: str) -> int:
+            return self._register(text, line)
+
+        if opcode in (Opcode.HALT, Opcode.RET):
+            self._expect(operands, 0, opcode, line)
+        elif opcode == Opcode.NOT:
+            self._expect(operands, 1, opcode, line)
+            rd = reg(operands[0])
+        elif opcode == Opcode.LDI:
+            self._expect(operands, 2, opcode, line)
+            rd = reg(operands[0])
+            immediate = self._immediate(operands[1], symbols, line)
+        elif opcode == Opcode.LDM:
+            self._expect(operands, 2, opcode, line)
+            rd = reg(operands[0])
+            rs = self._pointer(operands[1], line)
+        elif opcode == Opcode.STM:
+            self._expect(operands, 2, opcode, line)
+            rs = reg(operands[0])
+            rd = self._pointer(operands[1], line)
+        elif opcode == Opcode.JUMP or opcode == Opcode.CALL:
+            self._expect(operands, 1, opcode, line)
+            immediate = self._address(operands[0], symbols, line)
+        elif opcode == Opcode.JCOND:
+            self._expect(operands, 2, opcode, line)
+            rd = self._condition(operands[0], line)
+            immediate = self._address(operands[1], symbols, line)
+        else:
+            self._expect(operands, 2, opcode, line)
+            rd = reg(operands[0])
+            rs = reg(operands[1])
+        return Instruction(opcode, rd, rs, immediate).encode()
+
+    @staticmethod
+    def _expect(operands: list[str], count: int, opcode: Opcode, line: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{opcode.name} expects {count} operand(s), got {len(operands)}", line=line
+            )
+
+    @staticmethod
+    def _register(text: str, line: int) -> int:
+        name = text.strip().upper()
+        if name in Register.__members__:
+            return int(Register[name])
+        raise AssemblyError(f"invalid register {text!r}", line=line)
+
+    def _pointer(self, text: str, line: int) -> int:
+        text = text.strip()
+        if not (text.startswith("[") and text.endswith("]")):
+            raise AssemblyError(f"memory operand must be written [reg], got {text!r}", line=line)
+        return self._register(text[1:-1], line)
+
+    @staticmethod
+    def _condition(text: str, line: int) -> int:
+        name = text.strip().upper()
+        if name in Condition.__members__:
+            return int(Condition[name])
+        raise AssemblyError(f"invalid condition {text!r}", line=line)
+
+    def _immediate(self, text: str, symbols: dict[str, int], line: int) -> int:
+        text = text.strip()
+        if not text.startswith("#"):
+            raise AssemblyError(f"immediate operands must start with '#', got {text!r}", line=line)
+        return self._value(text[1:], symbols, line)
+
+    def _address(self, text: str, symbols: dict[str, int], line: int) -> int:
+        return self._value(text.lstrip("#"), symbols, line)
+
+    @staticmethod
+    def _value(text: str, symbols: dict[str, int], line: int) -> int:
+        text = text.strip()
+        key = text.lower()
+        if key in symbols:
+            return symbols[key] & WORD_MASK
+        if text.upper() in BUILTIN_SYMBOLS:
+            return BUILTIN_SYMBOLS[text.upper()]
+        if len(text) == 3 and text.startswith("'") and text.endswith("'"):
+            return ord(text[1])
+        try:
+            return int(text, 0) & WORD_MASK
+        except ValueError as exc:
+            raise AssemblyError(f"unknown symbol or value {text!r}", line=line) from exc

@@ -1,0 +1,81 @@
+"""Disassembler for DynaRisc machine code.
+
+Used by the test suite to verify assembler/encoder round trips and by the
+benchmark harness to print archived decoder listings, mirroring the way the
+Bootstrap document describes instruction streams to a future implementer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidInstructionError
+from repro.dynarisc.isa import (
+    OPCODES_WITH_IMMEDIATE,
+    Condition,
+    Instruction,
+    Opcode,
+    Register,
+)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render a decoded instruction in the assembler's source syntax."""
+    opcode = instruction.opcode
+    if opcode in (Opcode.HALT, Opcode.RET):
+        return opcode.name
+    if opcode == Opcode.NOT:
+        return f"{opcode.name} {Register(instruction.rd).name}"
+    if opcode == Opcode.LDI:
+        return f"{opcode.name} {Register(instruction.rd).name}, #{instruction.immediate:#06x}"
+    if opcode == Opcode.LDM:
+        return f"{opcode.name} {Register(instruction.rd).name}, [{Register(instruction.rs).name}]"
+    if opcode == Opcode.STM:
+        return f"{opcode.name} {Register(instruction.rs).name}, [{Register(instruction.rd).name}]"
+    if opcode in (Opcode.JUMP, Opcode.CALL):
+        return f"{opcode.name} {instruction.immediate:#06x}"
+    if opcode == Opcode.JCOND:
+        return f"{opcode.name} {Condition(instruction.rd).name}, {instruction.immediate:#06x}"
+    return f"{opcode.name} {Register(instruction.rd).name}, {Register(instruction.rs).name}"
+
+
+def decode_stream(code: bytes, origin: int = 0) -> list[tuple[int, Instruction]]:
+    """Decode a flat machine-code buffer into (address, instruction) pairs.
+
+    Decoding stops cleanly at the end of the buffer; a trailing partial
+    instruction raises :class:`InvalidInstructionError`.
+    """
+    result: list[tuple[int, Instruction]] = []
+    offset = 0
+    while offset < len(code):
+        if offset + 2 > len(code):
+            raise InvalidInstructionError("truncated instruction word at end of stream")
+        word = code[offset] | (code[offset + 1] << 8)
+        opcode_field = (word >> 11) & 0x1F
+        try:
+            opcode = Opcode(opcode_field)
+        except ValueError as exc:
+            raise InvalidInstructionError(
+                f"invalid opcode field {opcode_field} at offset {offset}"
+            ) from exc
+        immediate = None
+        size = 2
+        if opcode in OPCODES_WITH_IMMEDIATE:
+            if offset + 4 > len(code):
+                raise InvalidInstructionError("truncated immediate word at end of stream")
+            immediate = code[offset + 2] | (code[offset + 3] << 8)
+            size = 4
+        result.append((origin + offset, Instruction.decode_word(word, immediate)))
+        offset += size
+    return result
+
+
+def disassemble(code: bytes, origin: int = 0) -> str:
+    """Return a printable listing of ``code``.
+
+    Note that DynaRisc programs freely mix code and data; disassembling the
+    data region of a program is not meaningful, so callers normally pass only
+    the code section.
+    """
+    lines = []
+    for address, instruction in decode_stream(code, origin):
+        lines.append(f"{address:#06x}:  {format_instruction(instruction)}")
+    return "\n".join(lines)

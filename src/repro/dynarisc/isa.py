@@ -1,0 +1,191 @@
+"""The DynaRisc instruction set architecture.
+
+DynaRisc is the 16-bit, 23-instruction RISC processor that Olonys emulates in
+order to run the archived DBCoder and MOCoder decoders.  The paper's Table 1
+lists a *sample* of the ISA (arithmetic, logical, and control/data-movement
+instructions) and refers to a patent for the remainder; this module
+reconstructs a complete, self-consistent 23-instruction ISA that contains
+every instruction named in Table 1.
+
+Machine model
+-------------
+* sixteen-bit data paths and registers;
+* eight data registers ``R0``–``R7``, four memory-pointer registers
+  ``D0``–``D3`` and a stack pointer ``SP`` (thirteen architectural registers);
+* a byte-addressed memory of 65,536 bytes;
+* three condition flags: zero (Z), negative (N) and carry/borrow (C);
+* memory-mapped byte-stream ports for decoder input and output.
+
+Instruction encoding
+--------------------
+Every instruction is one 16-bit word, optionally followed by one 16-bit
+immediate/address word (LDI, JUMP, JCOND, CALL)::
+
+    bits 15..11   opcode        (5 bits)
+    bits 10..7    rd / cond     (4 bits)
+    bits  6..3    rs            (4 bits)
+    bits  2..0    reserved      (3 bits, must be zero)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Size of DynaRisc memory in bytes.
+MEMORY_BYTES = 65536
+
+#: Mask for 16-bit arithmetic.
+WORD_MASK = 0xFFFF
+
+#: Memory-mapped port: a byte load from this address returns the next input
+#: byte (carry flag set once the input stream is exhausted).
+INPUT_PORT = 0xFFF0
+
+#: Memory-mapped port: a byte store to this address appends to the output.
+OUTPUT_PORT = 0xFFF1
+
+#: Default initial stack pointer (grows downwards).  Decoder programs keep all
+#: of their state below this address, which also lets the nested
+#: DynaRisc-in-VeRisc emulator host the full working memory of a decoder.
+DEFAULT_STACK_TOP = 0x7F00
+
+
+class Opcode(enum.IntEnum):
+    """The 23 DynaRisc opcodes."""
+
+    HALT = 0
+    MOVE = 1
+    LDI = 2
+    LDM = 3
+    STM = 4
+    ADD = 5
+    ADC = 6
+    SUB = 7
+    SBB = 8
+    CMP = 9
+    MUL = 10
+    AND = 11
+    OR = 12
+    XOR = 13
+    NOT = 14
+    LSL = 15
+    LSR = 16
+    ASR = 17
+    ROR = 18
+    JUMP = 19
+    JCOND = 20
+    CALL = 21
+    RET = 22
+
+
+#: Opcodes that are followed by a 16-bit immediate or address word.
+OPCODES_WITH_IMMEDIATE = frozenset(
+    {Opcode.LDI, Opcode.JUMP, Opcode.JCOND, Opcode.CALL}
+)
+
+#: The instruction mnemonics that appear in the paper's Table 1.
+PAPER_TABLE1_MNEMONICS = (
+    "ADC", "SBB", "SUB", "CMP", "MUL",
+    "AND", "OR", "XOR", "LSL", "LSR", "ASR", "ROR",
+    "MOVE", "LDI", "LDM", "STM", "JUMP",
+)
+
+
+class Register(enum.IntEnum):
+    """Architectural registers addressable by the 4-bit register fields."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    D0 = 8
+    D1 = 9
+    D2 = 10
+    D3 = 11
+    SP = 12
+
+
+#: Number of architectural registers.
+REGISTER_COUNT = 13
+
+
+class Condition(enum.IntEnum):
+    """Condition codes usable with ``JCOND`` (encoded in the rd field)."""
+
+    EQ = 0  #: Z == 1
+    NE = 1  #: Z == 0
+    CS = 2  #: C == 1 (carry set / borrow occurred)
+    CC = 3  #: C == 0
+    MI = 4  #: N == 1 (negative)
+    PL = 5  #: N == 0
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded DynaRisc instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs: int = 0
+    immediate: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rd < 16:
+            raise ValueError(f"rd field out of range: {self.rd}")
+        if not 0 <= self.rs < 16:
+            raise ValueError(f"rs field out of range: {self.rs}")
+        needs_immediate = self.opcode in OPCODES_WITH_IMMEDIATE
+        if needs_immediate and self.immediate is None:
+            raise ValueError(f"{self.opcode.name} requires an immediate word")
+        if not needs_immediate and self.immediate is not None:
+            raise ValueError(f"{self.opcode.name} does not take an immediate word")
+        if self.immediate is not None and not 0 <= self.immediate <= WORD_MASK:
+            raise ValueError(f"immediate out of range: {self.immediate}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size in bytes (2 or 4)."""
+        return 4 if self.opcode in OPCODES_WITH_IMMEDIATE else 2
+
+    def encode(self) -> bytes:
+        """Encode to little-endian bytes."""
+        word = (int(self.opcode) << 11) | (self.rd << 7) | (self.rs << 3)
+        parts = [word & 0xFF, (word >> 8) & 0xFF]
+        if self.immediate is not None:
+            parts.extend([self.immediate & 0xFF, (self.immediate >> 8) & 0xFF])
+        return bytes(parts)
+
+    @classmethod
+    def decode_word(cls, word: int, immediate: int | None = None) -> "Instruction":
+        """Decode an instruction word (plus optional pre-fetched immediate).
+
+        Raises
+        ------
+        ValueError
+            If the opcode field does not name a DynaRisc instruction or the
+            reserved bits are non-zero.
+        """
+        opcode_field = (word >> 11) & 0x1F
+        try:
+            opcode = Opcode(opcode_field)
+        except ValueError as exc:
+            raise ValueError(f"invalid DynaRisc opcode field: {opcode_field}") from exc
+        if word & 0b111:
+            raise ValueError("reserved instruction bits must be zero")
+        rd = (word >> 7) & 0xF
+        rs = (word >> 3) & 0xF
+        if opcode in OPCODES_WITH_IMMEDIATE:
+            if immediate is None:
+                raise ValueError(f"{opcode.name} requires an immediate word")
+            return cls(opcode, rd, rs, immediate & WORD_MASK)
+        return cls(opcode, rd, rs, None)
+
+    def __str__(self) -> str:
+        from repro.dynarisc.disassembler import format_instruction
+
+        return format_instruction(self)

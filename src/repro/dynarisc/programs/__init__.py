@@ -1,0 +1,61 @@
+"""Archived DynaRisc programs.
+
+These are the decoder programs that Micr'Olonys stores on the analog medium:
+the database-layout decoder (DBCoder's decompressor) plus a few smaller
+programs used by tests, examples and the portability benchmarks.  All of them
+are written in DynaRisc assembly and assembled on demand; the resulting
+instruction streams are what gets turned into system emblems or Bootstrap
+letters.
+"""
+
+from __future__ import annotations
+
+from repro.dynarisc.assembler import AssembledProgram, DynaRiscAssembler
+from repro.dynarisc.programs.lzss import LZSS_DECODER_SOURCE
+from repro.dynarisc.programs.rle import RLE_DECODER_SOURCE
+from repro.dynarisc.programs.xor_stream import XOR_STREAM_SOURCE
+from repro.dynarisc.programs.checksum import CHECKSUM_SOURCE
+from repro.dynarisc.programs.manchester import MANCHESTER_UNPACK_SOURCE
+
+#: Registry of archived program sources by name.
+PROGRAM_SOURCES: dict[str, str] = {
+    "lzss_decoder": LZSS_DECODER_SOURCE,
+    "rle_decoder": RLE_DECODER_SOURCE,
+    "xor_stream": XOR_STREAM_SOURCE,
+    "checksum": CHECKSUM_SOURCE,
+    "manchester_unpack": MANCHESTER_UNPACK_SOURCE,
+}
+
+_CACHE: dict[str, AssembledProgram] = {}
+
+
+def program_names() -> list[str]:
+    """Names of all archived DynaRisc programs."""
+    return sorted(PROGRAM_SOURCES)
+
+
+def get_source(name: str) -> str:
+    """Return the assembly source of an archived program."""
+    try:
+        return PROGRAM_SOURCES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown DynaRisc program {name!r}") from exc
+
+
+def get_program(name: str) -> AssembledProgram:
+    """Assemble (and cache) an archived program by name."""
+    if name not in _CACHE:
+        _CACHE[name] = DynaRiscAssembler().assemble(get_source(name))
+    return _CACHE[name]
+
+
+__all__ = [
+    "PROGRAM_SOURCES",
+    "program_names",
+    "get_source",
+    "get_program",
+    "LZSS_DECODER_SOURCE",
+    "RLE_DECODER_SOURCE",
+    "XOR_STREAM_SOURCE",
+    "CHECKSUM_SOURCE",
+]

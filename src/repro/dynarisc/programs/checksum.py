@@ -1,0 +1,33 @@
+"""A 16-bit additive checksum program in DynaRisc assembly.
+
+Sums every input byte modulo 2**16 and emits the two-byte little-endian sum.
+The restoration examples use it as an integrity self-check that runs entirely
+inside the emulated environment.
+"""
+
+CHECKSUM_SOURCE = """
+; ---------------------------------------------------------------------------
+; 16-bit additive checksum.
+;   input : any byte stream
+;   output: two bytes, little-endian sum of all input bytes (mod 65536)
+; ---------------------------------------------------------------------------
+start:
+        LDI  d2, #INPUT_PORT
+        LDI  d3, #OUTPUT_PORT
+        LDI  r1, #0              ; running sum
+
+next_byte:
+        LDM  r0, [d2]
+        JCOND cs, done
+        ADD  r1, r0
+        JUMP next_byte
+
+done:
+        MOVE r0, r1              ; low byte
+        STM  r0, [d3]
+        LDI  r2, #8
+        MOVE r0, r1
+        LSR  r0, r2              ; high byte
+        STM  r0, [d3]
+        HALT
+"""

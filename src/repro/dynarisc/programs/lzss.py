@@ -1,0 +1,123 @@
+"""The archived DBCoder decoder: an LZSS decompressor in DynaRisc assembly.
+
+This is the program the paper stores as *system emblems* (step 5 of the
+archival flow in Figure 2a): the database-layout decoder, ported to DynaRisc
+so that a future user can run it under the emulated processor.  It decodes
+the byte-aligned LZSS stream produced by
+:func:`repro.dbcoder.lz77.lzss_compress`.
+
+Stream format (also documented in :mod:`repro.dbcoder.lz77`)::
+
+    repeat until end of input:
+        flag byte F                (bit i, LSB first, describes item i)
+        8 items, item i is
+            if F bit i == 1: one literal byte
+            if F bit i == 0: a match  -> two bytes:
+                 byte0 = offset & 0xFF
+                 byte1 = ((offset >> 8) << 4) | (length - 3)
+            offset in 1..4095 counts backwards from the current position,
+            length in 3..18
+
+The decoder keeps a 4096-byte sliding window in memory at WINDOW_BASE and
+streams every restored byte to the memory-mapped output port.
+"""
+
+LZSS_DECODER_SOURCE = """
+; ---------------------------------------------------------------------------
+; DBCoder layout decoder (LZSS), DynaRisc assembly.
+;
+; register allocation:
+;   d0 - scratch pointer (window addressing inside emit)
+;   d1 - scratch pointer (window addressing for match copies)
+;   d2 - input port pointer
+;   d3 - output port pointer
+;   r0 - current byte / scratch
+;   r1 - flag byte (shifted right as items are consumed)
+;   r2 - items remaining in the current group
+;   r3 - window position (only the low 12 bits are significant)
+;   r4 - match length countdown
+;   r5 - match offset / scratch
+;   r6 - constant 1
+;   r7 - scratch (masks, window index)
+; ---------------------------------------------------------------------------
+        .equ WINDOW_BASE, 0x4000
+        .equ WINDOW_MASK, 0x0FFF
+
+start:
+        LDI  d2, #INPUT_PORT
+        LDI  d3, #OUTPUT_PORT
+        LDI  r3, #0
+        LDI  r6, #1
+
+next_group:
+        LDM  r1, [d2]            ; flag byte (carry set once input is exhausted)
+        JCOND cs, done
+        LDI  r2, #8
+
+next_item:
+        LDI  r0, #0
+        CMP  r2, r0
+        JCOND eq, next_group
+        MOVE r0, r1
+        LDI  r5, #1
+        AND  r0, r5              ; r0 = flag bit for this item
+        LSR  r1, r6
+        SUB  r2, r6
+        LDI  r5, #1
+        CMP  r0, r5
+        JCOND eq, literal
+
+match:
+        LDM  r0, [d2]            ; offset low byte
+        JCOND cs, done
+        MOVE r5, r0
+        LDM  r0, [d2]            ; (offset high nibble << 4) | (length - 3)
+        JCOND cs, done
+        MOVE r4, r0
+        LDI  r7, #0x000F
+        AND  r4, r7
+        LDI  r7, #3
+        ADD  r4, r7              ; r4 = match length
+        LDI  r7, #0x00F0
+        AND  r0, r7
+        LDI  r7, #4
+        LSL  r0, r7              ; r0 = offset high bits << 8
+        ADD  r5, r0              ; r5 = full offset
+
+copy_loop:
+        LDI  r0, #0
+        CMP  r4, r0
+        JCOND eq, next_item
+        MOVE r0, r3
+        SUB  r0, r5              ; source index = position - offset
+        LDI  r7, #WINDOW_MASK
+        AND  r0, r7
+        LDI  d1, #WINDOW_BASE
+        ADD  d1, r0
+        LDM  r0, [d1]            ; r0 = history byte
+        CALL emit
+        SUB  r4, r6
+        JUMP copy_loop
+
+literal:
+        LDM  r0, [d2]
+        JCOND cs, done
+        CALL emit
+        JUMP next_item
+
+; emit: write r0 to the output stream and into the sliding window,
+;       then advance the window position.  Clobbers r7 and d0.
+emit:
+        STM  r0, [d3]
+        MOVE r7, r3
+        LDI  d0, #WINDOW_MASK
+        AND  r7, d0
+        LDI  d0, #WINDOW_BASE
+        ADD  d0, r7
+        STM  r0, [d0]
+        ADD  r3, r6
+        RET
+
+done:
+        HALT
+"""

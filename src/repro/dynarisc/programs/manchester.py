@@ -1,0 +1,48 @@
+"""The cell-stream half of the MOCoder decoder, in DynaRisc assembly.
+
+This is the program carried by the Bootstrap's ``MOCODER-DECODER`` section:
+it converts a stream of binarised emblem cells (one byte per cell, 0 or 1, in
+data-area order) back into packed bytes by undoing the differential
+Manchester pairing — a bit is 1 when the two half-cells of a bit period carry
+the same level.  Geometry detection and Reed-Solomon correction are described
+in the Bootstrap prose; this archived program covers the clock-recovery step
+that is unique to MOCoder.
+"""
+
+MANCHESTER_UNPACK_SOURCE = """
+; ---------------------------------------------------------------------------
+; Differential-Manchester cell unpacker.
+;   input : pairs of cell bytes (each 0 or 1)
+;   output: packed bytes, MSB first; one output bit per input cell pair
+;           (bit = 1 when the two half-cells are equal)
+; ---------------------------------------------------------------------------
+start:
+        LDI  d2, #INPUT_PORT
+        LDI  d3, #OUTPUT_PORT
+        LDI  r6, #1
+
+next_byte:
+        LDI  r3, #0              ; byte being assembled
+        LDI  r4, #8              ; bits still needed
+
+next_bit:
+        LDM  r0, [d2]            ; first half-cell
+        JCOND cs, done
+        LDM  r1, [d2]            ; second half-cell
+        JCOND cs, done
+        CMP  r0, r1
+        JCOND ne, bit_zero
+        LSL  r3, r6
+        ADD  r3, r6              ; equal half-cells -> bit 1
+        JUMP bit_done
+bit_zero:
+        LSL  r3, r6
+bit_done:
+        SUB  r4, r6
+        JCOND ne, next_bit
+        STM  r3, [d3]
+        JUMP next_byte
+
+done:
+        HALT
+"""

@@ -1,0 +1,36 @@
+"""A run-length-decoding program in DynaRisc assembly.
+
+Used by the examples and by the nested-emulation benchmarks as a small,
+easily-inspected archived decoder.  The stream is a sequence of
+``(count, value)`` byte pairs with ``count >= 1``; decoding stops when the
+input stream is exhausted.
+"""
+
+RLE_DECODER_SOURCE = """
+; ---------------------------------------------------------------------------
+; Run-length decoder.
+;   input : pairs of bytes (count, value), count >= 1
+;   output: `value` repeated `count` times for every pair
+; ---------------------------------------------------------------------------
+start:
+        LDI  d2, #INPUT_PORT
+        LDI  d3, #OUTPUT_PORT
+        LDI  r6, #1
+
+next_pair:
+        LDM  r1, [d2]            ; r1 = run length
+        JCOND cs, done
+        LDM  r2, [d2]            ; r2 = value
+        JCOND cs, done
+
+run:
+        LDI  r0, #0
+        CMP  r1, r0
+        JCOND eq, next_pair
+        STM  r2, [d3]
+        SUB  r1, r6
+        JUMP run
+
+done:
+        HALT
+"""

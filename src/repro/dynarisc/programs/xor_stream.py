@@ -1,0 +1,30 @@
+"""A keyed XOR stream transform in DynaRisc assembly.
+
+The smallest non-trivial archived program: the first input byte is the key,
+every following byte is emitted XOR-ed with that key.  Because the transform
+is its own inverse it makes a convenient round-trip fixture for the emulator,
+the nested emulator and the Bootstrap letter encoding.
+"""
+
+XOR_STREAM_SOURCE = """
+; ---------------------------------------------------------------------------
+; XOR stream transform.
+;   input : key byte, then payload bytes
+;   output: payload bytes XOR key
+; ---------------------------------------------------------------------------
+start:
+        LDI  d2, #INPUT_PORT
+        LDI  d3, #OUTPUT_PORT
+        LDM  r1, [d2]            ; r1 = key
+        JCOND cs, done
+
+next_byte:
+        LDM  r0, [d2]
+        JCOND cs, done
+        XOR  r0, r1
+        STM  r0, [d3]
+        JUMP next_byte
+
+done:
+        HALT
+"""

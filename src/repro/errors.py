@@ -1,0 +1,155 @@
+"""Exception hierarchy for the ULE / Micr'Olonys reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-hierarchies mirror the major subsystems:
+the virtual machines, the database coder, the media coder, the analog media
+channels, the Bootstrap document, and the DBMS substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------- #
+# Virtual machines (VeRisc / DynaRisc)
+# --------------------------------------------------------------------------- #
+class EmulationError(ReproError):
+    """Base class for errors raised while assembling or emulating programs."""
+
+
+class AssemblyError(EmulationError):
+    """A source program could not be assembled.
+
+    Attributes
+    ----------
+    line:
+        1-based line number in the source text, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class InvalidInstructionError(EmulationError):
+    """An instruction word could not be decoded by the emulator."""
+
+
+class MachineFault(EmulationError):
+    """The emulated machine performed an illegal operation (bad address,
+    stack underflow, division fault, ...)."""
+
+
+class ExecutionLimitExceeded(EmulationError):
+    """The emulated program ran longer than the configured step budget."""
+
+
+# --------------------------------------------------------------------------- #
+# DBCoder (database layout coder)
+# --------------------------------------------------------------------------- #
+class DBCoderError(ReproError):
+    """Base class for database-layout encoding/decoding errors."""
+
+
+class CompressionError(DBCoderError):
+    """Raised when a payload cannot be compressed."""
+
+
+class DecompressionError(DBCoderError):
+    """Raised when a compressed stream is corrupt or truncated."""
+
+
+class ContainerFormatError(DBCoderError):
+    """Raised when a DBCoder container header is malformed."""
+
+
+# --------------------------------------------------------------------------- #
+# MOCoder (media layout coder)
+# --------------------------------------------------------------------------- #
+class MOCoderError(ReproError):
+    """Base class for media-layout encoding/decoding errors."""
+
+
+class EmblemFormatError(MOCoderError):
+    """An emblem image does not have the expected structure."""
+
+
+class EmblemDetectionError(MOCoderError):
+    """The emblem geometry could not be located in a scanned image."""
+
+
+class ClockRecoveryError(MOCoderError):
+    """The differential-Manchester cell stream lost synchronisation."""
+
+
+class ECCError(MOCoderError):
+    """Base class for error-correction failures."""
+
+
+class UncorrectableBlockError(ECCError):
+    """An inner Reed-Solomon block had more errors than the code can fix."""
+
+
+class MissingEmblemError(ECCError):
+    """More emblems are missing from a group than the outer code can rebuild."""
+
+
+# --------------------------------------------------------------------------- #
+# Media channels (paper / microfilm / cinema film / dna)
+# --------------------------------------------------------------------------- #
+class MediaError(ReproError):
+    """Base class for analog-media channel errors."""
+
+
+class MediaCapacityError(MediaError):
+    """The payload does not fit on the configured medium."""
+
+
+class ScanError(MediaError):
+    """A scanned frame could not be produced or parsed."""
+
+
+# --------------------------------------------------------------------------- #
+# Bootstrap document
+# --------------------------------------------------------------------------- #
+class BootstrapError(ReproError):
+    """Base class for Bootstrap document errors."""
+
+
+class LetterCodecError(BootstrapError):
+    """The hexadecimal letter encoding encountered an invalid character."""
+
+
+class BootstrapParseError(BootstrapError):
+    """The Bootstrap document text could not be parsed back into sections."""
+
+
+# --------------------------------------------------------------------------- #
+# DBMS substrate
+# --------------------------------------------------------------------------- #
+class DBMSError(ReproError):
+    """Base class for the miniature relational engine."""
+
+
+class SchemaError(DBMSError):
+    """A table definition or row does not match the declared schema."""
+
+
+class SQLDumpError(DBMSError):
+    """A SQL archive file could not be parsed by ``db_load``."""
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end pipeline
+# --------------------------------------------------------------------------- #
+class ArchiveError(ReproError):
+    """Base class for end-to-end archival/restoration errors."""
+
+
+class RestorationError(ArchiveError):
+    """The archived database could not be restored bit-for-bit."""

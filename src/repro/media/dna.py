@@ -1,0 +1,187 @@
+"""A synthetic-DNA channel sketch (the paper's §5 future-work direction).
+
+The paper closes by arguing that extremely large archives outgrow analog
+visual media (800 microfilm reels per terabyte) and points at DNA storage as
+the follow-on medium, citing OligoArchive.  This module provides the minimal
+channel model needed to exercise that extension end to end: payload bytes are
+split across short oligonucleotide strands with addressing and per-strand
+checksums, synthesised with coverage (multiple copies), and sequenced back
+through a noisy process with strand dropout and base substitution errors.
+Strand payloads are protected by the same outer code MOCoder uses across
+emblems, so the ULE pipeline is unchanged — only the "physical" layer differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MediaError
+from repro.util.crc import crc32_of
+from repro.util.rng import deterministic_rng
+
+#: The four nucleotides, indexed by 2-bit value.
+NUCLEOTIDES = "ACGT"
+
+#: Reverse lookup from nucleotide to 2-bit value.
+NUCLEOTIDE_VALUES = {symbol: value for value, symbol in enumerate(NUCLEOTIDES)}
+
+
+def bytes_to_bases(data: bytes) -> str:
+    """Map each byte to four nucleotides (2 bits per base)."""
+    bases = []
+    for byte in data:
+        for shift in (6, 4, 2, 0):
+            bases.append(NUCLEOTIDES[(byte >> shift) & 0b11])
+    return "".join(bases)
+
+
+def bases_to_bytes(bases: str) -> bytes:
+    """Inverse of :func:`bytes_to_bases`; the base count must be a multiple of 4."""
+    if len(bases) % 4:
+        raise MediaError("base string length must be a multiple of 4")
+    out = bytearray()
+    for index in range(0, len(bases), 4):
+        value = 0
+        for base in bases[index:index + 4]:
+            try:
+                value = (value << 2) | NUCLEOTIDE_VALUES[base]
+            except KeyError as exc:
+                raise MediaError(f"invalid nucleotide {base!r}") from exc
+        out.append(value)
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class Strand:
+    """One synthesised oligonucleotide carrying an addressed payload chunk."""
+
+    index: int
+    total: int
+    payload: bytes
+    checksum: int
+
+    def to_sequence(self) -> str:
+        """Serialise the strand as a nucleotide string."""
+        header = (
+            self.index.to_bytes(3, "little")
+            + self.total.to_bytes(3, "little")
+            + len(self.payload).to_bytes(1, "little")
+            + (self.checksum & 0xFFFFFFFF).to_bytes(4, "little")
+        )
+        return bytes_to_bases(header + self.payload)
+
+    @classmethod
+    def from_sequence(cls, sequence: str) -> "Strand":
+        """Parse a sequenced read back into a strand, verifying its checksum."""
+        raw = bases_to_bytes(sequence)
+        if len(raw) < 11:
+            raise MediaError("sequenced read is too short to hold a strand header")
+        index = int.from_bytes(raw[0:3], "little")
+        total = int.from_bytes(raw[3:6], "little")
+        payload_length = raw[6]
+        checksum = int.from_bytes(raw[7:11], "little")
+        payload = raw[11:11 + payload_length]
+        if len(payload) != payload_length or crc32_of(payload) != checksum:
+            raise MediaError("strand failed its checksum")
+        return cls(index=index, total=total, payload=payload, checksum=checksum)
+
+
+class DNAChannel:
+    """A minimal synthesis/sequencing channel with dropout and substitutions.
+
+    Parameters
+    ----------
+    strand_payload_bytes:
+        Payload bytes per strand (the biochemical limit is ~100-200 nt total).
+    coverage:
+        Number of synthesised copies per logical strand.
+    dropout_rate:
+        Probability that a given physical copy is never sequenced.
+    substitution_rate:
+        Per-base probability of a substitution error in a sequenced read.
+    """
+
+    #: Theoretical density quoted in the paper (§5): 1 EB per cubic millimetre.
+    THEORETICAL_DENSITY_BYTES_PER_MM3 = 1e18
+
+    def __init__(
+        self,
+        strand_payload_bytes: int = 24,
+        coverage: int = 5,
+        dropout_rate: float = 0.02,
+        substitution_rate: float = 0.002,
+        seed: int | None = None,
+    ):
+        if strand_payload_bytes < 1 or strand_payload_bytes > 255:
+            raise ValueError("strand payload must be between 1 and 255 bytes")
+        self.strand_payload_bytes = strand_payload_bytes
+        self.coverage = coverage
+        self.dropout_rate = dropout_rate
+        self.substitution_rate = substitution_rate
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def synthesize(self, data: bytes) -> list[str]:
+        """Encode ``data`` into a pool of nucleotide sequences (with copies)."""
+        chunks = [
+            data[offset:offset + self.strand_payload_bytes]
+            for offset in range(0, len(data), self.strand_payload_bytes)
+        ] or [b""]
+        strands = [
+            Strand(index=index, total=len(chunks), payload=chunk, checksum=crc32_of(chunk))
+            for index, chunk in enumerate(chunks)
+        ]
+        pool = []
+        for strand in strands:
+            pool.extend([strand.to_sequence()] * self.coverage)
+        return pool
+
+    def sequence(self, pool: list[str], seed: int | None = None) -> list[str]:
+        """Simulate sequencing: drop some reads, substitute some bases."""
+        rng = deterministic_rng(seed if seed is not None else self.seed)
+        reads = []
+        for sequence in pool:
+            if rng.random() < self.dropout_rate:
+                continue
+            if self.substitution_rate > 0:
+                symbols = list(sequence)
+                errors = rng.random(len(symbols)) < self.substitution_rate
+                for position in np.nonzero(errors)[0]:
+                    symbols[position] = NUCLEOTIDES[int(rng.integers(0, 4))]
+                sequence = "".join(symbols)
+            reads.append(sequence)
+        rng.shuffle(reads)
+        return reads
+
+    def assemble(self, reads: list[str]) -> bytes:
+        """Recover the payload from sequenced reads (checksum-verified votes).
+
+        Raises
+        ------
+        MediaError
+            If any strand index has no surviving valid read.
+        """
+        recovered: dict[int, bytes] = {}
+        total = None
+        for read in reads:
+            try:
+                strand = Strand.from_sequence(read)
+            except MediaError:
+                continue
+            recovered[strand.index] = strand.payload
+            total = strand.total if total is None else total
+        if total is None:
+            raise MediaError("no valid strand could be recovered from the reads")
+        missing = [index for index in range(total) if index not in recovered]
+        if missing:
+            raise MediaError(
+                f"{len(missing)} of {total} strands were lost (first missing: {missing[0]}); "
+                "increase coverage or add outer-code parity"
+            )
+        return b"".join(recovered[index] for index in range(total))
+
+    def roundtrip(self, data: bytes, seed: int | None = None) -> bytes:
+        """Synthesise, sequence and reassemble ``data``."""
+        return self.assemble(self.sequence(self.synthesize(data), seed=seed))

@@ -1,0 +1,113 @@
+"""Microfilm and cinema film media (the paper's second and third experiments).
+
+Microfilm
+---------
+The EPM/Kodak IMAGELINK 9600 archive writer produces 3888 x 5498 bitonal
+frames on 16 mm film, and the paper states Micr'Olonys can store 1.3 GB on a
+single 66 m reel; a standard microfilm reader returns roughly 5000 x 7000
+bitonal scans.
+
+Cinema film
+-----------
+The Arrilaser digital film recorder shoots full-aperture 2K frames
+(2048 x 1556) on 35 mm film; a Scanity scanner reads them back at 4K
+(4096 x 3112) in grayscale, in the DPX raw-frame format.  Cinema scanners are
+noticeably sharper and less distorted than microfilm scanners, which the
+channel's default distortion profile reflects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.media.channel import MediaChannel
+from repro.media.distortions import AGED_MICROFILM, CINEMA_SCAN, DistortionProfile
+
+#: Microfilm frame geometry of the IMAGELINK 9600 archive writer.
+MICROFILM_FRAME = (5498, 3888)  # (height, width) pixels, bitonal
+
+#: Full-aperture 2K cinema frame (4/3 image ratio).
+CINEMA_2K_FRAME = (1556, 2048)
+
+#: Scale factor between the 2K recorder and the 4K scanner.
+CINEMA_SCAN_SCALE = 2.0
+
+
+@dataclass(frozen=True)
+class ReelModel:
+    """Capacity model of a film reel."""
+
+    reel_length_m: float
+    frame_pitch_mm: float
+
+    @property
+    def frames_per_reel(self) -> int:
+        """Number of frames that fit on one reel."""
+        return int(self.reel_length_m * 1000.0 / self.frame_pitch_mm)
+
+    def reel_capacity_bytes(self, payload_bytes_per_frame: int) -> int:
+        """Archive bytes stored on a full reel at the given per-frame payload."""
+        return self.frames_per_reel * payload_bytes_per_frame
+
+    def reels_for(self, archive_bytes: int, payload_bytes_per_frame: int) -> int:
+        """Reels needed to store an archive of ``archive_bytes``."""
+        capacity = self.reel_capacity_bytes(payload_bytes_per_frame)
+        if capacity <= 0:
+            raise ValueError("per-frame payload must be positive")
+        return -(-archive_bytes // capacity)
+
+
+#: 66 m reel of 16 mm microfilm with a standard duplex frame pitch.
+MICROFILM_REEL = ReelModel(reel_length_m=66.0, frame_pitch_mm=7.6)
+
+#: 305 m (1000 ft) reel of 35 mm cinema film, 4-perf pitch (19 mm per frame).
+CINEMA_REEL = ReelModel(reel_length_m=305.0, frame_pitch_mm=19.0)
+
+
+class MicrofilmChannel(MediaChannel):
+    """16 mm microfilm written by an archive writer, read by a library scanner."""
+
+    def __init__(
+        self,
+        distortion: DistortionProfile | None = None,
+        reel: ReelModel = MICROFILM_REEL,
+    ):
+        self.reel = reel
+        super().__init__(
+            name="16 mm microfilm (IMAGELINK 9600)",
+            frame_shape=MICROFILM_FRAME,
+            # The reader produces ~5000 x 7000 scans from 3888 x 5498 frames.
+            scan_scale=1.28,
+            write_bitonal=True,
+            distortion=distortion if distortion is not None else AGED_MICROFILM,
+        )
+
+    def reel_capacity_bytes(self, payload_bytes_per_frame: int) -> int:
+        """Archive bytes stored on one 66 m reel."""
+        return self.reel.reel_capacity_bytes(payload_bytes_per_frame)
+
+    def reels_for(self, archive_bytes: int, payload_bytes_per_frame: int) -> int:
+        """Reels needed for an archive (used for the paper's TB/PB projection)."""
+        return self.reel.reels_for(archive_bytes, payload_bytes_per_frame)
+
+
+class CinemaFilmChannel(MediaChannel):
+    """35 mm black-and-white cinema film shot at 2K and scanned at 4K."""
+
+    def __init__(
+        self,
+        distortion: DistortionProfile | None = None,
+        reel: ReelModel = CINEMA_REEL,
+    ):
+        self.reel = reel
+        super().__init__(
+            name="35 mm cinema film (Arrilaser / Scanity)",
+            frame_shape=CINEMA_2K_FRAME,
+            scan_scale=CINEMA_SCAN_SCALE,
+            write_bitonal=False,
+            distortion=distortion if distortion is not None else CINEMA_SCAN,
+        )
+
+    def reel_capacity_bytes(self, payload_bytes_per_frame: int) -> int:
+        """Archive bytes stored on one 305 m reel."""
+        return self.reel.reel_capacity_bytes(payload_bytes_per_frame)

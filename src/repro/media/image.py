@@ -1,0 +1,59 @@
+"""Minimal raster image I/O.
+
+Emblems and scans are plain 2-D numpy arrays of uint8 gray values (0 = black,
+255 = white).  For interoperability with external viewers the library reads
+and writes binary PGM (P5), the simplest widely supported grayscale format —
+appropriate for a project whose premise is that formats must stay decodable
+decades from now.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MediaError
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write a grayscale image as a binary PGM (P5) file."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise MediaError(f"PGM images are single-channel; got shape {image.shape}")
+    image = np.clip(image, 0, 255).astype(np.uint8)
+    height, width = image.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    with open(path, "wb") as stream:
+        stream.write(header)
+        stream.write(image.tobytes())
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM (P5) file into a uint8 array."""
+    with open(path, "rb") as stream:
+        data = stream.read()
+    if not data.startswith(b"P5"):
+        raise MediaError(f"{path}: not a binary PGM (P5) file")
+    # Parse the three header tokens (width, height, maxval), skipping comments.
+    tokens: list[int] = []
+    position = 2
+    while len(tokens) < 3:
+        while position < len(data) and data[position:position + 1].isspace():
+            position += 1
+        if position < len(data) and data[position:position + 1] == b"#":
+            end = data.find(b"\n", position)
+            position = end + 1 if end >= 0 else len(data)
+            continue
+        start = position
+        while position < len(data) and not data[position:position + 1].isspace():
+            position += 1
+        if start == position:
+            raise MediaError(f"{path}: malformed PGM header")
+        tokens.append(int(data[start:position]))
+    position += 1  # single whitespace after maxval
+    width, height, max_value = tokens
+    if max_value != 255:
+        raise MediaError(f"{path}: only 8-bit PGM files are supported (maxval {max_value})")
+    pixels = np.frombuffer(data, dtype=np.uint8, count=width * height, offset=position)
+    return pixels.reshape(height, width).copy()

@@ -1,0 +1,539 @@
+"""Emblem geometry: rendering emblems to rasters and reading them back.
+
+An *emblem* is MOCoder's archival barcode (Figure 1 of the paper).  From the
+outside in, an emblem raster consists of:
+
+* a white quiet zone;
+* a thick black square frame used for fast, robust detection of the emblem
+  geometry in a scanned image;
+* a white gap ring;
+* a *header band* of large-scale black and white dots (each dot covers
+  ``dot_cells`` x ``dot_cells`` cells) carrying a fixed synchronisation
+  pattern, the emblem kind and the low bits of the emblem index — the
+  "large-scale black and white dots that allow fast and robust initial
+  detection of the emblem geometry and type";
+* the data area: a grid of cells carrying the differential-Manchester encoded,
+  Reed-Solomon protected payload.
+
+The decoder locates the black frame from ink profiles of the binarised scan,
+derives the cell grid from the frame position, verifies the header-band
+synchronisation pattern and then samples every data cell.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmblemDetectionError, EmblemFormatError
+from repro.mocoder.interleave import deinterleave_blocks, interleave_blocks
+from repro.mocoder.manchester import manchester_decode, manchester_encode_fast
+from repro.mocoder.reed_solomon import ReedSolomonCode
+from repro.util.bits import bits_to_bytes, bytes_to_bits
+from repro.util.crc import crc32_of
+
+#: Pixel value of a dark (inked) cell.
+BLACK = 0
+
+#: Pixel value of a light cell / background.
+WHITE = 255
+
+
+class EmblemKind(enum.IntEnum):
+    """What an emblem carries."""
+
+    DATA = 0     #: a slice of the archived data stream
+    PARITY = 1   #: outer-code parity for a group of data emblems
+    SYSTEM = 2   #: archived decoder instruction streams (the "system emblems")
+
+
+# --------------------------------------------------------------------------- #
+# Specification
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EmblemSpec:
+    """Geometry and coding parameters of an emblem.
+
+    The defaults are deliberately small; media-specific profiles (A4 paper at
+    600 dpi, 16 mm microfilm frames, 2K cinema film frames) live in
+    :mod:`repro.core.profiles`.
+    """
+
+    name: str = "custom"
+    data_cells_x: int = 64
+    data_cells_y: int = 64
+    cell_pixels: int = 4
+    border_cells: int = 4
+    quiet_cells: int = 4
+    gap_cells: int = 2
+    dot_cells: int = 3
+    header_dot_rows: int = 1
+    rs_codeword: int = 255
+    rs_data: int = 223
+
+    def __post_init__(self) -> None:
+        if self.data_cells_x < 16 * self.dot_cells:
+            raise EmblemFormatError(
+                "the data area must be wide enough for the 16-dot header band "
+                f"({16 * self.dot_cells} cells); got {self.data_cells_x}"
+            )
+        if self.cell_pixels < 2:
+            raise EmblemFormatError("cells need at least 2 pixels to be scannable")
+        if self.payload_capacity <= 0:
+            raise EmblemFormatError("spec leaves no room for payload bytes")
+
+    # ----------------------------- geometry ---------------------------- #
+    @property
+    def header_band_cells(self) -> int:
+        """Height of the header dot band in cells (plus one separator row)."""
+        return self.header_dot_rows * self.dot_cells + 1
+
+    @property
+    def inner_cells_x(self) -> int:
+        """Width of the area inside the frame and gap, in cells."""
+        return self.data_cells_x
+
+    @property
+    def inner_cells_y(self) -> int:
+        """Height of the area inside the frame and gap, in cells."""
+        return self.header_band_cells + self.data_cells_y
+
+    @property
+    def frame_cells_x(self) -> int:
+        """Width from frame outer edge to frame outer edge, in cells."""
+        return self.inner_cells_x + 2 * (self.border_cells + self.gap_cells)
+
+    @property
+    def frame_cells_y(self) -> int:
+        """Height from frame outer edge to frame outer edge, in cells."""
+        return self.inner_cells_y + 2 * (self.border_cells + self.gap_cells)
+
+    @property
+    def total_cells_x(self) -> int:
+        """Total raster width in cells, including the quiet zone."""
+        return self.frame_cells_x + 2 * self.quiet_cells
+
+    @property
+    def total_cells_y(self) -> int:
+        """Total raster height in cells, including the quiet zone."""
+        return self.frame_cells_y + 2 * self.quiet_cells
+
+    @property
+    def pixels_x(self) -> int:
+        """Total raster width in pixels."""
+        return self.total_cells_x * self.cell_pixels
+
+    @property
+    def pixels_y(self) -> int:
+        """Total raster height in pixels."""
+        return self.total_cells_y * self.cell_pixels
+
+    # ----------------------------- capacity ---------------------------- #
+    @property
+    def data_cell_count(self) -> int:
+        """Number of cells in the data area."""
+        return self.data_cells_x * self.data_cells_y
+
+    @property
+    def raw_byte_capacity(self) -> int:
+        """Bytes representable in the data area before error correction."""
+        return self.data_cell_count // 2 // 8
+
+    @property
+    def rs_block_count(self) -> int:
+        """Number of inner-code blocks that fit in the data area."""
+        return self.raw_byte_capacity // self.rs_codeword
+
+    @property
+    def coded_byte_capacity(self) -> int:
+        """Bytes of RS codewords stored in the data area."""
+        return self.rs_block_count * self.rs_codeword
+
+    @property
+    def protected_byte_capacity(self) -> int:
+        """RS-protected bytes per emblem (header + payload)."""
+        return self.rs_block_count * self.rs_data
+
+    @property
+    def payload_capacity(self) -> int:
+        """User payload bytes per emblem (after the emblem header)."""
+        return self.protected_byte_capacity - EmblemHeader.SIZE
+
+    def inner_code(self) -> ReedSolomonCode:
+        """The inner Reed-Solomon code configured by this spec."""
+        return ReedSolomonCode(self.rs_codeword, self.rs_data)
+
+
+# --------------------------------------------------------------------------- #
+# Per-emblem header (stored inside the RS-protected bytes)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EmblemHeader:
+    """Metadata stored (RS-protected) at the start of every emblem."""
+
+    kind: EmblemKind
+    index: int
+    total: int
+    group_index: int
+    slot_in_group: int
+    payload_length: int
+    stream_length: int
+    stream_crc32: int
+
+    MAGIC = b"EM"
+    VERSION = 1
+    _STRUCT = struct.Struct("<2sBBHHHBBIII")
+    SIZE = _STRUCT.size
+
+    def pack(self) -> bytes:
+        """Serialise the header."""
+        return self._STRUCT.pack(
+            self.MAGIC,
+            self.VERSION,
+            int(self.kind),
+            self.index,
+            self.total,
+            self.group_index,
+            self.slot_in_group,
+            0,
+            self.payload_length,
+            self.stream_length,
+            self.stream_crc32,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "EmblemHeader":
+        """Parse a header, validating magic and version."""
+        if len(raw) < cls.SIZE:
+            raise EmblemFormatError(f"emblem header truncated: {len(raw)} bytes")
+        magic, version, kind, index, total, group_index, slot, _reserved, payload_length, \
+            stream_length, stream_crc32 = cls._STRUCT.unpack(raw[: cls.SIZE])
+        if magic != cls.MAGIC:
+            raise EmblemFormatError(f"bad emblem magic {magic!r}")
+        if version != cls.VERSION:
+            raise EmblemFormatError(f"unsupported emblem version {version}")
+        return cls(
+            kind=EmblemKind(kind),
+            index=index,
+            total=total,
+            group_index=group_index,
+            slot_in_group=slot,
+            payload_length=payload_length,
+            stream_length=stream_length,
+            stream_crc32=stream_crc32,
+        )
+
+
+#: Fixed synchronisation prefix drawn as large dots in the header band.
+HEADER_SYNC_PATTERN = (1, 0, 1, 1, 0, 0)
+
+#: Number of header dots: sync + 2 kind bits + 8 index bits.
+HEADER_DOT_COUNT = len(HEADER_SYNC_PATTERN) + 2 + 8
+
+
+# --------------------------------------------------------------------------- #
+# Emblem
+# --------------------------------------------------------------------------- #
+@dataclass
+class Emblem:
+    """A fully described emblem: spec, header and payload."""
+
+    spec: EmblemSpec
+    header: EmblemHeader
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > self.spec.payload_capacity:
+            raise EmblemFormatError(
+                f"payload of {len(self.payload)} bytes exceeds emblem capacity "
+                f"{self.spec.payload_capacity}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Encoding: emblem -> raster image
+    # ------------------------------------------------------------------ #
+    def to_image(self) -> np.ndarray:
+        """Render the emblem as a grayscale raster (uint8, 0=black)."""
+        spec = self.spec
+        cells = self._build_cell_grid()
+        image = np.full((spec.total_cells_y, spec.total_cells_x), WHITE, dtype=np.uint8)
+        image[cells == 1] = BLACK
+        if spec.cell_pixels > 1:
+            image = np.kron(image, np.ones((spec.cell_pixels, spec.cell_pixels), dtype=np.uint8))
+        return image
+
+    def _build_cell_grid(self) -> np.ndarray:
+        """Build the cell grid (1 = dark cell) for this emblem."""
+        spec = self.spec
+        grid = np.zeros((spec.total_cells_y, spec.total_cells_x), dtype=np.uint8)
+        q = spec.quiet_cells
+        b = spec.border_cells
+        g = spec.gap_cells
+        frame_right = q + spec.frame_cells_x
+        frame_bottom = q + spec.frame_cells_y
+        # Thick black frame.
+        grid[q:frame_bottom, q:frame_right] = 1
+        grid[q + b:frame_bottom - b, q + b:frame_right - b] = 0
+        inner_left = q + b + g
+        inner_top = q + b + g
+        # Header band of large dots.
+        header_bits = self._header_dot_bits()
+        for dot_index, bit in enumerate(header_bits):
+            if not bit:
+                continue
+            x0 = inner_left + dot_index * spec.dot_cells
+            grid[
+                inner_top:inner_top + spec.dot_cells * spec.header_dot_rows,
+                x0:x0 + spec.dot_cells,
+            ] = 1
+        # Data area.
+        data_top = inner_top + spec.header_band_cells
+        data_cells = self._data_cells()
+        grid[
+            data_top:data_top + spec.data_cells_y,
+            inner_left:inner_left + spec.data_cells_x,
+        ] = data_cells
+        return grid
+
+    def _header_dot_bits(self) -> list[int]:
+        bits = list(HEADER_SYNC_PATTERN)
+        bits.append((int(self.header.kind) >> 1) & 1)
+        bits.append(int(self.header.kind) & 1)
+        for shift in range(7, -1, -1):
+            bits.append((self.header.index >> shift) & 1)
+        return bits
+
+    def _data_cells(self) -> np.ndarray:
+        """RS-encode, interleave and Manchester-encode the protected bytes."""
+        spec = self.spec
+        protected = bytearray(self.header.pack())
+        protected.extend(self.payload)
+        protected.extend(b"\x00" * (spec.protected_byte_capacity - len(protected)))
+        code = spec.inner_code()
+        data_blocks = np.frombuffer(bytes(protected), dtype=np.uint8).astype(np.int32)
+        data_blocks = data_blocks.reshape(spec.rs_block_count, spec.rs_data)
+        codewords = code.encode_blocks(data_blocks)
+        stream = interleave_blocks(codewords.astype(np.uint8))
+        bits = bytes_to_bits(stream)
+        cells = manchester_encode_fast(bits)
+        grid = np.zeros(spec.data_cell_count, dtype=np.uint8)
+        grid[: cells.size] = cells
+        return grid.reshape(spec.data_cells_y, spec.data_cells_x)
+
+    # ------------------------------------------------------------------ #
+    # Decoding: scanned raster -> emblem
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_image(cls, spec: EmblemSpec, image: np.ndarray) -> tuple["Emblem", int]:
+        """Decode a scanned emblem image.
+
+        Returns the emblem and the number of RS symbol corrections that were
+        required (0 for a pristine scan).
+
+        Raises
+        ------
+        EmblemDetectionError
+            If the frame or the header-band sync pattern cannot be located.
+        UncorrectableBlockError
+            If the scan is damaged beyond the inner code's capability.
+        """
+        sampler = EmblemSampler(spec, image)
+        cell_values = sampler.sample_data_cells()
+        threshold = sampler.threshold
+        cells = (cell_values < threshold).astype(np.uint8)
+        bits = manchester_decode(cells)
+        stream = bits_to_bytes(bits)[: spec.coded_byte_capacity]
+        codewords = deinterleave_blocks(stream, spec.rs_block_count, spec.rs_codeword)
+        code = spec.inner_code()
+        data_blocks, corrections = code.decode_blocks(codewords.astype(np.int32))
+        protected = data_blocks.astype(np.uint8).tobytes()
+        header = EmblemHeader.unpack(protected[: EmblemHeader.SIZE])
+        payload = protected[
+            EmblemHeader.SIZE:EmblemHeader.SIZE + header.payload_length
+        ]
+        if header.payload_length > spec.payload_capacity:
+            raise EmblemFormatError(
+                f"decoded payload length {header.payload_length} exceeds capacity"
+            )
+        return cls(spec=spec, header=header, payload=payload), corrections
+
+
+class EmblemSampler:
+    """Locates an emblem in a scanned image and samples its cells."""
+
+    def __init__(self, spec: EmblemSpec, image: np.ndarray):
+        self.spec = spec
+        self.image = np.asarray(image, dtype=np.float64)
+        if self.image.ndim != 2:
+            raise EmblemDetectionError("expected a single-channel grayscale scan")
+        self.threshold = otsu_threshold(self.image)
+        self._locate_frame()
+        self._verify_header_band()
+
+    # ------------------------------------------------------------------ #
+    def _locate_frame(self) -> None:
+        """Find the black frame from ink profiles.
+
+        The frame's horizontal and vertical bands produce near-full-width runs
+        of dark rows/columns.  The grid is derived from the *centres* of the
+        first and last band (averaging over the band thickness), which is far
+        less sensitive to single-pixel edge noise than the outermost dark
+        row/column — on large emblems a one-pixel edge error would otherwise
+        accumulate to a whole cell of drift at the far side of the grid.
+        """
+        dark = self.image < self.threshold
+        row_ink = dark.sum(axis=1)
+        column_ink = dark.sum(axis=0)
+        if row_ink.max() == 0 or column_ink.max() == 0:
+            raise EmblemDetectionError("no dark structure found in the scan")
+        top_center, bottom_center = self._band_centers(row_ink)
+        left_center, right_center = self._band_centers(column_ink)
+        # Distance between the band centres spans (frame_cells - border_cells).
+        span_y = self.spec.frame_cells_y - self.spec.border_cells
+        span_x = self.spec.frame_cells_x - self.spec.border_cells
+        if bottom_center - top_center < span_y or right_center - left_center < span_x:
+            raise EmblemDetectionError("detected frame is too small for this emblem spec")
+        self.cell_height = (bottom_center - top_center) / span_y
+        self.cell_width = (right_center - left_center) / span_x
+        half_border_y = self.spec.border_cells / 2.0 * self.cell_height
+        half_border_x = self.spec.border_cells / 2.0 * self.cell_width
+        self.top = top_center - half_border_y
+        self.bottom = bottom_center + half_border_y
+        self.left = left_center - half_border_x
+        self.right = right_center + half_border_x
+
+    @staticmethod
+    def _band_centers(ink_profile: np.ndarray) -> tuple[float, float]:
+        """Centres of the first and last thick dark band of an ink profile.
+
+        The reference ink level is the 8th-largest profile value rather than
+        the maximum, so a single thin full-length scratch (which can out-ink
+        every genuine frame row/column) cannot hide the real frame bands.
+        """
+        reference_rank = min(8, ink_profile.size)
+        reference = np.sort(ink_profile)[-reference_rank]
+        if reference == 0:
+            reference = ink_profile.max()
+        candidates = np.nonzero(ink_profile > 0.8 * reference)[0]
+        if candidates.size == 0:
+            raise EmblemDetectionError("emblem frame not found in the scan")
+        # Group candidate indices into consecutive runs.
+        splits = np.nonzero(np.diff(candidates) > 1)[0] + 1
+        runs = np.split(candidates, splits)
+        longest = max(len(run) for run in runs)
+        # Ignore thin spurious runs (scratches, dust lines); keep real bands.
+        bands = [run for run in runs if len(run) >= max(2, longest // 2)]
+        if not bands:
+            bands = runs
+        first, last = bands[0], bands[-1]
+        return float(np.mean(first)), float(np.mean(last))
+
+    def _cell_centers(self, cell_x: np.ndarray, cell_y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pixel coordinates of cell centers, for frame-relative cell indices."""
+        xs = self.left + (cell_x + 0.5) * self.cell_width
+        ys = self.top + (cell_y + 0.5) * self.cell_height
+        return xs, ys
+
+    def _sample_at(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Sample the image at the given positions (mean of a small cross)."""
+        height, width = self.image.shape
+        xs = np.clip(np.round(xs).astype(np.int64), 0, width - 1)
+        ys = np.clip(np.round(ys).astype(np.int64), 0, height - 1)
+        total = np.zeros(xs.shape, dtype=np.float64)
+        for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)):
+            sample_x = np.clip(xs + dx, 0, width - 1)
+            sample_y = np.clip(ys + dy, 0, height - 1)
+            total += self.image[sample_y, sample_x]
+        return total / 5.0
+
+    # ------------------------------------------------------------------ #
+    def _verify_header_band(self) -> None:
+        """Check the large-dot sync pattern; a mismatch means misdetection."""
+        spec = self.spec
+        inner_left = spec.border_cells + spec.gap_cells
+        inner_top = spec.border_cells + spec.gap_cells
+        dot_centers_x = []
+        dot_centers_y = []
+        for dot_index in range(HEADER_DOT_COUNT):
+            dot_centers_x.append(inner_left + dot_index * spec.dot_cells + spec.dot_cells / 2.0 - 0.5)
+            dot_centers_y.append(inner_top + (spec.dot_cells * spec.header_dot_rows) / 2.0 - 0.5)
+        xs, ys = self._cell_centers(np.array(dot_centers_x), np.array(dot_centers_y))
+        values = self._sample_at(xs, ys)
+        bits = (values < self.threshold).astype(int)
+        observed_sync = tuple(bits[: len(HEADER_SYNC_PATTERN)])
+        if observed_sync != HEADER_SYNC_PATTERN:
+            raise EmblemDetectionError(
+                f"header-band sync mismatch: expected {HEADER_SYNC_PATTERN}, got {observed_sync}"
+            )
+        kind_bits = bits[len(HEADER_SYNC_PATTERN):len(HEADER_SYNC_PATTERN) + 2]
+        index_bits = bits[len(HEADER_SYNC_PATTERN) + 2:HEADER_DOT_COUNT]
+        self.header_band_kind = (kind_bits[0] << 1) | kind_bits[1]
+        self.header_band_index_low = 0
+        for bit in index_bits:
+            self.header_band_index_low = (self.header_band_index_low << 1) | int(bit)
+
+    # ------------------------------------------------------------------ #
+    def sample_data_cells(self) -> np.ndarray:
+        """Sample every data-area cell; returns a flat array of gray values."""
+        spec = self.spec
+        inner_left = spec.border_cells + spec.gap_cells
+        data_top = spec.border_cells + spec.gap_cells + spec.header_band_cells
+        cell_x = np.arange(spec.data_cells_x)
+        cell_y = np.arange(spec.data_cells_y)
+        grid_x, grid_y = np.meshgrid(cell_x, cell_y)
+        xs, ys = self._cell_centers(grid_x + inner_left, grid_y + data_top)
+        values = self._sample_at(xs, ys)
+        return values.reshape(-1)
+
+
+def otsu_threshold(image: np.ndarray) -> float:
+    """Otsu's threshold on a grayscale image (used to binarise scans)."""
+    values = np.asarray(image, dtype=np.float64).ravel()
+    histogram, bin_edges = np.histogram(values, bins=256, range=(0.0, 256.0))
+    histogram = histogram.astype(np.float64)
+    total = histogram.sum()
+    if total == 0:
+        return 128.0
+    bin_centers = (bin_edges[:-1] + bin_edges[1:]) / 2.0
+    weight_background = np.cumsum(histogram)
+    weight_foreground = total - weight_background
+    cumulative_mean = np.cumsum(histogram * bin_centers)
+    grand_mean = cumulative_mean[-1]
+    valid = (weight_background > 0) & (weight_foreground > 0)
+    if not np.any(valid):
+        return float(values.mean())
+    mean_background = np.where(valid, cumulative_mean / np.maximum(weight_background, 1), 0.0)
+    mean_foreground = np.where(
+        valid, (grand_mean - cumulative_mean) / np.maximum(weight_foreground, 1), 0.0
+    )
+    between_variance = weight_background * weight_foreground * (mean_background - mean_foreground) ** 2
+    between_variance[~valid] = -1.0
+    return float(bin_centers[int(np.argmax(between_variance))])
+
+
+def build_emblem(
+    spec: EmblemSpec,
+    kind: EmblemKind,
+    index: int,
+    total: int,
+    group_index: int,
+    slot_in_group: int,
+    payload: bytes,
+    stream_length: int,
+    stream_crc32: int,
+) -> Emblem:
+    """Convenience constructor assembling the header and the emblem."""
+    header = EmblemHeader(
+        kind=kind,
+        index=index,
+        total=total,
+        group_index=group_index,
+        slot_in_group=slot_in_group,
+        payload_length=len(payload),
+        stream_length=stream_length,
+        stream_crc32=stream_crc32,
+    )
+    return Emblem(spec=spec, header=header, payload=payload)

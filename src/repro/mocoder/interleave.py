@@ -1,0 +1,30 @@
+"""Byte interleaving of Reed-Solomon codewords within an emblem.
+
+The inner RS blocks are "spread over the entire emblem" (§3.1): codeword
+bytes are transmitted column-wise across all blocks, so a localised burst of
+damage (a scratch, a dust spot) lands on many blocks a little rather than on
+one block a lot, staying under the 16-error-per-block correction limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interleave_blocks(codewords: np.ndarray) -> bytes:
+    """Serialise an (blocks, n) codeword array column-major."""
+    codewords = np.asarray(codewords, dtype=np.uint8)
+    if codewords.ndim != 2:
+        raise ValueError(f"expected a 2-D codeword array, got shape {codewords.shape}")
+    return codewords.T.reshape(-1).tobytes()
+
+
+def deinterleave_blocks(stream: bytes, block_count: int, codeword_length: int) -> np.ndarray:
+    """Rebuild the (blocks, n) codeword array from a column-major stream."""
+    expected = block_count * codeword_length
+    if len(stream) < expected:
+        raise ValueError(
+            f"interleaved stream holds {len(stream)} bytes, expected at least {expected}"
+        )
+    flat = np.frombuffer(bytes(stream[:expected]), dtype=np.uint8)
+    return flat.reshape(codeword_length, block_count).T.copy()

@@ -1,0 +1,30 @@
+"""Nested universal emulation (§3.2 of the paper).
+
+Olonys does not merely emulate DynaRisc: to minimise the work a future user
+must do, it *nests* two emulators.  The user hand-implements only the
+four-instruction VeRisc machine; an emulator for the 23-instruction DynaRisc
+processor — itself written using nothing but the four VeRisc instructions —
+is archived as Bootstrap letters, and the archived DynaRisc decoders then run
+inside it.
+
+This package builds that middle layer: :func:`build_dynarisc_emulator`
+generates the DynaRisc-interpreter-as-a-VeRisc-program with the macro
+assembler, and :class:`NestedDynaRiscMachine` wires a DynaRisc program, its
+input stream and the generated interpreter into a plain VeRisc machine, so
+the whole restoration stack exercises exactly the chain a future user would
+run.
+"""
+
+from repro.nested.dynarisc_in_verisc import (
+    HOSTED_MEMORY_BYTES,
+    build_dynarisc_emulator,
+    dynarisc_emulator_image,
+    NestedDynaRiscMachine,
+)
+
+__all__ = [
+    "HOSTED_MEMORY_BYTES",
+    "build_dynarisc_emulator",
+    "dynarisc_emulator_image",
+    "NestedDynaRiscMachine",
+]

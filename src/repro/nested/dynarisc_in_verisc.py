@@ -1,0 +1,637 @@
+"""A DynaRisc emulator written in VeRisc.
+
+This module programmatically assembles (with :class:`~repro.verisc.assembler.
+MacroAssembler`, i.e. using nothing beyond the four VeRisc instructions plus
+self-modifying-operand idioms) an interpreter for the full 23-instruction
+DynaRisc ISA.  The assembled VeRisc image is what the Bootstrap document's
+``DYNARISC-EMULATOR`` section carries, and what a future user loads into
+their hand-written VeRisc implementation.
+
+Memory map of the combined machine (VeRisc words):
+
+====================  =====================================================
+0x0000 .. 0x7FFF      the interpreter itself: code, variables, constants
+0x8000 .. 0xFEFF      the hosted DynaRisc memory, one byte per word
+                      (DynaRisc addresses 0x0000 .. 0x7EFF)
+0xFFFB .. 0xFFFF      the VeRisc memory-mapped ports
+====================  =====================================================
+
+The hosted DynaRisc machine's memory-mapped input and output ports are
+forwarded to the VeRisc machine's own ports, so an archived decoder running
+three layers deep still just consumes the scanned byte stream and emits the
+restored bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineFault
+from repro.dynarisc.isa import (
+    DEFAULT_STACK_TOP,
+    INPUT_PORT,
+    OUTPUT_PORT,
+    Opcode,
+    Register,
+)
+from repro.verisc.assembler import MacroAssembler
+from repro.verisc.machine import VeRiscMachine
+from repro.verisc.program import VeRiscProgram
+
+#: First VeRisc word that hosts DynaRisc memory (one byte per word).
+HOST_BASE = 0x8000
+
+#: Number of DynaRisc memory bytes the nested emulator can host.
+HOSTED_MEMORY_BYTES = 0x7F00
+
+_cached_program: VeRiscProgram | None = None
+
+
+# --------------------------------------------------------------------------- #
+# Builder
+# --------------------------------------------------------------------------- #
+def build_dynarisc_emulator() -> VeRiscProgram:
+    """Assemble the DynaRisc interpreter as a VeRisc program."""
+    m = MacroAssembler()
+
+    # ------------------------------------------------------------------ #
+    # Interpreter state (VeRisc data words)
+    # ------------------------------------------------------------------ #
+    def var(name: str, value: int = 0) -> None:
+        m.place(name)
+        m.word(value)
+
+    # The variable block is emitted first (right after the scratch words), so
+    # execution must start at the "boot" label, set below via set_entry.
+    for register_index in range(13):
+        var(f"reg{register_index}")
+    for name in (
+        "v_pc", "flag_z", "flag_n", "flag_c",
+        "w", "op", "f_rd", "f_rs", "imm",
+        "a", "b", "res", "t0", "t1", "t2", "cnt", "ptr",
+        "lo", "hi", "addr", "val", "old_carry",
+    ):
+        var(name)
+    var("regs_base", m._labels["reg0"])
+
+    V = m.ref  # shorthand: reference to a named variable
+
+    # ------------------------------------------------------------------ #
+    # Emission helpers (these generate VeRisc code inline)
+    # ------------------------------------------------------------------ #
+    def set_var(name: str, value: int) -> None:
+        m.store_imm(value, V(name))
+
+    def copy(src: str, dst: str) -> None:
+        m.move(V(src), V(dst))
+
+    def add_vars(a: str, b: str, dst: str) -> None:
+        """dst = a + b (mod 2**16)."""
+        m.ld(V(a))
+        m.add(V(b))
+        m.st(V(dst))
+
+    def add_const(name: str, value: int) -> None:
+        m.ld(V(name))
+        m.add_imm(value)
+        m.st(V(name))
+
+    def sub_vars(a: str, b: str, dst: str, borrow_to: str | None = None) -> None:
+        """dst = a - b (mod 2**16); optionally store the borrow flag."""
+        m.ld(V(a))
+        m.sub(V(b))
+        m.st(V(dst))
+        if borrow_to is not None:
+            m.ld(m.BORROW)
+            m.st(V(borrow_to))
+
+    def read_host_byte(addr_name: str, dst: str) -> None:
+        """dst = hostedMemory[addr_name]."""
+        m.ld(V(addr_name))
+        m.add_imm(HOST_BASE)
+        m.st(V("ptr"))
+        m.load_indirect(V("ptr"))
+        m.st(V(dst))
+
+    def write_host_byte(addr_name: str, src: str) -> None:
+        """hostedMemory[addr_name] = src (low byte is the caller's concern)."""
+        m.ld(V(addr_name))
+        m.add_imm(HOST_BASE)
+        m.st(V("ptr"))
+        m.ld(V(src))
+        m.store_indirect(V("ptr"))
+
+    def get_reg(index_name: str, dst: str) -> None:
+        """dst = regs[index_name]."""
+        m.ld(V("regs_base"))
+        m.add(V(index_name))
+        m.st(V("ptr"))
+        m.load_indirect(V("ptr"))
+        m.st(V(dst))
+
+    def set_reg(index_name: str, src: str) -> None:
+        """regs[index_name] = src."""
+        m.ld(V("regs_base"))
+        m.add(V(index_name))
+        m.st(V("ptr"))
+        m.ld(V(src))
+        m.store_indirect(V("ptr"))
+
+    def extract_bits(src: str, low_bit: int, count: int, dst: str) -> None:
+        """dst = (src >> low_bit) & ((1 << count) - 1)   (emitted inline)."""
+        set_var(dst, 0)
+        for bit in range(count):
+            skip = m.new_label()
+            m.ld(V(src))
+            m.and_(m.const(1 << (low_bit + bit)))
+            m.st(V("t2"))
+            m.jump_if_zero(V("t2"), skip)
+            m.ld(V(dst))
+            m.add_imm(1 << bit)
+            m.st(V(dst))
+            m.place(skip)
+
+    def set_zn(result: str) -> None:
+        """Update flag_z and flag_n from a 16-bit result variable."""
+        z_one = m.new_label()
+        z_done = m.new_label()
+        m.jump_if_zero(V(result), z_one)
+        set_var("flag_z", 0)
+        m.jmp(z_done)
+        m.place(z_one)
+        set_var("flag_z", 1)
+        m.place(z_done)
+        n_one = m.new_label()
+        n_done = m.new_label()
+        m.ld(V(result))
+        m.and_(m.const(0x8000))
+        m.st(V("t2"))
+        m.jump_if_nonzero(V("t2"), n_one)
+        set_var("flag_n", 0)
+        m.jmp(n_done)
+        m.place(n_one)
+        set_var("flag_n", 1)
+        m.place(n_done)
+
+    def load_word_host(addr_name: str, dst: str) -> None:
+        """dst = 16-bit little-endian word at hosted address addr_name."""
+        read_host_byte(addr_name, "lo")
+        copy(addr_name, "t0")
+        add_const("t0", 1)
+        read_host_byte("t0", "hi")
+        # hi * 256 by eight doublings, then add lo.
+        for _ in range(8):
+            m.ld(V("hi"))
+            m.add(V("hi"))
+            m.st(V("hi"))
+        add_vars("hi", "lo", dst)
+
+    def shift_right_one(name: str) -> None:
+        """name = name >> 1 (logical), using bit extraction."""
+        extract_bits(name, 1, 15, "t1")
+        copy("t1", name)
+
+    def binary_read_operands() -> None:
+        """a = regs[rd]; b = regs[rs]."""
+        get_reg("f_rd", "a")
+        get_reg("f_rs", "b")
+
+    def writeback_res_zn() -> None:
+        """regs[rd] = res; update Z/N."""
+        set_reg("f_rd", "res")
+        set_zn("res")
+
+    def xor_into_res() -> None:
+        """res = a XOR b   (uses t0 for a AND b)."""
+        m.ld(V("a"))
+        m.and_(V("b"))
+        m.st(V("t0"))
+        sub_vars("a", "t0", "t1")
+        sub_vars("b", "t0", "res")
+        add_vars("t1", "res", "res")
+
+    # ------------------------------------------------------------------ #
+    # Boot: initialise registers and flags
+    # ------------------------------------------------------------------ #
+    boot = "boot"
+    m.place(boot)
+    m.set_entry(boot)
+    for register_index in range(13):
+        set_var(f"reg{register_index}", 0)
+    set_var(f"reg{int(Register.SP)}", DEFAULT_STACK_TOP)
+    set_var("flag_z", 0)
+    set_var("flag_n", 0)
+    set_var("flag_c", 0)
+    # v_pc keeps whatever initial value the loader wrote (the program entry).
+
+    # ------------------------------------------------------------------ #
+    # Main fetch/decode/dispatch loop
+    # ------------------------------------------------------------------ #
+    main_loop = "main_loop"
+    m.place(main_loop)
+    load_word_host("v_pc", "w")
+    add_const("v_pc", 2)
+    extract_bits("w", 11, 5, "op")
+    extract_bits("w", 7, 4, "f_rd")
+    extract_bits("w", 3, 4, "f_rs")
+
+    # Fetch the immediate word for the opcodes that have one.
+    no_imm = m.new_label()
+    fetch_imm = m.new_label()
+    for opcode in (Opcode.LDI, Opcode.JUMP, Opcode.JCOND, Opcode.CALL):
+        m.jump_if_equal(V("op"), int(opcode), fetch_imm)
+    m.jmp(no_imm)
+    m.place(fetch_imm)
+    load_word_host("v_pc", "imm")
+    add_const("v_pc", 2)
+    m.place(no_imm)
+
+    handlers = {opcode: f"op_{opcode.name.lower()}" for opcode in Opcode}
+    for opcode in Opcode:
+        m.jump_if_equal(V("op"), int(opcode), handlers[opcode])
+    # Unknown opcode: halt rather than run off into the weeds.
+    m.halt()
+
+    # ------------------------------------------------------------------ #
+    # Instruction handlers
+    # ------------------------------------------------------------------ #
+    # HALT -------------------------------------------------------------- #
+    m.place(handlers[Opcode.HALT])
+    m.halt()
+
+    # MOVE -------------------------------------------------------------- #
+    m.place(handlers[Opcode.MOVE])
+    get_reg("f_rs", "res")
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    # LDI --------------------------------------------------------------- #
+    m.place(handlers[Opcode.LDI])
+    copy("imm", "res")
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    # LDM --------------------------------------------------------------- #
+    m.place(handlers[Opcode.LDM])
+    get_reg("f_rs", "addr")
+    ldm_port = m.new_label()
+    ldm_plain = m.new_label()
+    ldm_store = m.new_label()
+    m.jump_if_equal(V("addr"), INPUT_PORT, ldm_port)
+    m.jmp(ldm_plain)
+    m.place(ldm_port)
+    m.input_byte()               # R = next input byte, borrow = end-of-input
+    m.st(V("res"))
+    m.ld(m.BORROW)
+    m.st(V("flag_c"))
+    m.jmp(ldm_store)
+    m.place(ldm_plain)
+    read_host_byte("addr", "res")
+    m.place(ldm_store)
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    # STM --------------------------------------------------------------- #
+    m.place(handlers[Opcode.STM])
+    get_reg("f_rd", "addr")
+    get_reg("f_rs", "val")
+    m.ld(V("val"))
+    m.and_(m.const(0x00FF))
+    m.st(V("val"))
+    stm_port = m.new_label()
+    stm_done = m.new_label()
+    m.jump_if_equal(V("addr"), OUTPUT_PORT, stm_port)
+    write_host_byte("addr", "val")
+    m.jmp(stm_done)
+    m.place(stm_port)
+    m.ld(V("val"))
+    m.output_byte()
+    m.place(stm_done)
+    m.jmp(main_loop)
+
+    # ADD / ADC --------------------------------------------------------- #
+    def emit_add(with_carry: bool) -> None:
+        binary_read_operands()
+        add_vars("a", "b", "res")
+        # carry-out of a+b: res < a
+        m.ld(V("res"))
+        m.sub(V("a"))
+        m.ld(m.BORROW)
+        m.st(V("t0"))
+        if with_carry:
+            carry_done = m.new_label()
+            m.jump_if_zero(V("flag_c"), carry_done)
+            copy("res", "t1")
+            add_const("res", 1)
+            # second carry: res < t1 (only when t1 was 0xFFFF)
+            m.ld(V("res"))
+            m.sub(V("t1"))
+            m.ld(m.BORROW)
+            m.add(V("t0"))
+            m.st(V("t0"))
+            m.place(carry_done)
+        copy("t0", "flag_c")
+        writeback_res_zn()
+        m.jmp(main_loop)
+
+    m.place(handlers[Opcode.ADD])
+    emit_add(with_carry=False)
+    m.place(handlers[Opcode.ADC])
+    emit_add(with_carry=True)
+
+    # SUB / SBB / CMP --------------------------------------------------- #
+    def emit_sub(with_borrow: bool, writeback: bool) -> None:
+        binary_read_operands()
+        sub_vars("a", "b", "res", borrow_to="t0")
+        if with_borrow:
+            borrow_done = m.new_label()
+            m.jump_if_zero(V("flag_c"), borrow_done)
+            copy("res", "t1")
+            m.ld(V("res"))
+            m.sub_imm(1)
+            m.st(V("res"))
+            m.ld(m.BORROW)
+            m.add(V("t0"))
+            m.st(V("t0"))
+            m.place(borrow_done)
+        # Normalise 2 -> 1 (both steps can borrow only in theory).
+        normalise_done = m.new_label()
+        m.jump_if_zero(V("t0"), normalise_done)
+        set_var("t0", 1)
+        m.place(normalise_done)
+        copy("t0", "flag_c")
+        if writeback:
+            writeback_res_zn()
+        else:
+            set_zn("res")
+        m.jmp(main_loop)
+
+    m.place(handlers[Opcode.SUB])
+    emit_sub(with_borrow=False, writeback=True)
+    m.place(handlers[Opcode.SBB])
+    emit_sub(with_borrow=True, writeback=True)
+    m.place(handlers[Opcode.CMP])
+    emit_sub(with_borrow=False, writeback=False)
+
+    # MUL ---------------------------------------------------------------- #
+    # 16 x 16 -> 32-bit shift-and-add; the low word is the result register,
+    # a non-zero high word sets the carry flag (matching the reference
+    # emulator's "product > 0xFFFF" rule).
+    m.place(handlers[Opcode.MUL])
+    binary_read_operands()
+    set_var("res", 0)            # product, low word
+    set_var("old_carry", 0)      # product, high word
+    set_var("t0", 0)             # multiplicand, high word
+    set_var("cnt", 16)
+    mul_loop = m.new_label()
+    mul_skip = m.new_label()
+    mul_done = m.new_label()
+    m.place(mul_loop)
+    m.jump_if_zero(V("cnt"), mul_done)
+    m.ld(V("b"))
+    m.and_(m.const(1))
+    m.st(V("t1"))
+    m.jump_if_zero(V("t1"), mul_skip)
+    # product += multiplicand (32-bit add)
+    add_vars("res", "a", "res")
+    m.ld(V("res"))
+    m.sub(V("a"))
+    m.ld(m.BORROW)
+    m.st(V("t1"))                # carry out of the low-word addition
+    m.ld(V("old_carry"))
+    m.add(V("t0"))
+    m.add(V("t1"))
+    m.st(V("old_carry"))
+    m.place(mul_skip)
+    # multiplicand <<= 1 (32-bit), multiplier >>= 1
+    m.ld(V("a"))
+    m.and_(m.const(0x8000))
+    m.st(V("t1"))
+    add_vars("t0", "t0", "t0")
+    mul_no_carry_in = m.new_label()
+    m.jump_if_zero(V("t1"), mul_no_carry_in)
+    add_const("t0", 1)
+    m.place(mul_no_carry_in)
+    add_vars("a", "a", "a")
+    shift_right_one("b")
+    m.ld(V("cnt"))
+    m.sub_imm(1)
+    m.st(V("cnt"))
+    m.jmp(mul_loop)
+    m.place(mul_done)
+    mul_carry_one = m.new_label()
+    mul_carry_done = m.new_label()
+    m.jump_if_nonzero(V("old_carry"), mul_carry_one)
+    set_var("flag_c", 0)
+    m.jmp(mul_carry_done)
+    m.place(mul_carry_one)
+    set_var("flag_c", 1)
+    m.place(mul_carry_done)
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    # AND / OR / XOR / NOT ----------------------------------------------- #
+    m.place(handlers[Opcode.AND])
+    binary_read_operands()
+    m.ld(V("a"))
+    m.and_(V("b"))
+    m.st(V("res"))
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    m.place(handlers[Opcode.XOR])
+    binary_read_operands()
+    xor_into_res()
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    m.place(handlers[Opcode.OR])
+    binary_read_operands()
+    xor_into_res()
+    m.ld(V("a"))
+    m.and_(V("b"))
+    m.st(V("t0"))
+    add_vars("res", "t0", "res")
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    m.place(handlers[Opcode.NOT])
+    get_reg("f_rd", "a")
+    m.load_imm(0xFFFF)
+    m.sub(V("a"))
+    m.st(V("res"))
+    writeback_res_zn()
+    m.jmp(main_loop)
+
+    # Shifts (LSL / LSR / ASR / ROR) -------------------------------------- #
+    def emit_shift(opcode: Opcode) -> None:
+        get_reg("f_rd", "a")
+        get_reg("f_rs", "b")
+        m.ld(V("b"))
+        m.and_(m.const(0x000F))
+        m.st(V("cnt"))
+        loop = m.new_label()
+        done = m.new_label()
+        m.place(loop)
+        m.jump_if_zero(V("cnt"), done)
+        if opcode == Opcode.LSL:
+            m.ld(V("a"))
+            m.and_(m.const(0x8000))
+            m.st(V("t0"))
+            carry_set = m.new_label()
+            carry_after = m.new_label()
+            m.jump_if_nonzero(V("t0"), carry_set)
+            set_var("flag_c", 0)
+            m.jmp(carry_after)
+            m.place(carry_set)
+            set_var("flag_c", 1)
+            m.place(carry_after)
+            add_vars("a", "a", "a")
+        else:
+            # All right-going shifts move bit 0 into the carry flag first.
+            m.ld(V("a"))
+            m.and_(m.const(1))
+            m.st(V("flag_c"))
+            if opcode == Opcode.ASR:
+                m.ld(V("a"))
+                m.and_(m.const(0x8000))
+                m.st(V("t0"))
+            if opcode == Opcode.ROR:
+                m.ld(V("a"))
+                m.and_(m.const(1))
+                m.st(V("t1"))
+            shift_right_one("a")
+            if opcode == Opcode.ASR:
+                asr_done = m.new_label()
+                m.jump_if_zero(V("t0"), asr_done)
+                add_const("a", 0x8000)
+                m.place(asr_done)
+            if opcode == Opcode.ROR:
+                ror_done = m.new_label()
+                m.jump_if_zero(V("t1"), ror_done)
+                add_const("a", 0x8000)
+                m.place(ror_done)
+        m.ld(V("cnt"))
+        m.sub_imm(1)
+        m.st(V("cnt"))
+        m.jmp(loop)
+        m.place(done)
+        copy("a", "res")
+        writeback_res_zn()
+        m.jmp(main_loop)
+
+    for opcode in (Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.ROR):
+        m.place(handlers[opcode])
+        emit_shift(opcode)
+
+    # JUMP / JCOND -------------------------------------------------------- #
+    m.place(handlers[Opcode.JUMP])
+    copy("imm", "v_pc")
+    m.jmp(main_loop)
+
+    m.place(handlers[Opcode.JCOND])
+    take = m.new_label()
+    skip = m.new_label()
+    # Condition codes: 0 EQ, 1 NE, 2 CS, 3 CC, 4 MI, 5 PL.
+    for condition, flag, wanted in (
+        (0, "flag_z", 1), (1, "flag_z", 0),
+        (2, "flag_c", 1), (3, "flag_c", 0),
+        (4, "flag_n", 1), (5, "flag_n", 0),
+    ):
+        next_check = m.new_label()
+        m.ld(V("op"))  # keep accumulator usage irrelevant; comparison below
+        m.jump_if_equal(V("f_rd"), condition, f"cond_{condition}")
+        m.jmp(next_check)
+        m.place(f"cond_{condition}")
+        if wanted == 1:
+            m.jump_if_nonzero(V(flag), take)
+        else:
+            m.jump_if_zero(V(flag), take)
+        m.jmp(skip)
+        m.place(next_check)
+    m.jmp(skip)
+    m.place(take)
+    copy("imm", "v_pc")
+    m.place(skip)
+    m.jmp(main_loop)
+
+    # CALL / RET ----------------------------------------------------------- #
+    m.place(handlers[Opcode.CALL])
+    get_reg("f_rs", "t0")  # unused; keeps the pattern uniform
+    m.load_imm(int(Register.SP))
+    m.st(V("t0"))
+    get_reg("t0", "addr")
+    m.ld(V("addr"))
+    m.sub_imm(2)
+    m.st(V("addr"))
+    set_reg("t0", "addr")
+    # write return address (v_pc) little-endian at hosted [addr]
+    m.ld(V("v_pc"))
+    m.and_(m.const(0x00FF))
+    m.st(V("val"))
+    write_host_byte("addr", "val")
+    extract_bits("v_pc", 8, 8, "val")
+    copy("addr", "t1")
+    add_const("t1", 1)
+    write_host_byte("t1", "val")
+    copy("imm", "v_pc")
+    m.jmp(main_loop)
+
+    m.place(handlers[Opcode.RET])
+    m.load_imm(int(Register.SP))
+    m.st(V("t0"))
+    get_reg("t0", "addr")
+    load_word_host("addr", "v_pc")
+    m.ld(V("addr"))
+    m.add_imm(2)
+    m.st(V("addr"))
+    # load_word_host clobbers t0, so the SP register index must be reloaded
+    # before writing the updated stack pointer back.
+    m.load_imm(int(Register.SP))
+    m.st(V("t0"))
+    set_reg("t0", "addr")
+    m.jmp(main_loop)
+
+    return m.assemble()
+
+
+def dynarisc_emulator_image() -> VeRiscProgram:
+    """Cached copy of the assembled DynaRisc-in-VeRisc emulator."""
+    global _cached_program
+    if _cached_program is None:
+        _cached_program = build_dynarisc_emulator()
+    return _cached_program
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+class NestedDynaRiscMachine:
+    """Run a DynaRisc program inside the VeRisc-hosted DynaRisc emulator.
+
+    This is the restoration-time stack of Figure 2b: the (future user's)
+    VeRisc machine runs the archived DynaRisc emulator, which runs the
+    archived decoder, which consumes the scanned byte stream.
+    """
+
+    def __init__(self, program: bytes, input_data: bytes = b"", entry: int = 0,
+                 step_limit: int = 400_000_000):
+        if len(program) > HOSTED_MEMORY_BYTES:
+            raise MachineFault(
+                f"program of {len(program)} bytes exceeds the nested emulator's "
+                f"{HOSTED_MEMORY_BYTES}-byte hosted memory"
+            )
+        self.interpreter = dynarisc_emulator_image()
+        self.program = bytes(program)
+        self.entry = entry
+        self.input_data = bytes(input_data)
+        self.step_limit = step_limit
+
+    def run(self) -> bytes:
+        """Execute the nested stack and return the decoder's output bytes."""
+        machine = VeRiscMachine(step_limit=self.step_limit, input_data=self.input_data)
+        machine.load_image(self.interpreter.words, origin=self.interpreter.origin)
+        machine.load_image(list(self.program), origin=HOST_BASE)
+        # Tell the interpreter where the hosted program starts executing.
+        machine.state.memory[self.interpreter.symbols["v_pc"]] = self.entry
+        output = machine.run(start=self.interpreter.entry)
+        self.steps = machine.state.steps
+        return output

@@ -1,0 +1,14 @@
+"""Shared low-level utilities: bit streams, CRC, deterministic RNG helpers."""
+
+from repro.util.bits import BitReader, BitWriter, bytes_to_bits, bits_to_bytes
+from repro.util.crc import crc32_of
+from repro.util.rng import deterministic_rng
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "crc32_of",
+    "deterministic_rng",
+]

@@ -1,0 +1,129 @@
+"""Bit-level readers and writers.
+
+The media coder works on bit streams (the paper's "compressed bit stream"),
+while Python naturally deals in bytes.  ``BitWriter`` and ``BitReader`` provide
+MSB-first bit access with explicit end-of-stream behaviour, and the module
+offers vectorised helpers built on numpy for whole-buffer conversions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as bytes.
+
+    >>> w = BitWriter()
+    >>> w.write_bits(0b101, 3)
+    >>> w.write_bit(1)
+    >>> w.to_bytes()
+    b'\\xb0'
+    """
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        self._bits.append(1 if bit else 0)
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` low-order bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError("bit count must be non-negative")
+        for shift in range(count - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes, each MSB first."""
+        for byte in data:
+            self.write_bits(byte, 8)
+
+    def to_bitarray(self) -> np.ndarray:
+        """Return the bits as a uint8 numpy array of 0/1 values."""
+        return np.array(self._bits, dtype=np.uint8)
+
+    def to_bytes(self) -> bytes:
+        """Return the bits packed into bytes, zero-padded to a byte boundary."""
+        return bits_to_bytes(self.to_bitarray())
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string or a 0/1 array.
+
+    ``read_bit`` and ``read_bits`` raise :class:`EOFError` when the stream is
+    exhausted, which lets decoders distinguish truncation from padding.
+    """
+
+    def __init__(self, data: bytes | np.ndarray):
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            self._bits = bytes_to_bits(bytes(data))
+        else:
+            self._bits = np.asarray(data, dtype=np.uint8).ravel()
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return int(self._bits.size)
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits still available."""
+        return int(self._bits.size) - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit, raising ``EOFError`` at end of stream."""
+        if self._pos >= self._bits.size:
+            raise EOFError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits MSB-first and return them as an integer."""
+        if count < 0:
+            raise ValueError("bit count must be non-negative")
+        if self._pos + count > self._bits.size:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        chunk = self._bits[self._pos:self._pos + count]
+        self._pos += count
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes."""
+        return bytes(self.read_bits(8) for _ in range(count))
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand bytes into a uint8 array of bits, MSB first.
+
+    >>> bytes_to_bits(b'\\xf0').tolist()
+    [1, 1, 1, 1, 0, 0, 0, 0]
+    """
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array into bytes MSB first, zero-padding the final byte.
+
+    >>> bits_to_bytes(np.array([1, 1, 1, 1], dtype=np.uint8))
+    b'\\xf0'
+    """
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    if bits.size == 0:
+        return b""
+    return np.packbits(bits).tobytes()

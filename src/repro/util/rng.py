@@ -1,0 +1,21 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (distortion injection, workload
+generation, benchmarks) derives its randomness from an explicit seed so that
+experiments are exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def deterministic_rng(seed: int | None) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically.
+
+    ``None`` maps to a fixed default seed rather than entropy from the OS, so
+    that "unseeded" library calls are still reproducible.
+    """
+    if seed is None:
+        seed = 0x1D50  # fixed default so "unseeded" still means reproducible
+    return np.random.default_rng(seed)

@@ -1,0 +1,30 @@
+"""VeRisc: the four-instruction bootstrap machine of Olonys.
+
+The paper's restoration story rests on a user in the far future implementing,
+from a plain-text description, an interpreter for a machine with only four
+instructions: ``LD``, ``ST``, ``SBB`` and ``AND``.  This package contains
+
+* :mod:`repro.verisc.isa` — the instruction set and binary encoding,
+* :mod:`repro.verisc.machine` — the reference emulator,
+* :mod:`repro.verisc.assembler` — a primitive assembler plus a macro layer
+  (ADD/JMP/conditional jumps built from the four primitives, exactly as a
+  DynaRisc-emulator author would have to do),
+* :mod:`repro.verisc.program` — the program container serialised into the
+  Bootstrap's letter encoding.
+"""
+
+from repro.verisc.isa import Op, Instruction, SPECIAL_ADDRESSES
+from repro.verisc.machine import VeRiscMachine, MachineState
+from repro.verisc.assembler import VeRiscAssembler, MacroAssembler
+from repro.verisc.program import VeRiscProgram
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "SPECIAL_ADDRESSES",
+    "VeRiscMachine",
+    "MachineState",
+    "VeRiscAssembler",
+    "MacroAssembler",
+    "VeRiscProgram",
+]

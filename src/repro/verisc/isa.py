@@ -1,0 +1,97 @@
+"""The VeRisc instruction set.
+
+VeRisc is the minimal machine a future user has to implement by hand from the
+Bootstrap document.  The paper fixes the four opcodes (LD, ST, SBB, AND) and
+the single general-purpose register ``R``; the rest of the machine model is
+reconstructed here (and documented identically in the generated Bootstrap) so
+that the four opcodes suffice for arbitrary computation:
+
+* memory is 65,536 sixteen-bit words, word-addressed;
+* the program counter and the borrow flag live at fixed memory addresses, so
+  storing to the PC is a jump and loading the borrow flag enables conditional
+  control flow;
+* a handful of additional memory-mapped ports provide byte-stream input,
+  byte-stream output and halting, which is how archived decoders consume
+  scanned data and emit restored data.
+
+Each instruction occupies two consecutive words: the opcode word followed by
+the operand address word.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Number of addressable 16-bit words.
+MEMORY_WORDS = 65536
+
+#: Mask for 16-bit arithmetic.
+WORD_MASK = 0xFFFF
+
+
+class Op(enum.IntEnum):
+    """The four VeRisc opcodes, in their binary encoding order."""
+
+    LD = 0   #: R = mem[addr]
+    ST = 1   #: mem[addr] = R
+    SBB = 2  #: R = R - mem[addr] - borrow; borrow = 1 on underflow else 0
+    AND = 3  #: R = R & mem[addr]; borrow = 0
+
+
+class SpecialAddress(enum.IntEnum):
+    """Memory-mapped registers and ports.
+
+    These addresses sit at the very top of the address space so ordinary
+    programs and data never collide with them.
+    """
+
+    PC = 0xFFFF        #: reading yields the address of the next instruction; writing jumps
+    BORROW = 0xFFFE    #: reading yields 0/1; writing sets the borrow flag from bit 0
+    OUTPUT = 0xFFFD    #: ST appends the low byte of R to the output stream
+    INPUT = 0xFFFC     #: LD yields the next input byte (borrow set to 1 at end of input)
+    HALT = 0xFFFB      #: ST stops the machine
+
+
+#: Convenience mapping used by the assembler's symbol table.
+SPECIAL_ADDRESSES = {
+    "PC": int(SpecialAddress.PC),
+    "BORROW": int(SpecialAddress.BORROW),
+    "OUTPUT": int(SpecialAddress.OUTPUT),
+    "INPUT": int(SpecialAddress.INPUT),
+    "HALT": int(SpecialAddress.HALT),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded VeRisc instruction."""
+
+    op: Op
+    address: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address < MEMORY_WORDS:
+            raise ValueError(f"address out of range: {self.address:#x}")
+
+    def encode(self) -> tuple[int, int]:
+        """Return the two memory words that encode this instruction."""
+        return int(self.op), self.address
+
+    @classmethod
+    def decode(cls, opcode_word: int, address_word: int) -> "Instruction":
+        """Decode two memory words into an instruction.
+
+        Raises
+        ------
+        ValueError
+            If the opcode word is not one of the four VeRisc opcodes.
+        """
+        try:
+            op = Op(opcode_word)
+        except ValueError as exc:
+            raise ValueError(f"invalid VeRisc opcode word: {opcode_word}") from exc
+        return cls(op, address_word & WORD_MASK)
+
+    def __str__(self) -> str:
+        return f"{self.op.name} &{self.address:#06x}"

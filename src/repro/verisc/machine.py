@@ -1,0 +1,152 @@
+"""The reference VeRisc emulator.
+
+This is the component the paper expects a future user to re-implement from the
+Bootstrap document in "less than 500 lines of pseudocode".  The reference
+implementation here is the oracle against which independently written
+emulators (see ``benchmarks/bench_portability.py``) are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionLimitExceeded, InvalidInstructionError, MachineFault
+from repro.verisc.isa import MEMORY_WORDS, WORD_MASK, Op, SpecialAddress
+
+
+@dataclass
+class MachineState:
+    """Snapshot of the architectural state of a VeRisc machine."""
+
+    accumulator: int = 0
+    borrow: int = 0
+    pc: int = 0
+    halted: bool = False
+    steps: int = 0
+    memory: list[int] = field(default_factory=lambda: [0] * MEMORY_WORDS)
+
+
+class VeRiscMachine:
+    """Interprets VeRisc programs.
+
+    Parameters
+    ----------
+    memory_image:
+        Initial memory contents, a sequence of 16-bit words loaded at
+        address 0.  The rest of memory is zero-filled.
+    input_data:
+        Byte stream available through the memory-mapped ``INPUT`` port.
+    step_limit:
+        Safety budget; exceeding it raises :class:`ExecutionLimitExceeded`
+        rather than looping forever on a buggy archived program.
+    """
+
+    def __init__(
+        self,
+        memory_image: list[int] | tuple[int, ...] | bytes | None = None,
+        input_data: bytes = b"",
+        step_limit: int = 50_000_000,
+    ):
+        self.state = MachineState()
+        self.step_limit = step_limit
+        self.input_data = bytes(input_data)
+        self.input_pos = 0
+        self.output = bytearray()
+        if memory_image is not None:
+            self.load_image(memory_image)
+
+    # ------------------------------------------------------------------ #
+    # Memory image handling
+    # ------------------------------------------------------------------ #
+    def load_image(self, words, origin: int = 0) -> None:
+        """Copy a word image into memory starting at ``origin``."""
+        if isinstance(words, (bytes, bytearray)):
+            if len(words) % 2:
+                raise MachineFault("byte image must contain an even number of bytes")
+            words = [
+                words[i] | (words[i + 1] << 8) for i in range(0, len(words), 2)
+            ]
+        if origin + len(words) > MEMORY_WORDS:
+            raise MachineFault("memory image does not fit in VeRisc memory")
+        for offset, word in enumerate(words):
+            self.state.memory[origin + offset] = word & WORD_MASK
+
+    # ------------------------------------------------------------------ #
+    # Memory-mapped accesses
+    # ------------------------------------------------------------------ #
+    def _read(self, address: int) -> int:
+        if address == SpecialAddress.PC:
+            return self.state.pc
+        if address == SpecialAddress.BORROW:
+            return self.state.borrow
+        if address == SpecialAddress.INPUT:
+            if self.input_pos >= len(self.input_data):
+                self.state.borrow = 1
+                return 0
+            value = self.input_data[self.input_pos]
+            self.input_pos += 1
+            self.state.borrow = 0
+            return value
+        if address == SpecialAddress.OUTPUT or address == SpecialAddress.HALT:
+            return 0
+        return self.state.memory[address]
+
+    def _write(self, address: int, value: int) -> None:
+        value &= WORD_MASK
+        if address == SpecialAddress.PC:
+            self.state.pc = value
+            return
+        if address == SpecialAddress.BORROW:
+            self.state.borrow = value & 1
+            return
+        if address == SpecialAddress.OUTPUT:
+            self.output.append(value & 0xFF)
+            return
+        if address == SpecialAddress.HALT:
+            self.state.halted = True
+            return
+        if address == SpecialAddress.INPUT:
+            raise MachineFault("the INPUT port is read-only")
+        self.state.memory[address] = value
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Execute a single instruction."""
+        state = self.state
+        if state.halted:
+            return
+        if state.pc + 1 >= MEMORY_WORDS:
+            raise MachineFault(f"program counter ran off memory: {state.pc:#x}")
+        opcode_word = state.memory[state.pc]
+        address = state.memory[state.pc + 1]
+        state.pc = (state.pc + 2) & WORD_MASK
+        if opcode_word == Op.LD:
+            state.accumulator = self._read(address)
+        elif opcode_word == Op.ST:
+            self._write(address, state.accumulator)
+        elif opcode_word == Op.SBB:
+            operand = self._read(address)
+            result = state.accumulator - operand - state.borrow
+            state.borrow = 1 if result < 0 else 0
+            state.accumulator = result & WORD_MASK
+        elif opcode_word == Op.AND:
+            state.accumulator &= self._read(address)
+            state.borrow = 0
+        else:
+            raise InvalidInstructionError(
+                f"invalid VeRisc opcode {opcode_word} at address {state.pc - 2:#x}"
+            )
+        state.steps += 1
+
+    def run(self, start: int = 0) -> bytes:
+        """Run from ``start`` until the program halts; return the output bytes."""
+        self.state.pc = start
+        while not self.state.halted:
+            if self.state.steps >= self.step_limit:
+                raise ExecutionLimitExceeded(
+                    f"VeRisc program exceeded {self.step_limit} steps"
+                )
+            self.step()
+        return bytes(self.output)

@@ -1,0 +1,73 @@
+"""Container for assembled VeRisc programs.
+
+A :class:`VeRiscProgram` is what ends up archived in the Bootstrap document:
+a flat list of 16-bit words (instructions, data and constant pool) plus the
+entry point.  The Bootstrap's letter encoding operates on the little-endian
+byte serialisation produced by :meth:`VeRiscProgram.to_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verisc.isa import MEMORY_WORDS, WORD_MASK
+from repro.verisc.machine import VeRiscMachine
+
+
+@dataclass
+class VeRiscProgram:
+    """An assembled VeRisc memory image.
+
+    Attributes
+    ----------
+    words:
+        The memory image, starting at :attr:`origin`.
+    origin:
+        Load address of the first word (almost always 0).
+    entry:
+        Address at which execution starts.
+    symbols:
+        Resolved label addresses, kept for debugging and tests.
+    """
+
+    words: list[int]
+    origin: int = 0
+    entry: int = 0
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.origin + len(self.words) > MEMORY_WORDS:
+            raise ValueError("program does not fit in VeRisc memory")
+        self.words = [w & WORD_MASK for w in self.words]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the word image as little-endian bytes."""
+        out = bytearray()
+        for word in self.words:
+            out.append(word & 0xFF)
+            out.append((word >> 8) & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, origin: int = 0, entry: int = 0) -> "VeRiscProgram":
+        """Rebuild a program from its little-endian byte serialisation."""
+        if len(data) % 2:
+            raise ValueError("a VeRisc image must contain an even number of bytes")
+        words = [data[i] | (data[i + 1] << 8) for i in range(0, len(data), 2)]
+        return cls(words=words, origin=origin, entry=entry)
+
+    def run(self, input_data: bytes = b"", step_limit: int = 50_000_000) -> bytes:
+        """Convenience wrapper: load into a fresh machine, run, return output."""
+        machine = VeRiscMachine(step_limit=step_limit, input_data=input_data)
+        machine.load_image(self.words, origin=self.origin)
+        return machine.run(start=self.entry)
+
+    def machine(self, input_data: bytes = b"", step_limit: int = 50_000_000) -> VeRiscMachine:
+        """Return a machine with this program loaded but not yet started."""
+        machine = VeRiscMachine(step_limit=step_limit, input_data=input_data)
+        machine.load_image(self.words, origin=self.origin)
+        machine.state.pc = self.entry
+        return machine

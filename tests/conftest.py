@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import TEST_PROFILE
+from repro.mocoder.emblem import EmblemSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_spec() -> EmblemSpec:
+    """The small emblem spec used throughout the fast tests."""
+    return TEST_PROFILE.spec
+
+
+@pytest.fixture
+def sql_sample() -> bytes:
+    """A small, realistic SQL-archive-like payload."""
+    lines = [
+        "CREATE TABLE lineitem (l_orderkey INTEGER, l_comment VARCHAR(255));",
+    ]
+    for key in range(120):
+        lines.append(
+            f"INSERT INTO lineitem VALUES ({key}, 'carefully final deposits {key % 7}');"
+        )
+    return ("\n".join(lines) + "\n").encode("utf-8")

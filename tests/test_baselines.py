@@ -1,0 +1,57 @@
+"""Tests for the baselines (QR-style barcode, DBMS-stack emulation model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmblemDetectionError, EmblemFormatError
+from repro.baselines import BarcodeSpec, SimpleBarcode, StackEmulationBaseline
+from repro.baselines.stack_emulation import ule_decoder_footprint
+from repro.media.distortions import DistortionProfile
+
+
+class TestSimpleBarcode:
+    def test_capacity_is_a_few_kilobytes(self):
+        """§3.1: 2-D barcodes 'store a few kilobytes of information at best'."""
+        spec = BarcodeSpec()
+        assert 2000 < spec.payload_capacity < 4000
+
+    def test_roundtrip_pristine(self, rng):
+        barcode = SimpleBarcode()
+        payload = bytes(rng.integers(0, 256, size=1500, dtype=np.uint8))
+        assert barcode.decode(barcode.encode(payload)) == payload
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(EmblemFormatError):
+            SimpleBarcode().encode(b"x" * 10_000)
+
+    def test_no_error_correction_means_noise_kills_it(self, rng):
+        """Unlike emblems, the baseline only detects damage; it cannot correct."""
+        barcode = SimpleBarcode()
+        payload = bytes(rng.integers(0, 256, size=1000, dtype=np.uint8))
+        image = barcode.encode(payload)
+        harsh = DistortionProfile(dust_spots=60, dust_max_radius=4, seed=2)
+        with pytest.raises(EmblemDetectionError):
+            barcode.decode(harsh.apply(image))
+
+    def test_small_spec_rejected(self):
+        with pytest.raises(EmblemFormatError):
+            BarcodeSpec(modules=10)
+
+
+class TestStackEmulationBaseline:
+    def test_stack_is_gigabytes(self):
+        baseline = StackEmulationBaseline()
+        assert baseline.stack_bytes > 1e9
+
+    def test_overhead_factor_for_a_megabyte_archive(self):
+        baseline = StackEmulationBaseline()
+        assert baseline.overhead_factor(1_200_000) > 1000
+
+    def test_ule_footprint_is_kilobytes(self):
+        footprint = ule_decoder_footprint(bootstrap_text_bytes=60_000,
+                                          system_emblem_payload_bytes=300)
+        assert footprint < 100_000
+
+    def test_invalid_archive_size(self):
+        with pytest.raises(ValueError):
+            StackEmulationBaseline().overhead_factor(0)

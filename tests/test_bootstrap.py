@@ -1,0 +1,108 @@
+"""Tests for the Bootstrap: letter codec, document generation/parsing, OCR."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BootstrapParseError, LetterCodecError
+from repro.bootstrap import (
+    BootstrapDocument,
+    SimulatedOCR,
+    build_bootstrap,
+    bytes_to_letters,
+    format_letter_pages,
+    letters_to_bytes,
+)
+from repro.bootstrap.document import VERISC_PSEUDOCODE
+
+
+class TestLetterCodec:
+    def test_paper_mapping_a_is_0xf_p_is_0x0(self):
+        """§3.2: letters A to P encode hexadecimal values 0xF to 0x0."""
+        assert bytes_to_letters(b"\xf0") == "AP"
+        assert bytes_to_letters(b"\x0f") == "PA"
+        assert letters_to_bytes("AP") == b"\xf0"
+
+    def test_two_letters_per_byte(self):
+        assert len(bytes_to_letters(bytes(100))) == 200
+
+    def test_whitespace_ignored_on_decode(self):
+        assert letters_to_bytes("A P\nPA") == b"\xf0\x0f"
+
+    def test_invalid_letter_rejected(self):
+        with pytest.raises(LetterCodecError):
+            letters_to_bytes("AZ")
+
+    def test_odd_letter_count_rejected(self):
+        with pytest.raises(LetterCodecError):
+            letters_to_bytes("APA")
+
+    def test_page_formatting_groups_letters(self):
+        pages = format_letter_pages("A" * 1000, letters_per_line=64, lines_per_page=10)
+        assert len(pages) == 2
+        assert letters_to_bytes("".join(pages)) == letters_to_bytes("A" * 1000)
+
+    @given(st.binary(max_size=500))
+    def test_roundtrip_property(self, data):
+        assert letters_to_bytes(bytes_to_letters(data)) == data
+
+
+class TestBootstrapDocument:
+    def build(self):
+        return build_bootstrap(b"\x01\x02\x03" * 50, b"\xaa\xbb" * 30,
+                               dynarisc_entry=16, mocoder_entry=0)
+
+    def test_render_and_parse_roundtrip(self):
+        document = self.build()
+        parsed = BootstrapDocument.parse(document.render())
+        assert parsed.section("DYNARISC-EMULATOR").payload == b"\x01\x02\x03" * 50
+        assert parsed.section("DYNARISC-EMULATOR").entry_point == 16
+        assert parsed.section("MOCODER-DECODER").payload == b"\xaa\xbb" * 30
+
+    def test_pseudocode_is_bounded_like_the_paper(self):
+        """§4: the emulator spec is 'less than 500 lines' of pseudocode."""
+        assert 50 < len(VERISC_PSEUDOCODE.splitlines()) < 500
+
+    def test_page_accounting(self):
+        document = self.build()
+        assert document.letter_count == 2 * (150 + 60)
+        assert document.page_count >= 2
+
+    def test_corrupted_letters_fail_the_crc(self):
+        text = self.build().render()
+        # Flip one letter inside the first letter block: swap a 'P' (value 0)
+        # for an 'A' (value 15) a little way past the section's CRC line.
+        marker = text.index("CRC32:")
+        body_start = text.index("\n", marker) + 80
+        offset = text.index("P", body_start)
+        corrupted = text[:offset] + "A" + text[offset + 1:]
+        with pytest.raises(BootstrapParseError):
+            BootstrapDocument.parse(corrupted)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(BootstrapParseError):
+            BootstrapDocument.parse("just some prose, no sections")
+
+    def test_unknown_section_lookup(self):
+        with pytest.raises(BootstrapParseError):
+            self.build().section("NOPE")
+
+
+class TestSimulatedOCR:
+    def test_perfect_ocr_is_identity(self):
+        text = build_bootstrap(b"abc", b"def").render()
+        assert SimulatedOCR(0.0).read(text) == text
+
+    def test_errors_only_touch_letter_glyphs(self):
+        text = "XYZ-42: q9\nAPAPAPAP"
+        noisy = SimulatedOCR(1.0, seed=4).read(text)
+        assert noisy.splitlines()[0] == "XYZ-42: q9"
+
+    def test_noisy_ocr_is_detected_by_the_bootstrap_crc(self):
+        document = build_bootstrap(bytes(range(256)), bytes(range(200)))
+        noisy = SimulatedOCR(0.02, seed=7).read(document.render())
+        with pytest.raises(BootstrapParseError):
+            BootstrapDocument.parse(noisy)
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            SimulatedOCR(1.5)

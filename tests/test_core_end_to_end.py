@@ -1,0 +1,125 @@
+"""End-to-end tests of the Micr'Olonys archival / restoration flows (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Archiver,
+    MicrOlonysArchive,
+    Restorer,
+    TEST_PROFILE,
+    generate_tpch,
+)
+from repro.core.profiles import PROFILES, get_profile
+from repro.core.restorer import restore_archive_directory
+from repro.dbcoder import Profile
+from repro.errors import RestorationError
+
+
+@pytest.fixture(scope="module")
+def tiny_database():
+    return generate_tpch(0.00002, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tiny_archive(tiny_database):
+    return Archiver(TEST_PROFILE).archive_database(tiny_database)
+
+
+class TestProfiles:
+    def test_all_profiles_have_positive_capacity(self):
+        for profile in PROFILES.values():
+            assert profile.spec.payload_capacity > 0
+
+    def test_paper_profile_hits_the_50kb_per_page_density(self):
+        """E1: ~1.2 MB on ~26 pages is ~50 kB per page."""
+        profile = get_profile("paper-a4-600dpi")
+        assert 55_000 < profile.spec.payload_capacity < 70_000
+
+    def test_emblems_fit_their_channel_frames(self):
+        for profile in PROFILES.values():
+            channel = profile.channel()
+            assert profile.spec.pixels_y <= channel.frame_shape[0]
+            assert profile.spec.pixels_x <= channel.frame_shape[1]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("punch-cards")
+
+
+class TestArchiver:
+    def test_archive_contains_all_artifacts(self, tiny_archive):
+        assert tiny_archive.data_emblem_images
+        assert tiny_archive.system_emblem_images
+        assert "VERISC" in tiny_archive.bootstrap_text.upper()
+        assert tiny_archive.manifest.data_emblem_count == len(tiny_archive.data_emblem_images)
+
+    def test_emblem_count_estimate_close_to_actual(self, tiny_database, tiny_archive):
+        archiver = Archiver(TEST_PROFILE)
+        # The estimate ignores compression, so it upper-bounds the actual count.
+        from repro.dbms import db_dump
+        estimate = archiver.estimate_emblems(len(db_dump(tiny_database).encode()))
+        assert estimate >= tiny_archive.manifest.data_emblem_count
+
+
+class TestRestorer:
+    def test_direct_restore_is_bit_exact(self, tiny_database, tiny_archive):
+        result = Restorer(TEST_PROFILE).restore(tiny_archive)
+        assert result.database == tiny_database
+        assert result.archive_text.startswith("--")
+
+    def test_restore_through_the_scanner(self, tiny_database, tiny_archive):
+        result = Restorer(TEST_PROFILE).restore_via_channel(tiny_archive, seed=5)
+        assert result.database == tiny_database
+        assert result.data_report.emblems_failed == 0
+
+    def test_restore_with_emulated_decoder(self, tiny_database, tiny_archive):
+        result = Restorer(TEST_PROFILE, decode_mode="dynarisc").restore(tiny_archive)
+        assert result.database == tiny_database
+        assert result.emulator_steps > 0
+
+    def test_restore_with_missing_emblems(self, tiny_database, tiny_archive):
+        damaged = MicrOlonysArchive(
+            manifest=tiny_archive.manifest,
+            data_emblem_images=tiny_archive.data_emblem_images[1:],
+            system_emblem_images=tiny_archive.system_emblem_images,
+            bootstrap_text=tiny_archive.bootstrap_text,
+        )
+        result = Restorer(TEST_PROFILE).restore(damaged)
+        assert result.database == tiny_database
+        assert result.data_report.groups_reconstructed >= 1
+
+    def test_dense_profile_requires_reference_decoder(self, tiny_database):
+        archive = Archiver(TEST_PROFILE, dbcoder_profile=Profile.DENSE).archive_database(
+            tiny_database
+        )
+        assert Restorer(TEST_PROFILE).restore(archive).database == tiny_database
+        with pytest.raises(RestorationError):
+            Restorer(TEST_PROFILE, decode_mode="dynarisc").restore(archive)
+
+    def test_invalid_decode_mode(self):
+        with pytest.raises(ValueError):
+            Restorer(TEST_PROFILE, decode_mode="magic")
+
+    def test_raw_byte_payload_archive(self, rng):
+        """The microfilm/cinema experiments archive an image file, not SQL."""
+        payload = bytes(rng.integers(0, 256, size=2000, dtype=np.uint8))
+        archive = Archiver(TEST_PROFILE).archive_bytes(payload, payload_kind="tiff")
+        result = Restorer(TEST_PROFILE).restore(archive)
+        assert result.payload == payload
+        assert result.database is None
+
+
+class TestArchivePersistence:
+    def test_save_and_load_directory(self, tiny_database, tiny_archive, tmp_path):
+        directory = tiny_archive.save(tmp_path / "archive")
+        loaded = MicrOlonysArchive.load(directory)
+        assert loaded.manifest == tiny_archive.manifest
+        assert len(loaded.data_emblem_images) == len(tiny_archive.data_emblem_images)
+        result = restore_archive_directory(str(directory), "test-small")
+        assert result.database == tiny_database
+
+    def test_loading_a_non_archive_directory_fails(self, tmp_path):
+        from repro.errors import ArchiveError
+        with pytest.raises(ArchiveError):
+            MicrOlonysArchive.load(tmp_path)

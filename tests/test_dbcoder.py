@@ -1,0 +1,135 @@
+"""Tests for DBCoder: LZSS, arithmetic coding, container format and profiles."""
+
+import lzma
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ContainerFormatError, DecompressionError
+from repro.dbcoder import (
+    DBCoder,
+    Profile,
+    arithmetic_decode,
+    arithmetic_encode,
+    lzss_compress,
+    lzss_decompress,
+    pack_container,
+    unpack_container,
+)
+
+
+class TestLZSS:
+    def test_roundtrip_text(self, sql_sample):
+        assert lzss_decompress(lzss_compress(sql_sample)) == sql_sample
+
+    def test_compresses_repetitive_data(self, sql_sample):
+        assert len(lzss_compress(sql_sample)) < len(sql_sample) / 2
+
+    def test_empty_input(self):
+        assert lzss_compress(b"") == b""
+        assert lzss_decompress(b"") == b""
+
+    def test_incompressible_data_grows_bounded(self, rng):
+        data = bytes(rng.integers(0, 256, size=1000, dtype="uint8"))
+        compressed = lzss_compress(data)
+        assert lzss_decompress(compressed) == data
+        assert len(compressed) <= len(data) * 9 // 8 + 2
+
+    def test_corrupt_offset_detected(self):
+        # A match token referencing history that does not exist.
+        stream = bytes([0b00000000, 0xFF, 0x0F])
+        with pytest.raises(DecompressionError):
+            lzss_decompress(stream)
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lzss_decompress(lzss_compress(data)) == data
+
+
+class TestArithmeticCoder:
+    def test_roundtrip_text(self, sql_sample):
+        encoded = arithmetic_encode(sql_sample)
+        assert arithmetic_decode(encoded) == sql_sample
+        assert len(encoded) < len(sql_sample)
+
+    def test_empty_input(self):
+        assert arithmetic_decode(arithmetic_encode(b"")) == b""
+
+    def test_highly_skewed_data_compresses_well(self):
+        data = b"\x00" * 5000 + b"\x01"
+        assert len(arithmetic_encode(data)) < 200
+
+    def test_truncated_stream_detected(self, rng):
+        data = bytes(rng.integers(0, 256, size=600, dtype="uint8"))
+        encoded = arithmetic_encode(data)
+        with pytest.raises(DecompressionError):
+            arithmetic_decode(encoded[: len(encoded) // 2])
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert arithmetic_decode(arithmetic_encode(data)) == data
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        container = pack_container(2, b"original", b"payload")
+        header, payload = unpack_container(container)
+        assert header.profile_id == 2
+        assert header.original_length == 8
+        assert payload == b"payload"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ContainerFormatError):
+            unpack_container(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ContainerFormatError):
+            unpack_container(b"UL")
+
+    def test_payload_length_mismatch_rejected(self):
+        container = pack_container(1, b"abc", b"payload")
+        with pytest.raises(ContainerFormatError):
+            unpack_container(container[:-2])
+
+
+class TestDBCoderProfiles:
+    @pytest.mark.parametrize("profile", list(Profile))
+    def test_roundtrip_every_profile(self, profile, sql_sample):
+        coder = DBCoder(profile)
+        assert coder.decode(coder.encode(sql_sample)) == sql_sample
+
+    def test_dense_beats_portable_beats_store(self, sql_sample):
+        sizes = {
+            profile: len(DBCoder(profile).encode(sql_sample)) for profile in Profile
+        }
+        assert sizes[Profile.DENSE] < sizes[Profile.PORTABLE] < sizes[Profile.STORE]
+
+    def test_dense_profile_is_lzma_class(self, sql_sample):
+        """The paper claims compression 'close to 7-Zip's LZMA'."""
+        dense = len(DBCoder(Profile.DENSE).encode(sql_sample))
+        lzma_size = len(lzma.compress(sql_sample, preset=6))
+        zlib_size = len(zlib.compress(sql_sample, 6))
+        assert dense < len(sql_sample) / 2
+        assert dense < zlib_size * 1.6          # same class as deflate or better
+        assert dense < lzma_size * 2.5          # within striking distance of LZMA
+
+    def test_decode_detects_corruption(self, sql_sample):
+        coder = DBCoder(Profile.PORTABLE)
+        container = bytearray(coder.encode(sql_sample))
+        container[40] ^= 0xFF
+        with pytest.raises(DecompressionError):
+            coder.decode(bytes(container))
+
+    def test_report_statistics(self, sql_sample):
+        report = DBCoder(Profile.PORTABLE).report(sql_sample)
+        assert report.original_bytes == len(sql_sample)
+        assert report.ratio > 1.0
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=25, deadline=None)
+    def test_any_bytes_survive_portable_roundtrip(self, data):
+        coder = DBCoder(Profile.PORTABLE)
+        assert coder.decode(coder.encode(data)) == data

@@ -1,0 +1,260 @@
+"""Tests for the DynaRisc ISA, assembler, emulator and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblyError, ExecutionLimitExceeded, InvalidInstructionError
+from repro.dynarisc import (
+    Condition,
+    DynaRiscAssembler,
+    DynaRiscEmulator,
+    Opcode,
+    PAPER_TABLE1_MNEMONICS,
+    Register,
+    disassemble,
+)
+from repro.dynarisc.isa import Instruction, OPCODES_WITH_IMMEDIATE
+
+
+class TestISA:
+    def test_exactly_23_instructions(self):
+        assert len(Opcode) == 23
+
+    def test_paper_table1_instructions_present(self):
+        """Every mnemonic shown in the paper's Table 1 exists in the ISA."""
+        for mnemonic in PAPER_TABLE1_MNEMONICS:
+            assert mnemonic in Opcode.__members__
+
+    def test_sixteen_bit_registers_and_pointer_registers(self):
+        assert Register.R0 == 0 and Register.R7 == 7
+        assert Register.D0 == 8 and Register.D3 == 11
+        assert Register.SP == 12
+
+    def test_instruction_encode_decode_roundtrip(self):
+        for opcode in Opcode:
+            immediate = 0x1234 if opcode in OPCODES_WITH_IMMEDIATE else None
+            instruction = Instruction(opcode, rd=3, rs=5, immediate=immediate)
+            encoded = instruction.encode()
+            word = encoded[0] | (encoded[1] << 8)
+            decoded = Instruction.decode_word(word, immediate)
+            assert decoded == instruction
+
+    def test_immediate_required_and_forbidden(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDI, rd=0)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=0, rs=1, immediate=5)
+
+
+def run_source(source, input_data=b"", trace=False):
+    program = DynaRiscAssembler().assemble(source)
+    emulator = DynaRiscEmulator(program.code, input_data=input_data, trace=trace)
+    output = emulator.run(program.entry)
+    return emulator, output
+
+
+class TestEmulatorSemantics:
+    def test_arithmetic_and_flags(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #10
+            LDI r1, #3
+            SUB r0, r1
+            HALT
+        """)
+        assert emulator.registers[0] == 7
+        assert not emulator.flags.zero and not emulator.flags.carry
+
+    def test_sub_borrow_sets_carry(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #3
+            LDI r1, #10
+            SUB r0, r1
+            HALT
+        """)
+        assert emulator.registers[0] == (3 - 10) & 0xFFFF
+        assert emulator.flags.carry and emulator.flags.negative
+
+    def test_adc_uses_carry(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #0xFFFF
+            LDI r1, #1
+            ADD r0, r1          ; overflows, sets carry
+            LDI r2, #5
+            LDI r3, #6
+            ADC r2, r3          ; 5 + 6 + 1
+            HALT
+        """)
+        assert emulator.registers[2] == 12
+
+    def test_mul_sets_carry_on_overflow(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #300
+            LDI r1, #300
+            MUL r0, r1
+            HALT
+        """)
+        assert emulator.registers[0] == (300 * 300) & 0xFFFF
+        assert emulator.flags.carry
+
+    def test_logic_and_shifts(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #0x0F0F
+            LDI r1, #0x00FF
+            AND r0, r1
+            LDI r2, #4
+            LSL r0, r2
+            LDI r3, #0x8000
+            LDI r4, #1
+            LSR r3, r4
+            LDI r5, #0x8001
+            ROR r5, r4
+            NOT r1
+            HALT
+        """)
+        assert emulator.registers[0] == 0x00F0
+        assert emulator.registers[3] == 0x4000
+        assert emulator.registers[5] == 0xC000
+        assert emulator.registers[1] == 0xFF00
+
+    def test_asr_preserves_sign(self):
+        emulator, _ = run_source("""
+        start:
+            LDI r0, #0x8000
+            LDI r1, #3
+            ASR r0, r1
+            HALT
+        """)
+        assert emulator.registers[0] == 0xF000
+
+    def test_memory_load_store(self):
+        emulator, _ = run_source("""
+        start:
+            LDI d0, #buffer
+            LDI r0, #0xAB
+            STM r0, [d0]
+            LDM r1, [d0]
+            HALT
+        buffer: .byte 0
+        """)
+        assert emulator.registers[1] == 0xAB
+
+    def test_jcond_and_loop(self):
+        emulator, output = run_source("""
+        start:
+            LDI r0, #5
+            LDI r1, #1
+            LDI d3, #OUTPUT_PORT
+        loop:
+            STM r0, [d3]
+            SUB r0, r1
+            JCOND ne, loop
+            HALT
+        """)
+        assert output == bytes([5, 4, 3, 2, 1])
+
+    def test_call_and_ret_use_stack(self):
+        emulator, output = run_source("""
+        start:
+            LDI d3, #OUTPUT_PORT
+            CALL emit
+            CALL emit
+            HALT
+        emit:
+            LDI r0, #0x21
+            STM r0, [d3]
+            RET
+        """)
+        assert output == b"!!"
+        assert emulator.registers[Register.SP] == 0x7F00
+
+    def test_input_port_sets_carry_at_eof(self):
+        emulator, output = run_source("""
+        start:
+            LDI d2, #INPUT_PORT
+            LDI d3, #OUTPUT_PORT
+        loop:
+            LDM r0, [d2]
+            JCOND cs, done
+            STM r0, [d3]
+            JUMP loop
+        done:
+            HALT
+        """, input_data=b"xyz")
+        assert output == b"xyz"
+
+    def test_invalid_opcode_raises(self):
+        emulator = DynaRiscEmulator(b"\xff\xff")
+        with pytest.raises(InvalidInstructionError):
+            emulator.run(0)
+
+    def test_step_limit(self):
+        program = DynaRiscAssembler().assemble("start: JUMP start")
+        emulator = DynaRiscEmulator(program.code, step_limit=50)
+        with pytest.raises(ExecutionLimitExceeded):
+            emulator.run(0)
+
+    def test_trace_records_instructions(self):
+        emulator, _ = run_source("start: LDI r0, #1\nHALT", trace=True)
+        assert [entry.opcode for entry in emulator.trace_log] == [Opcode.LDI, Opcode.HALT]
+
+
+class TestAssembler:
+    def test_directives(self):
+        program = DynaRiscAssembler().assemble("""
+        start: HALT
+        data:  .byte 1, 2, 0x10
+               .word 0x1234
+               .ascii "hi"
+               .space 2
+               .equ answer, 42
+        """)
+        assert program.code[2:5] == bytes([1, 2, 0x10])
+        assert program.code[5:7] == bytes([0x34, 0x12])
+        assert program.code[7:9] == b"hi"
+        assert program.symbols["answer"] == 42
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            DynaRiscAssembler().assemble("FROB r0, r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            DynaRiscAssembler().assemble("ADD r0")
+
+    def test_immediate_needs_hash(self):
+        with pytest.raises(AssemblyError):
+            DynaRiscAssembler().assemble("LDI r0, 5")
+
+    def test_labels_are_case_insensitive(self):
+        program = DynaRiscAssembler().assemble("Start: JUMP START")
+        assert program.entry == 0
+
+
+class TestDisassembler:
+    def test_roundtrip_through_disassembly(self):
+        source = """
+        start:
+            LDI r0, #0x1234
+            ADD r0, r1
+            LDM r2, [d0]
+            STM r2, [d1]
+            JCOND eq, start
+            CALL start
+            RET
+            HALT
+        """
+        program = DynaRiscAssembler().assemble(source)
+        listing = disassemble(program.code)
+        # Reassembling the listing (addresses become literal targets) must
+        # produce identical machine code.
+        cleaned = "\n".join(line.split(":", 1)[1] for line in listing.splitlines())
+        reassembled = DynaRiscAssembler().assemble(cleaned)
+        assert reassembled.code == program.code
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(InvalidInstructionError):
+            disassemble(b"\x00")

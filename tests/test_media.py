@@ -1,0 +1,139 @@
+"""Tests for the analog media channels, distortions and image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MediaCapacityError, MediaError
+from repro.media import (
+    CinemaFilmChannel,
+    DistortionProfile,
+    DNAChannel,
+    MicrofilmChannel,
+    PaperChannel,
+    read_pgm,
+    write_pgm,
+)
+from repro.media.distortions import (
+    AGED_MICROFILM,
+    OFFICE_SCAN,
+    add_dust,
+    apply_lens_curvature,
+    apply_scanner_jitter,
+    to_bitonal,
+)
+from repro.media.film import MICROFILM_REEL, ReelModel
+from repro.media.paper import a4_pixels
+
+
+class TestImageIO:
+    def test_pgm_roundtrip(self, tmp_path, rng):
+        image = rng.integers(0, 256, size=(37, 53), dtype=np.uint8)
+        path = tmp_path / "frame.pgm"
+        write_pgm(path, image)
+        assert np.array_equal(read_pgm(path), image)
+
+    def test_non_pgm_rejected(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6 1 1 255 \x00\x00\x00")
+        with pytest.raises(MediaError):
+            read_pgm(path)
+
+
+class TestDistortions:
+    def make_image(self):
+        return np.full((200, 200), 255, dtype=np.uint8)
+
+    def test_dust_adds_spots(self, rng):
+        image = add_dust(self.make_image(), spots=20, max_radius=3, rng=rng)
+        assert (image == 0).sum() > 0
+
+    def test_lens_curvature_moves_edge_pixels(self):
+        image = self.make_image()
+        image[:, 30] = 0                        # a straight vertical line off-centre
+        warped = apply_lens_curvature(image, 0.05)
+        assert not np.array_equal(warped, image)
+
+    def test_jitter_shifts_rows(self, rng):
+        image = self.make_image()
+        image[:, 100] = 0
+        shifted = apply_scanner_jitter(image, amplitude=3.0, rng=rng)
+        assert not np.array_equal(shifted, image)
+
+    def test_bitonal_only_two_levels(self, rng):
+        image = rng.integers(0, 256, size=(50, 50), dtype=np.uint8)
+        assert set(np.unique(to_bitonal(image))) <= {0, 255}
+
+    def test_zero_severity_profile_is_identity(self, rng):
+        image = rng.integers(0, 256, size=(60, 60), dtype=np.uint8)
+        assert np.array_equal(DistortionProfile().apply(image), image)
+
+    def test_scaled_profile(self):
+        scaled = OFFICE_SCAN.scaled(0.5)
+        assert scaled.noise_sigma == pytest.approx(OFFICE_SCAN.noise_sigma * 0.5)
+        assert scaled.dust_spots == round(OFFICE_SCAN.dust_spots * 0.5)
+
+    def test_profile_is_deterministic_for_a_seed(self, rng):
+        image = np.full((80, 80), 255, dtype=np.uint8)
+        profile = DistortionProfile(noise_sigma=5.0, dust_spots=5, seed=9)
+        assert np.array_equal(profile.apply(image), profile.apply(image))
+
+
+class TestChannels:
+    def test_paper_frame_is_a4_at_600dpi(self):
+        channel = PaperChannel()
+        assert channel.frame_shape == a4_pixels(600)
+        height, width = channel.frame_shape
+        assert abs(height - 7016) <= 1 and abs(width - 4960) <= 1
+
+    def test_record_centres_and_scan_returns_frames(self, rng):
+        channel = PaperChannel(dpi=72, distortion=DistortionProfile())
+        emblem = rng.integers(0, 256, size=(100, 100), dtype=np.uint8)
+        frames = channel.record([emblem])
+        assert frames[0].shape == a4_pixels(72)
+        outcome = channel.scan(frames)
+        assert len(outcome.images) == 1
+
+    def test_oversized_emblem_rejected(self):
+        channel = PaperChannel(dpi=72)
+        with pytest.raises(MediaCapacityError):
+            channel.record([np.zeros((10000, 10000), dtype=np.uint8)])
+
+    def test_microfilm_is_bitonal_and_upscaled(self):
+        channel = MicrofilmChannel(distortion=DistortionProfile(bitonal_output=True))
+        frames = channel.record([np.full((100, 100), 128, dtype=np.uint8)])
+        assert set(np.unique(frames[0])) <= {0, 255}
+        scans = channel.scan(frames).images
+        assert scans[0].shape[0] > frames[0].shape[0]
+
+    def test_cinema_scans_at_twice_the_recording_resolution(self):
+        channel = CinemaFilmChannel(distortion=DistortionProfile())
+        frames = channel.record([np.zeros((100, 100), dtype=np.uint8)])
+        scan = channel.scan(frames).images[0]
+        assert scan.shape == (frames[0].shape[0] * 2, frames[0].shape[1] * 2)
+
+    def test_reel_capacity_model_matches_paper_order_of_magnitude(self):
+        """§4/§5: 1.3 GB per 66 m reel; ~800 reels per terabyte."""
+        dense_frame_payload = 124_406     # dense microfilm profile payload
+        capacity = MICROFILM_REEL.reel_capacity_bytes(dense_frame_payload)
+        assert 0.8e9 < capacity < 1.5e9
+        reels_per_tb = MICROFILM_REEL.reels_for(10**12, dense_frame_payload)
+        assert 600 < reels_per_tb < 1300
+
+    def test_reel_model_rejects_zero_payload(self):
+        with pytest.raises(ValueError):
+            ReelModel(10, 10).reels_for(100, 0)
+
+
+class TestDNAChannel:
+    def test_roundtrip_with_noise(self):
+        channel = DNAChannel(coverage=10, dropout_rate=0.05, substitution_rate=0.002, seed=11)
+        payload = bytes(range(256)) * 3
+        assert channel.roundtrip(payload, seed=11) == payload
+
+    def test_total_dropout_detected(self):
+        channel = DNAChannel(coverage=1, dropout_rate=1.0, seed=1)
+        with pytest.raises(MediaError):
+            channel.roundtrip(b"hello world")
+
+    def test_density_claim_recorded(self):
+        assert DNAChannel.THEORETICAL_DENSITY_BYTES_PER_MM3 == 1e18

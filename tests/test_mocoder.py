@@ -1,0 +1,210 @@
+"""Tests for Manchester coding, emblem geometry, the outer code and MOCoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    EmblemDetectionError,
+    EmblemFormatError,
+    MissingEmblemError,
+    RestorationError,
+)
+from repro.mocoder import (
+    Emblem,
+    EmblemKind,
+    EmblemSpec,
+    MOCoder,
+    OuterCode,
+    manchester_decode,
+    manchester_encode,
+)
+from repro.mocoder.emblem import EmblemHeader, build_emblem, otsu_threshold
+from repro.mocoder.manchester import manchester_decode_analog, manchester_encode_fast
+
+
+class TestManchester:
+    def test_two_cells_per_bit(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert manchester_encode(bits).size == 6
+
+    def test_every_bit_boundary_has_a_transition(self, rng):
+        bits = rng.integers(0, 2, size=500, dtype=np.uint8)
+        cells = manchester_encode(bits)
+        boundaries = cells[2::2] != cells[1:-1:2]
+        assert boundaries.all()
+
+    def test_fast_encoder_matches_reference(self, rng):
+        bits = rng.integers(0, 2, size=777, dtype=np.uint8)
+        assert np.array_equal(manchester_encode(bits), manchester_encode_fast(bits))
+
+    def test_decode_is_inverse(self, rng):
+        bits = rng.integers(0, 2, size=333, dtype=np.uint8)
+        assert np.array_equal(manchester_decode(manchester_encode(bits)), bits)
+
+    def test_analog_decode_survives_brightness_drift(self, rng):
+        bits = rng.integers(0, 2, size=400, dtype=np.uint8)
+        cells = manchester_encode(bits).astype(np.float64)
+        values = np.where(cells == 1, 40.0, 210.0)
+        values += np.linspace(0, 60, values.size)       # slow fading gradient
+        assert np.array_equal(manchester_decode_analog(values), bits)
+
+    @given(st.lists(st.integers(0, 1), max_size=300))
+    def test_roundtrip_property(self, bit_list):
+        bits = np.array(bit_list, dtype=np.uint8)
+        assert np.array_equal(manchester_decode(manchester_encode_fast(bits)), bits)
+
+
+class TestOuterCode:
+    def test_parameters_match_the_paper(self):
+        code = OuterCode()
+        assert code.data_shards == 17 and code.parity_shards == 3
+
+    def test_any_three_missing_emblems_recovered(self, rng):
+        code = OuterCode()
+        payloads = [bytes(rng.integers(0, 256, size=90, dtype=np.uint8)) for _ in range(17)]
+        shards = payloads + code.encode_group(payloads)
+        for missing in ([0, 1, 2], [5, 16, 19], [17, 18, 19], [0, 10, 18]):
+            trial = [None if index in missing else shards[index] for index in range(20)]
+            assert code.reconstruct_group(trial) == payloads
+
+    def test_four_missing_is_too_many(self, rng):
+        code = OuterCode()
+        payloads = [bytes(rng.integers(0, 256, size=40, dtype=np.uint8)) for _ in range(17)]
+        shards = payloads + code.encode_group(payloads)
+        for index in (0, 1, 2, 3):
+            shards[index] = None
+        with pytest.raises(MissingEmblemError):
+            code.reconstruct_group(shards)
+
+    def test_short_group_with_absent_shards(self, rng):
+        code = OuterCode()
+        payloads = [bytes(rng.integers(0, 256, size=30, dtype=np.uint8)) for _ in range(5)]
+        parity = code.encode_group(payloads)
+        shards = payloads + [b""] * 12 + parity
+        shards[2] = None
+        recovered = code.reconstruct_group(shards, payload_length=30)
+        assert recovered[:5] == payloads
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**16), missing=st.sets(st.integers(0, 19), min_size=0, max_size=3))
+    def test_property_any_loss_pattern_up_to_three(self, seed, missing):
+        rng = np.random.default_rng(seed)
+        code = OuterCode()
+        payloads = [bytes(rng.integers(0, 256, size=25, dtype=np.uint8)) for _ in range(17)]
+        shards = payloads + code.encode_group(payloads)
+        trial = [None if index in missing else shards[index] for index in range(20)]
+        assert code.reconstruct_group(trial) == payloads
+
+
+class TestEmblem:
+    def test_figure1_structure(self, small_spec):
+        """The rendered emblem has the structure of Figure 1: a thick black
+        frame around the data field, with large-scale dots inside."""
+        emblem = build_emblem(small_spec, EmblemKind.DATA, 0, 1, 0, 0, b"x" * 10, 10, 0)
+        image = emblem.to_image()
+        q = small_spec.quiet_cells * small_spec.cell_pixels
+        border = small_spec.border_cells * small_spec.cell_pixels
+        assert (image[:q] == 255).all()                      # quiet zone
+        assert (image[q:q + border, q:-q] == 0).all()        # top frame band
+        assert image.shape == (small_spec.pixels_y, small_spec.pixels_x)
+
+    def test_roundtrip_pristine(self, small_spec, rng):
+        payload = bytes(rng.integers(0, 256, size=small_spec.payload_capacity, dtype=np.uint8))
+        emblem = build_emblem(small_spec, EmblemKind.SYSTEM, 7, 9, 0, 7, payload, 123, 456)
+        decoded, corrections = Emblem.from_image(small_spec, emblem.to_image())
+        assert decoded.payload == payload
+        assert decoded.header.kind == EmblemKind.SYSTEM
+        assert decoded.header.index == 7
+        assert corrections == 0
+
+    def test_roundtrip_with_margins_and_dust(self, small_spec, rng):
+        payload = bytes(rng.integers(0, 256, size=100, dtype=np.uint8))
+        emblem = build_emblem(small_spec, EmblemKind.DATA, 1, 2, 0, 1, payload, 100, 0)
+        image = emblem.to_image()
+        framed = np.full((image.shape[0] + 80, image.shape[1] + 60), 255, dtype=np.uint8)
+        framed[40:40 + image.shape[0], 30:30 + image.shape[1]] = image
+        for _ in range(10):                                  # dust specks
+            y, x = rng.integers(45, framed.shape[0] - 45), rng.integers(35, framed.shape[1] - 35)
+            framed[y:y + 2, x:x + 2] = 0
+        decoded, corrections = Emblem.from_image(small_spec, framed)
+        assert decoded.payload == payload
+
+    def test_blank_scan_rejected(self, small_spec):
+        with pytest.raises(EmblemDetectionError):
+            Emblem.from_image(small_spec, np.full((300, 300), 255, dtype=np.uint8))
+
+    def test_oversized_payload_rejected(self, small_spec):
+        with pytest.raises(EmblemFormatError):
+            build_emblem(small_spec, EmblemKind.DATA, 0, 1, 0, 0,
+                         b"x" * (small_spec.payload_capacity + 1), 1, 0)
+
+    def test_header_pack_unpack(self):
+        header = EmblemHeader(EmblemKind.PARITY, 3, 20, 0, 18, 150, 3000, 0xDEADBEEF)
+        assert EmblemHeader.unpack(header.pack()) == header
+
+    def test_spec_capacity_arithmetic(self, small_spec):
+        assert small_spec.raw_byte_capacity == 256
+        assert small_spec.rs_block_count == 1
+        assert small_spec.payload_capacity == 223 - EmblemHeader.SIZE
+
+    def test_spec_too_small_rejected(self):
+        with pytest.raises(EmblemFormatError):
+            EmblemSpec(data_cells_x=16, data_cells_y=16)
+
+    def test_otsu_threshold_separates_modes(self):
+        image = np.concatenate([np.full(500, 30), np.full(500, 220)]).reshape(20, 50)
+        threshold = otsu_threshold(image)
+        assert 30 < threshold < 220
+
+
+class TestMOCoder:
+    def test_emblem_counts_match_capacity(self, small_spec):
+        mocoder = MOCoder(small_spec)
+        stream = mocoder.encode(b"z" * (small_spec.payload_capacity * 3 + 5))
+        assert stream.data_emblem_count == 4
+        assert stream.parity_emblem_count == 3
+
+    def test_roundtrip(self, small_spec, rng):
+        mocoder = MOCoder(small_spec)
+        data = bytes(rng.integers(0, 256, size=small_spec.payload_capacity * 6 + 17, dtype=np.uint8))
+        recovered, report = mocoder.decode(mocoder.encode_to_images(data))
+        assert recovered == data
+        assert report.emblems_failed == 0
+
+    def test_three_lost_emblems_per_group_are_recovered(self, small_spec, rng):
+        mocoder = MOCoder(small_spec)
+        data = bytes(rng.integers(0, 256, size=small_spec.payload_capacity * 10, dtype=np.uint8))
+        images = mocoder.encode_to_images(data)
+        survivors = [image for index, image in enumerate(images) if index not in (0, 4, 9)]
+        recovered, report = mocoder.decode(survivors)
+        assert recovered == data
+        assert report.groups_reconstructed == 1
+
+    def test_four_lost_emblems_fail(self, small_spec, rng):
+        mocoder = MOCoder(small_spec)
+        data = bytes(rng.integers(0, 256, size=small_spec.payload_capacity * 10, dtype=np.uint8))
+        images = mocoder.encode_to_images(data)
+        survivors = [image for index, image in enumerate(images) if index not in (0, 1, 2, 3)]
+        with pytest.raises(MissingEmblemError):
+            mocoder.decode(survivors)
+
+    def test_without_outer_code_any_loss_fails(self, small_spec, rng):
+        mocoder = MOCoder(small_spec, outer_code=False)
+        data = bytes(rng.integers(0, 256, size=small_spec.payload_capacity * 4, dtype=np.uint8))
+        images = mocoder.encode_to_images(data)
+        assert len(images) == 4
+        with pytest.raises(MissingEmblemError):
+            mocoder.decode(images[1:])
+
+    def test_emblems_decode_in_any_order(self, small_spec, rng):
+        mocoder = MOCoder(small_spec)
+        data = bytes(rng.integers(0, 256, size=small_spec.payload_capacity * 5, dtype=np.uint8))
+        images = mocoder.encode_to_images(data)
+        recovered, _ = mocoder.decode(list(reversed(images)))
+        assert recovered == data
+
+    def test_empty_stream_roundtrip(self, small_spec):
+        mocoder = MOCoder(small_spec)
+        recovered, _ = mocoder.decode(mocoder.encode_to_images(b""))
+        assert recovered == b""

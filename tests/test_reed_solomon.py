@@ -1,0 +1,124 @@
+"""Tests for the inner Reed-Solomon code and GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UncorrectableBlockError
+from repro.mocoder.galois import gf_div, gf_inverse, gf_mul, gf_pow, poly_eval, poly_mul
+from repro.mocoder.interleave import deinterleave_blocks, interleave_blocks
+from repro.mocoder.reed_solomon import INNER_CODE, ReedSolomonCode
+
+
+class TestGalois:
+    def test_multiplicative_identity_and_zero(self):
+        assert gf_mul(1, 77) == 77
+        assert gf_mul(0, 99) == 0
+
+    def test_inverse(self):
+        for value in (1, 2, 77, 255):
+            assert gf_mul(value, gf_inverse(value)) == 1
+
+    def test_division(self):
+        assert gf_div(gf_mul(23, 45), 45) == 23
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow_matches_repeated_mul(self):
+        value = 1
+        for power in range(1, 10):
+            value = gf_mul(value, 3)
+            assert gf_pow(3, power) == value
+
+    def test_poly_eval_of_generator_roots_is_zero(self):
+        generator = ReedSolomonCode(255, 223).generator
+        for j in range(1, 33):
+            assert poly_eval(generator, gf_pow(2, j)) == 0
+
+    def test_poly_mul_degree(self):
+        assert len(poly_mul([1, 2], [1, 3, 4])) == 4
+
+
+class TestInnerCode:
+    def test_parameters_match_the_paper(self):
+        """223 data bytes + 32 redundancy bytes per block, 7.2% correctable."""
+        assert INNER_CODE.k == 223 and INNER_CODE.parity == 32
+        assert INNER_CODE.max_correctable_errors == 16
+        assert INNER_CODE.max_correctable_errors / INNER_CODE.k == pytest.approx(0.072, abs=0.001)
+
+    def test_error_free_roundtrip(self, rng):
+        data = rng.integers(0, 256, size=(8, 223), dtype=np.int32)
+        decoded, corrections = INNER_CODE.decode_blocks(INNER_CODE.encode_blocks(data))
+        assert np.array_equal(decoded, data) and corrections == 0
+
+    def test_corrects_up_to_sixteen_errors(self, rng):
+        data = rng.integers(0, 256, size=(1, 223), dtype=np.int32)
+        codeword = INNER_CODE.encode_blocks(data)
+        positions = rng.choice(255, size=16, replace=False)
+        corrupted = codeword.copy()
+        for position in positions:
+            corrupted[0, position] ^= int(rng.integers(1, 256))
+        decoded, corrections = INNER_CODE.decode_blocks(corrupted)
+        assert np.array_equal(decoded, data)
+        assert corrections == 16
+
+    def test_seventeen_errors_detected_as_uncorrectable(self, rng):
+        data = rng.integers(0, 256, size=(1, 223), dtype=np.int32)
+        codeword = INNER_CODE.encode_blocks(data)
+        for position in rng.choice(255, size=17, replace=False):
+            codeword[0, position] ^= 0x5A
+        with pytest.raises(UncorrectableBlockError):
+            INNER_CODE.decode_blocks(codeword)
+
+    def test_byte_interface_roundtrip(self, rng):
+        payload = bytes(rng.integers(0, 256, size=1000, dtype=np.uint8))
+        encoded, blocks = INNER_CODE.encode(payload)
+        assert blocks == 5 and len(encoded) == 5 * 255
+        decoded, _ = INNER_CODE.decode(encoded, original_length=len(payload))
+        assert decoded == payload
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(300, 200)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(20, 20)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=223),
+        error_count=st.integers(min_value=0, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_corrects_any_pattern_within_capability(self, data, error_count, seed):
+        rng = np.random.default_rng(seed)
+        padded = np.zeros((1, 223), dtype=np.int32)
+        padded[0, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        codeword = INNER_CODE.encode_blocks(padded)
+        positions = rng.choice(255, size=error_count, replace=False)
+        for position in positions:
+            codeword[0, position] ^= int(rng.integers(1, 256))
+        decoded, corrections = INNER_CODE.decode_blocks(codeword)
+        assert np.array_equal(decoded, padded)
+        assert corrections == error_count
+
+
+class TestInterleaving:
+    def test_roundtrip(self, rng):
+        codewords = rng.integers(0, 256, size=(7, 255), dtype=np.uint8)
+        stream = interleave_blocks(codewords)
+        assert np.array_equal(deinterleave_blocks(stream, 7, 255), codewords)
+
+    def test_burst_damage_is_spread_across_blocks(self, rng):
+        codewords = rng.integers(0, 256, size=(10, 255), dtype=np.uint8)
+        stream = bytearray(interleave_blocks(codewords))
+        # A 30-byte burst in the interleaved stream touches every block at
+        # most 3 times (30 / 10 blocks), staying far below the 16-error limit.
+        for index in range(100, 130):
+            stream[index] ^= 0xFF
+        damaged = deinterleave_blocks(bytes(stream), 10, 255)
+        per_block_errors = (damaged != codewords).sum(axis=1)
+        assert per_block_errors.max() <= 3
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            deinterleave_blocks(b"\x00" * 10, 2, 255)

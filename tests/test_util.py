@@ -1,0 +1,99 @@
+"""Tests for the shared utility layer (bit streams, CRC, RNG)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import BitReader, BitWriter, bits_to_bytes, bytes_to_bits
+from repro.util.crc import crc32_of
+from repro.util.rng import deterministic_rng
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.to_bytes() == b"\xb0"
+
+    def test_write_bits_takes_low_order_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0b1, 1)
+        assert writer.to_bytes() == b"\xb0"
+
+    def test_write_bytes_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\x12\x34")
+        assert writer.to_bytes() == b"\x12\x34"
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1, -1)
+
+    def test_length_counts_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0xFF, 5)
+        assert len(writer) == 5
+
+
+class TestBitReader:
+    def test_reads_back_what_writer_wrote(self):
+        writer = BitWriter()
+        writer.write_bits(0x2AB, 10)
+        reader = BitReader(writer.to_bitarray())
+        assert reader.read_bits(10) == 0x2AB
+
+    def test_exhaustion_raises_eof(self):
+        reader = BitReader(b"\x00")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_remaining_and_position(self):
+        reader = BitReader(b"\xff\x00")
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining == 13
+
+    def test_read_bytes(self):
+        assert BitReader(b"\xde\xad").read_bytes(2) == b"\xde\xad"
+
+
+class TestBitConversions:
+    def test_bytes_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\xf0").tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_bits_to_bytes_pads_with_zeros(self):
+        assert bits_to_bytes(np.array([1, 1, 1, 1], dtype=np.uint8)) == b"\xf0"
+
+    def test_empty_inputs(self):
+        assert bytes_to_bits(b"").size == 0
+        assert bits_to_bytes(np.zeros(0, dtype=np.uint8)) == b""
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestCRC:
+    def test_known_value(self):
+        assert crc32_of(b"123456789") == 0xCBF43926
+
+    def test_detects_change(self):
+        assert crc32_of(b"hello") != crc32_of(b"hellp")
+
+    def test_unsigned_range(self):
+        assert 0 <= crc32_of(b"\xff" * 64) <= 0xFFFFFFFF
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = deterministic_rng(5).integers(0, 1000, size=10)
+        b = deterministic_rng(5).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_none_seed_is_still_deterministic(self):
+        a = deterministic_rng(None).integers(0, 1000, size=10)
+        b = deterministic_rng(None).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)

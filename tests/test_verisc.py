@@ -1,0 +1,206 @@
+"""Tests for the VeRisc machine, assembler and macro layer."""
+
+import pytest
+
+from repro.errors import AssemblyError, ExecutionLimitExceeded, MachineFault
+from repro.verisc import (
+    Instruction,
+    MacroAssembler,
+    Op,
+    VeRiscAssembler,
+    VeRiscMachine,
+    VeRiscProgram,
+)
+from repro.verisc.isa import SpecialAddress
+
+
+class TestInstructionEncoding:
+    def test_encode_decode_roundtrip(self):
+        for op in Op:
+            instruction = Instruction(op, 0x1234)
+            assert Instruction.decode(*instruction.encode()) == instruction
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction.decode(7, 0)
+
+    def test_address_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.LD, 0x10000)
+
+
+class TestMachineSemantics:
+    def run_words(self, words, input_data=b""):
+        machine = VeRiscMachine(input_data=input_data)
+        machine.load_image(words)
+        return machine, machine.run(0)
+
+    def test_ld_st_move_data(self):
+        # LD value; ST 100; ST HALT
+        words = [0, 8, 1, 100, 1, SpecialAddress.HALT, 0, 0, 0xBEEF]
+        machine, _ = self.run_words(words)
+        assert machine.state.memory[100] == 0xBEEF
+
+    def test_sbb_sets_borrow_on_underflow(self):
+        # LD a(=1); SBB b(=2); ST BORROW->? just halt and inspect state
+        words = [0, 8, 2, 9, 1, SpecialAddress.HALT, 0, 0, 1, 2]
+        machine, _ = self.run_words(words)
+        assert machine.state.accumulator == 0xFFFF
+        assert machine.state.borrow == 1
+
+    def test_and_clears_borrow(self):
+        words = [0, 10, 2, 11, 3, 12, 1, SpecialAddress.HALT, 0, 0, 1, 2, 0xFFFF]
+        machine, _ = self.run_words(words)
+        assert machine.state.borrow == 0
+
+    def test_output_port_collects_low_byte(self):
+        words = [0, 6, 1, SpecialAddress.OUTPUT, 1, SpecialAddress.HALT, 0x4142]
+        _, output = self.run_words(words)
+        assert output == b"\x42"
+
+    def test_input_port_reads_bytes_and_flags_eof(self):
+        # Read one byte, output it, read again at EOF -> borrow set.
+        words = [
+            0, SpecialAddress.INPUT, 1, SpecialAddress.OUTPUT,
+            0, SpecialAddress.INPUT, 1, SpecialAddress.HALT,
+        ]
+        machine = VeRiscMachine(input_data=b"\x7f")
+        machine.load_image(words)
+        output = machine.run(0)
+        assert output == b"\x7f"
+        assert machine.state.borrow == 1
+
+    def test_writing_pc_jumps(self):
+        # LD target(=6); ST PC;  (skipped: halt-at-4) ; at 6: ST HALT
+        words = [0, 8, 1, SpecialAddress.PC, 1, SpecialAddress.HALT, 1, SpecialAddress.HALT, 6]
+        machine, _ = self.run_words(words)
+        assert machine.state.steps == 3
+
+    def test_step_limit_enforced(self):
+        # Infinite loop: LD 4; ST PC at address 0.. jumps to 0 forever.
+        words = [0, 4, 1, SpecialAddress.PC, 0]
+        machine = VeRiscMachine(step_limit=100)
+        machine.load_image(words)
+        with pytest.raises(ExecutionLimitExceeded):
+            machine.run(0)
+
+    def test_writing_to_input_port_is_a_fault(self):
+        words = [1, SpecialAddress.INPUT]
+        machine = VeRiscMachine()
+        machine.load_image(words)
+        with pytest.raises(MachineFault):
+            machine.run(0)
+
+
+class TestTextAssembler:
+    def test_assembles_and_runs(self):
+        source = """
+        start:  LD value
+                SBB one
+                ST OUTPUT
+                ST HALT
+        value:  .word 66
+        one:    .word 1
+        """
+        program = VeRiscAssembler().assemble(source)
+        assert program.run() == b"A"
+
+    def test_unknown_symbol_reports_line(self):
+        with pytest.raises(AssemblyError):
+            VeRiscAssembler().assemble("LD missing_symbol")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            VeRiscAssembler().assemble("a: .word 1\na: .word 2")
+
+    def test_space_directive_reserves_zero_words(self):
+        program = VeRiscAssembler().assemble("buf: .space 3\n.word 7")
+        assert program.words == [0, 0, 0, 7]
+
+
+class TestProgramContainer:
+    def test_bytes_roundtrip(self):
+        program = VeRiscProgram(words=[1, 0xABCD, 3], entry=0)
+        rebuilt = VeRiscProgram.from_bytes(program.to_bytes())
+        assert rebuilt.words == program.words
+
+    def test_odd_byte_image_rejected(self):
+        with pytest.raises(ValueError):
+            VeRiscProgram.from_bytes(b"\x01\x02\x03")
+
+    def test_oversized_program_rejected(self):
+        with pytest.raises(ValueError):
+            VeRiscProgram(words=[0] * 70000)
+
+
+class TestMacroAssembler:
+    def build_and_run(self, build, input_data=b""):
+        m = MacroAssembler()
+        m.set_entry("main")
+        m.place("main")
+        build(m)
+        return m.assemble().run(input_data=input_data)
+
+    def test_arithmetic_macros(self):
+        def build(m):
+            m.load_imm(40)
+            m.add_imm(7)
+            m.sub_imm(5)
+            m.output_byte()
+            m.halt()
+        assert self.build_and_run(build) == bytes([42])
+
+    def test_conditional_jump_taken_and_not_taken(self):
+        def build(m):
+            done = m.new_label()
+            m.load_imm(3)
+            m.sub_imm(5)           # borrow set
+            m.jump_if_borrow(done)
+            m.load_imm(0)
+            m.output_byte()
+            m.halt()
+            m.place(done)
+            m.load_imm(1)
+            m.output_byte()
+            m.halt()
+        assert self.build_and_run(build) == bytes([1])
+
+    def test_loop_with_memory_counter(self):
+        def build(m):
+            counter = m.new_label()
+            loop = m.new_label()
+            done = m.new_label()
+            m.place(loop)
+            m.jump_if_zero(m.ref(counter), done)
+            m.ld(m.ref(counter))
+            m.output_byte()
+            m.dec(m.ref(counter))
+            m.jmp(loop)
+            m.place(done)
+            m.halt()
+            m.place(counter)
+            m.word(3)
+        assert self.build_and_run(build) == bytes([3, 2, 1])
+
+    def test_indirect_load_and_store(self):
+        def build(m):
+            pointer = m.new_label()
+            target = m.new_label()
+            m.load_imm(0x55)
+            m.store_indirect(m.ref(pointer))
+            m.load_indirect(m.ref(pointer))
+            m.output_byte()
+            m.halt()
+            m.place(pointer)
+            m.word(m.ref(target))
+            m.place(target)
+            m.word(0)
+        assert self.build_and_run(build) == bytes([0x55])
+
+    def test_undefined_label_raises(self):
+        m = MacroAssembler()
+        m.set_entry("main")
+        m.place("main")
+        m.jmp("nowhere")
+        with pytest.raises(AssemblyError):
+            m.assemble()
