@@ -1,0 +1,24 @@
+# Developer/CI entry points.  Everything runs from the repo root and assumes
+# the dependencies baked into the dev image (numpy, scipy, pytest, hypothesis,
+# pytest-benchmark) are installed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-pipeline golden
+
+## tier-1 test suite (the roadmap's verification command)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## quick pipeline benchmark used as a CI smoke check
+bench-smoke:
+	$(PYTHON) benchmarks/bench_pipeline.py --smoke
+
+## full pipeline benchmark (one-shot vs streaming vs parallel, ~4 MiB payload)
+bench-pipeline:
+	$(PYTHON) benchmarks/bench_pipeline.py
+
+## regenerate the golden Bootstrap text after a deliberate decoder change
+golden:
+	REPRO_REGEN_GOLDEN=1 $(PYTHON) -m pytest -q tests/test_bootstrap_golden.py

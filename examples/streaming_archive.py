@@ -1,0 +1,70 @@
+"""Streaming archival: bounded memory, parallel segments, per-segment restore.
+
+Archives a multi-segment payload through the streaming pipeline without ever
+materialising the whole emblem set, saves each batch as it is emitted,
+deliberately damages one segment's frames, and restores bit-for-bit via
+per-segment decoding.
+
+    python examples/streaming_archive.py
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ArchivePipeline, Restorer, TEST_PROFILE
+from repro.dbcoder import Profile
+from repro.media.image import write_pgm
+
+
+def main() -> None:
+    rng = np.random.default_rng(20210111)
+    payload = bytes(rng.integers(0, 256, size=24_000, dtype=np.uint8))
+
+    pipeline = ArchivePipeline(
+        TEST_PROFILE,
+        dbcoder_profile=Profile.STORE,
+        segment_size=8_192,      # three segments
+        executor="thread:2",     # or "process:N" for CPU-bound profiles
+    )
+
+    # Stream emblem batches to disk as they are emitted: this is the
+    # bounded-memory consumption pattern — at no point does the process hold
+    # more than the in-flight window of segments.
+    out_dir = Path(tempfile.mkdtemp(prefix="streaming_archive_"))
+    records = []
+    frame = 0
+    for batch in pipeline.iter_encode(io.BytesIO(payload)):
+        for image in batch.images:
+            write_pgm(out_dir / f"data_emblem_{frame:04d}.pgm", image)
+            frame += 1
+        records.append(batch.record)
+        print(f"segment {batch.record.index}: {batch.record.length:,} payload bytes "
+              f"-> {batch.record.emblem_count} emblem frames "
+              f"(offset {batch.record.offset:,}, crc32 {batch.record.crc32:08x})")
+
+    # The convenience API collects everything (including the system emblems
+    # and Bootstrap) into one artefact; we use it here for the restore side.
+    archive = pipeline.archive_bytes(payload, payload_kind="binary")
+    manifest = archive.manifest
+    print(f"\nmanifest: {manifest.archive_bytes:,} bytes in "
+          f"{len(manifest.segments)} segments, "
+          f"{manifest.data_emblem_count} data emblems")
+
+    # Damage one frame of segment 2 (within the outer code's erasure budget).
+    victim = manifest.segments[2]
+    archive.data_emblem_images[victim.emblem_start] = np.full_like(
+        archive.data_emblem_images[victim.emblem_start], 255
+    )
+    result = Restorer(TEST_PROFILE, executor="thread:2").restore(archive)
+    print(f"\nrestore with segment {victim.index} damaged: "
+          f"bit-exact={result.payload == payload}, "
+          f"outer-code groups reconstructed="
+          f"{result.data_report.groups_reconstructed}")
+    print("notes:", "; ".join(result.notes[-1:]))
+
+
+if __name__ == "__main__":
+    main()

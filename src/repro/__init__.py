@@ -36,8 +36,15 @@ from repro.core import (
     PROFILES,
     get_profile,
 )
+from repro.core import SegmentRecord
 from repro.dbcoder import DBCoder, Profile
 from repro.mocoder import MOCoder, EmblemSpec, EmblemKind
+from repro.pipeline import (
+    ArchivePipeline,
+    RestorePipeline,
+    DEFAULT_SEGMENT_SIZE,
+    get_executor,
+)
 from repro.dbms import Database, Table, Column, ColumnType, db_dump, db_load, generate_tpch
 from repro.errors import ReproError
 
@@ -49,6 +56,11 @@ __all__ = [
     "RestorationResult",
     "MicrOlonysArchive",
     "ArchiveManifest",
+    "SegmentRecord",
+    "ArchivePipeline",
+    "RestorePipeline",
+    "DEFAULT_SEGMENT_SIZE",
+    "get_executor",
     "MediaProfile",
     "PAPER_PROFILE",
     "MICROFILM_PROFILE",

@@ -24,11 +24,12 @@ from repro.core.profiles import (
     get_profile,
     PROFILES,
 )
-from repro.core.archive import ArchiveManifest, MicrOlonysArchive
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.archiver import Archiver
 from repro.core.restorer import Restorer, RestorationResult
 
 __all__ = [
+    "SegmentRecord",
     "MediaProfile",
     "PAPER_PROFILE",
     "MICROFILM_PROFILE",

@@ -20,6 +20,35 @@ from repro.media.image import read_pgm, write_pgm
 
 
 @dataclass(frozen=True)
+class SegmentRecord:
+    """Per-segment metadata: one entry per pipeline segment of the payload.
+
+    Each segment is an *independent* unit of restoration: it owns a
+    contiguous byte range of the original payload, a CRC-32 over exactly
+    those bytes, and a contiguous run of data emblem frames
+    (``emblem_start .. emblem_start + emblem_count - 1`` in recording order)
+    that decode to the segment's DBCoder container without touching any
+    other segment.  Restoration can therefore decode segments in any order,
+    in parallel, and re-decode just the damaged one.
+    """
+
+    index: int
+    offset: int
+    length: int
+    crc32: int
+    emblem_start: int
+    emblem_count: int
+    container_bytes: int
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "SegmentRecord":
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
 class ArchiveManifest:
     """Description of an archive, stored alongside the images."""
 
@@ -30,15 +59,29 @@ class ArchiveManifest:
     data_emblem_count: int
     system_emblem_count: int
     payload_kind: str = "sql"
+    #: Segment size the pipeline used; ``None`` for a one-shot (single
+    #: segment spanning the whole payload) archive.
+    segment_size: int | None = None
+    #: Per-segment metadata, in payload order.  Pre-pipeline manifests load
+    #: with an empty tuple and restore through the whole-stream path.
+    segments: tuple[SegmentRecord, ...] = ()
 
     def to_json(self) -> str:
         """Serialise the manifest as JSON text."""
-        return json.dumps(self.__dict__, indent=2, sort_keys=True)
+        fields = {
+            key: value for key, value in self.__dict__.items() if key != "segments"
+        }
+        fields["segments"] = [segment.to_dict() for segment in self.segments]
+        return json.dumps(fields, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ArchiveManifest":
-        """Parse a manifest from JSON text."""
-        return cls(**json.loads(text))
+        """Parse a manifest from JSON text (segment-free manifests included)."""
+        fields = json.loads(text)
+        segments = tuple(
+            SegmentRecord.from_dict(segment) for segment in fields.pop("segments", [])
+        )
+        return cls(segments=segments, **fields)
 
 
 @dataclass

@@ -18,21 +18,25 @@ The :class:`Archiver` performs steps 1-6 and hands back a
 :class:`~repro.core.archive.MicrOlonysArchive`; step 7 is the
 channel's ``record``/``scan`` pair, kept separate so benchmarks can reuse one
 archive across many scanner conditions.
+
+Since the streaming pipeline landed, :class:`Archiver` is a thin wrapper
+over :class:`repro.pipeline.ArchivePipeline`: by default it keeps the
+one-shot behaviour (a single segment spanning the whole payload), while
+``segment_size`` / ``executor`` switch the same API to bounded-memory,
+optionally parallel encoding.
 """
 
 from __future__ import annotations
 
-from repro.core.archive import ArchiveManifest, MicrOlonysArchive
+from repro.core.archive import MicrOlonysArchive
 from repro.core.profiles import MediaProfile, TEST_PROFILE
-from repro.bootstrap.document import build_bootstrap
 from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dbcoder.formats import HEADER_SIZE as CONTAINER_HEADER_SIZE
 from repro.dbms.database import Database
 from repro.dbms.dump import db_dump
-from repro.dynarisc.programs import get_program
-from repro.mocoder.emblem import EmblemKind
 from repro.mocoder.mocoder import MOCoder
-from repro.nested import dynarisc_emulator_image
-from repro.util.crc import crc32_of
+from repro.pipeline.pipeline import ArchivePipeline
+from repro.pipeline.segmenter import PayloadSource, segment_count
 
 
 class Archiver:
@@ -49,6 +53,14 @@ class Archiver:
         coding for maximum density.
     outer_code:
         Whether MOCoder adds the 17+3 inter-emblem parity groups.
+    segment_size:
+        Payload bytes per pipeline segment.  ``None`` (the default) keeps
+        the historical one-shot behaviour: the whole payload is a single
+        segment and the emitted emblems are identical to pre-pipeline
+        archives.
+    executor:
+        Pipeline executor (``"serial"``, ``"thread[:N]"``, ``"process[:N]"``,
+        ``"auto"`` or a :class:`~repro.pipeline.executors.SegmentExecutor`).
     """
 
     def __init__(
@@ -56,14 +68,24 @@ class Archiver:
         profile: MediaProfile = TEST_PROFILE,
         dbcoder_profile: Profile = Profile.PORTABLE,
         outer_code: bool = True,
+        segment_size: int | None = None,
+        executor: str = "serial",
     ):
         self.profile = profile
         self.dbcoder = DBCoder(dbcoder_profile)
+        self.outer_code = outer_code
+        self.segment_size = segment_size
+        self.executor = executor
         self.mocoder = MOCoder(profile.spec, outer_code=outer_code)
-        # System emblems never need an outer code of their own in the paper's
-        # description, but losing the decoder would be fatal, so they get one
-        # too whenever the data emblems do.
-        self._system_mocoder = MOCoder(profile.spec, outer_code=outer_code)
+
+    def _pipeline(self) -> ArchivePipeline:
+        return ArchivePipeline(
+            profile=self.profile,
+            dbcoder_profile=self.dbcoder.profile,
+            outer_code=self.outer_code,
+            segment_size=self.segment_size,
+            executor=self.executor,
+        )
 
     # ------------------------------------------------------------------ #
     def archive_database(self, database: Database) -> MicrOlonysArchive:
@@ -77,46 +99,32 @@ class Archiver:
 
     def archive_bytes(self, payload: bytes, payload_kind: str = "binary") -> MicrOlonysArchive:
         """Archive an arbitrary byte payload (used for the film experiments)."""
-        # Step 2: database layout encoding.
-        container = self.dbcoder.encode(payload)
-        # Step 3: media layout encoding of the data.
-        data_stream = self.mocoder.encode(container, kind=EmblemKind.DATA)
-        # Steps 4-5: the DBCoder decoder (a DynaRisc program) becomes system emblems.
-        dbcoder_decoder = get_program("lzss_decoder")
-        system_stream = self._system_mocoder.encode(
-            dbcoder_decoder.code, kind=EmblemKind.SYSTEM
-        )
-        # Step 6: the DynaRisc emulator (VeRisc) and the MOCoder cell decoder
-        # (DynaRisc) become the Bootstrap letter pages.
-        emulator = dynarisc_emulator_image()
-        mocoder_decoder = get_program("manchester_unpack")
-        bootstrap = build_bootstrap(
-            dynarisc_emulator_image=emulator.to_bytes(),
-            mocoder_decoder_image=mocoder_decoder.code,
-            dynarisc_entry=emulator.entry,
-            mocoder_entry=mocoder_decoder.entry,
-        )
-        manifest = ArchiveManifest(
-            profile_name=self.profile.name,
-            dbcoder_profile=self.dbcoder.profile.name,
-            archive_bytes=len(payload),
-            archive_crc32=crc32_of(payload),
-            data_emblem_count=len(data_stream.emblems),
-            system_emblem_count=len(system_stream.emblems),
-            payload_kind=payload_kind,
-        )
-        return MicrOlonysArchive(
-            manifest=manifest,
-            data_emblem_images=data_stream.images(),
-            system_emblem_images=system_stream.images(),
-            bootstrap_text=bootstrap.render(),
-        )
+        return self._pipeline().archive_bytes(payload, payload_kind=payload_kind)
+
+    def archive_stream(
+        self, source: PayloadSource, payload_kind: str = "binary"
+    ) -> MicrOlonysArchive:
+        """Archive from a file object or chunk iterable, read incrementally."""
+        return self._pipeline().archive_stream(source, payload_kind=payload_kind)
 
     # ------------------------------------------------------------------ #
     def estimate_emblems(self, payload_bytes: int) -> int:
         """Estimate the number of data emblems for a payload of ``payload_bytes``.
 
-        The DBCoder container adds a fixed 20-byte header; compression is not
-        estimated (use :meth:`archive_bytes` for exact numbers).
+        Each segment's DBCoder container adds a fixed header
+        (:data:`repro.dbcoder.formats.HEADER_SIZE` bytes); compression is not
+        estimated (use :meth:`archive_bytes` for exact numbers), so for the
+        ``STORE`` profile the estimate is exact and for the compressing
+        profiles it upper-bounds compressible payloads.
         """
-        return self.mocoder.total_emblems_needed(payload_bytes + 20)
+        segments = segment_count(payload_bytes, self.segment_size)
+        total = 0
+        remaining = payload_bytes
+        for index in range(segments):
+            if self.segment_size is None:
+                length = remaining
+            else:
+                length = min(self.segment_size, remaining)
+            total += self.mocoder.total_emblems_needed(length + CONTAINER_HEADER_SIZE)
+            remaining -= length
+        return total

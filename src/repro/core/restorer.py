@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import RestorationError
-from repro.core.archive import MicrOlonysArchive
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive
 from repro.core.profiles import MediaProfile, TEST_PROFILE, get_profile
 from repro.bootstrap.document import BootstrapDocument
 from repro.dbcoder.dbcoder import DBCoder, Profile
@@ -38,6 +38,7 @@ from repro.dbms.dump import db_load
 from repro.dynarisc.emulator import DynaRiscEmulator
 from repro.mocoder.mocoder import DecodeReport, MOCoder
 from repro.nested import NestedDynaRiscMachine
+from repro.pipeline.pipeline import RestorePipeline, merge_reports
 from repro.util.crc import crc32_of
 
 #: Valid values for ``decode_mode``.
@@ -64,13 +65,32 @@ class RestorationResult:
 
 
 class Restorer:
-    """Restore databases from scanned emblem images and the Bootstrap text."""
+    """Restore databases from scanned emblem images and the Bootstrap text.
 
-    def __init__(self, profile: MediaProfile = TEST_PROFILE, decode_mode: str = "python"):
+    Parameters
+    ----------
+    profile:
+        Media profile whose emblem spec the scans were produced with.
+    decode_mode:
+        ``"python"`` / ``"dynarisc"`` / ``"nested"``; see the module docs.
+    executor:
+        Pipeline executor used for *segmented* archives — each segment's
+        MOCoder decoding is independent, so ``"process"`` decodes segments
+        in parallel.  Single-segment (one-shot) archives always decode
+        inline.
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile = TEST_PROFILE,
+        decode_mode: str = "python",
+        executor: str = "serial",
+    ):
         if decode_mode not in DECODE_MODES:
             raise ValueError(f"decode_mode must be one of {DECODE_MODES}")
         self.profile = profile
         self.decode_mode = decode_mode
+        self.executor = executor
         self.mocoder = MOCoder(profile.spec)
 
     # ------------------------------------------------------------------ #
@@ -81,6 +101,7 @@ class Restorer:
             system_images=archive.system_emblem_images,
             bootstrap_text=archive.bootstrap_text,
             payload_kind=archive.manifest.payload_kind,
+            manifest=archive.manifest,
         )
 
     def restore_via_channel(
@@ -95,6 +116,7 @@ class Restorer:
             system_images=system_scans,
             bootstrap_text=archive.bootstrap_text,
             payload_kind=archive.manifest.payload_kind,
+            manifest=archive.manifest,
         )
 
     # ------------------------------------------------------------------ #
@@ -104,8 +126,14 @@ class Restorer:
         system_images: list[np.ndarray] | None = None,
         bootstrap_text: str | None = None,
         payload_kind: str = "sql",
+        manifest: ArchiveManifest | None = None,
     ) -> RestorationResult:
         """Run restoration steps 1-6 on scanned images.
+
+        When a ``manifest`` with more than one segment record is provided,
+        step 5 runs per segment (independently, optionally in parallel via
+        the configured ``executor``); otherwise the whole data stream is
+        decoded at once, exactly as before the pipeline existed.
 
         Raises
         ------
@@ -134,33 +162,15 @@ class Restorer:
                 f"{system_report.rs_corrections} symbol corrections"
             )
 
-        # Step 5a: recover the DBCoder container from the data emblems.
-        container, data_report = self.mocoder.decode(data_images)
-
-        # Step 5b: run the database-layout decoder.
-        header, payload_stream = unpack_container(container)
-        profile = Profile(header.profile_id)
-        if self.decode_mode == "python" or decoder_code is None:
-            payload = DBCoder.decompress_payload(payload_stream, profile)
-            if self.decode_mode != "python":
-                notes.append(
-                    "no system emblems were provided; fell back to the reference decoder"
-                )
-        else:
-            if profile != Profile.PORTABLE:
-                raise RestorationError(
-                    f"the archived DynaRisc decoder handles the PORTABLE profile; "
-                    f"this archive used {profile.name}"
-                )
-            payload, emulator_steps = self._run_archived_decoder(decoder_code, payload_stream)
-            notes.append(
-                f"database layout decoded under the {self.decode_mode} emulator "
-                f"({emulator_steps} emulated steps)"
+        # Step 5: recover the payload — per segment when the manifest
+        # describes a segmented archive, as one stream otherwise.
+        if manifest is not None and len(manifest.segments) > 1:
+            payload, data_report, emulator_steps = self._restore_segmented(
+                manifest, data_images, decoder_code, notes
             )
-        if len(payload) != header.original_length or crc32_of(payload) != header.original_crc32:
-            raise RestorationError(
-                "restored stream does not match the archived length/CRC; "
-                "the restoration is not bit-for-bit"
+        else:
+            payload, data_report, emulator_steps = self._restore_whole_stream(
+                data_images, decoder_code, notes
             )
 
         # Step 6: load the SQL archive into a present-day database.
@@ -180,6 +190,97 @@ class Restorer:
             emulator_steps=emulator_steps,
             notes=notes,
         )
+
+    # ------------------------------------------------------------------ #
+    def _restore_whole_stream(
+        self,
+        data_images: list[np.ndarray],
+        decoder_code: bytes | None,
+        notes: list[str],
+    ) -> tuple[bytes, DecodeReport, int]:
+        """Steps 5a-5b over the whole data stream (one-shot archives)."""
+        container, data_report = self.mocoder.decode(data_images)
+        header, payload_stream = unpack_container(container)
+        profile = Profile(header.profile_id)
+        emulator_steps = 0
+        if self.decode_mode == "python" or decoder_code is None:
+            payload = DBCoder.decompress_payload(payload_stream, profile)
+            if self.decode_mode != "python":
+                notes.append(
+                    "no system emblems were provided; fell back to the reference decoder"
+                )
+        else:
+            self._require_portable(profile)
+            payload, emulator_steps = self._run_archived_decoder(decoder_code, payload_stream)
+            notes.append(
+                f"database layout decoded under the {self.decode_mode} emulator "
+                f"({emulator_steps} emulated steps)"
+            )
+        if len(payload) != header.original_length or crc32_of(payload) != header.original_crc32:
+            raise RestorationError(
+                "restored stream does not match the archived length/CRC; "
+                "the restoration is not bit-for-bit"
+            )
+        return payload, data_report, emulator_steps
+
+    def _restore_segmented(
+        self,
+        manifest: ArchiveManifest,
+        data_images: list[np.ndarray],
+        decoder_code: bytes | None,
+        notes: list[str],
+    ) -> tuple[bytes, DecodeReport, int]:
+        """Steps 5a-5b per segment, via the restore pipeline."""
+        pipeline = RestorePipeline(self.profile, executor=self.executor)
+        emulator_steps = 0
+        if self.decode_mode == "python" or decoder_code is None:
+            if self.decode_mode != "python":
+                notes.append(
+                    "no system emblems were provided; fell back to the reference decoder"
+                )
+            payload, data_report, records = pipeline.restore_payload(manifest, data_images)
+            notes.append(
+                f"{len(records)} segments decoded independently "
+                f"(executor: {self.executor})"
+            )
+            return payload, data_report, emulator_steps
+
+        # Emulated modes: the pipeline decodes each segment down to its
+        # DBCoder container; the archived decoder then runs per segment.
+        parts: list[bytes] = []
+        reports: list[DecodeReport] = []
+        for record, container, report in pipeline.iter_decode_containers(
+            manifest, data_images
+        ):
+            header, payload_stream = unpack_container(container)
+            self._require_portable(Profile(header.profile_id))
+            part, steps = self._run_archived_decoder(decoder_code, payload_stream)
+            emulator_steps += steps
+            if len(part) != header.original_length or crc32_of(part) != header.original_crc32:
+                raise RestorationError(
+                    f"segment {record.index}: restored stream does not match the "
+                    "archived length/CRC; the restoration is not bit-for-bit"
+                )
+            parts.append(part)
+            reports.append(report)
+        payload = b"".join(parts)
+        if len(payload) != manifest.archive_bytes or crc32_of(payload) != manifest.archive_crc32:
+            raise RestorationError(
+                "reassembled payload does not match the manifest's archive "
+                "length/CRC; the restoration is not bit-for-bit"
+            )
+        notes.append(
+            f"{len(reports)} segments decoded under the {self.decode_mode} emulator "
+            f"({emulator_steps} emulated steps)"
+        )
+        return payload, merge_reports(reports), emulator_steps
+
+    def _require_portable(self, profile: Profile) -> None:
+        if profile != Profile.PORTABLE:
+            raise RestorationError(
+                f"the archived DynaRisc decoder handles the PORTABLE profile; "
+                f"this archive used {profile.name}"
+            )
 
     # ------------------------------------------------------------------ #
     def _run_archived_decoder(self, decoder_code: bytes, stream: bytes) -> tuple[bytes, int]:

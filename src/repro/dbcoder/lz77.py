@@ -37,12 +37,19 @@ MIN_MATCH = 3
 MAX_MATCH = 18
 
 
+#: Longest hash chain the compressor walks per position.  128 recent
+#: candidates recover effectively all of the exhaustive search's ratio on
+#: text/SQL payloads while bounding the worst case on pathological inputs.
+MAX_CHAIN = 128
+
+
 def _find_longest_match(data: bytes, pos: int, limit: int) -> tuple[int, int]:
     """Return ``(offset, length)`` of the longest window match at ``pos``.
 
-    Uses ``bytes.rfind`` so the scanning runs at C speed; candidate start
-    positions are restricted to the 4095-byte window ending just before
-    ``pos``.  Returns ``(0, 0)`` when no match of at least MIN_MATCH exists.
+    The exhaustive reference matcher (``bytes.rfind`` per candidate length
+    over the whole 4095-byte window).  The production compressor uses hash
+    chains instead; this stays as the ground truth for the equivalence
+    tests.  Returns ``(0, 0)`` when no match of at least MIN_MATCH exists.
     """
     best_offset = 0
     best_length = 0
@@ -61,8 +68,16 @@ def _find_longest_match(data: bytes, pos: int, limit: int) -> tuple[int, int]:
     return best_offset, best_length
 
 
-def lzss_compress(data: bytes) -> bytes:
-    """Compress ``data`` with greedy LZSS parsing.
+def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN) -> bytes:
+    """Compress ``data`` with greedy LZSS parsing over hash chains.
+
+    Every position is filed under its 3-byte prefix; matching walks the
+    chain of previous occurrences newest-first (so ties keep the smallest
+    offset, like the reference matcher), stopping early when the maximum
+    encodable length is reached or ``max_chain`` candidates were tried.
+    This replaces the old per-byte window scan (~1 ``rfind`` over 4 KiB per
+    input byte) and compresses several times faster at near-identical
+    ratios; the stream format is unchanged.
 
     Empty input compresses to an empty stream.
     """
@@ -76,6 +91,8 @@ def lzss_compress(data: bytes) -> bytes:
     flag_count = 0
     group = bytearray()
     pos = 0
+    head: dict[int, int] = {}
+    prev = [-1] * max(0, n - 2)
 
     def flush_group() -> None:
         nonlocal flags, flag_count, group
@@ -88,17 +105,46 @@ def lzss_compress(data: bytes) -> bytes:
 
     while pos < n:
         limit = min(MAX_MATCH, n - pos)
-        offset, length = (0, 0)
+        best_offset = 0
+        best_length = 0
         if limit >= MIN_MATCH:
-            offset, length = _find_longest_match(data, pos, limit)
-        if length >= MIN_MATCH:
-            group.append(offset & 0xFF)
-            group.append(((offset >> 8) << 4) | (length - MIN_MATCH))
-            pos += length
+            key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
+            candidate = head.get(key, -1)
+            window_start = pos - (WINDOW_SIZE - 1)
+            chain = max_chain
+            while candidate >= 0 and candidate >= window_start and chain > 0:
+                chain -= 1
+                # A longer match must extend past the current best; one byte
+                # rejects most candidates without a full comparison.
+                if not best_length or data[candidate + best_length] == data[pos + best_length]:
+                    length = 0
+                    while length < limit and data[candidate + length] == data[pos + length]:
+                        length += 1
+                    if length > best_length:
+                        best_length = length
+                        best_offset = pos - candidate
+                        if length == limit:
+                            break
+                candidate = prev[candidate]
+        if best_length >= MIN_MATCH:
+            group.append(best_offset & 0xFF)
+            group.append(((best_offset >> 8) << 4) | (best_length - MIN_MATCH))
+            advance = best_length
         else:
             flags |= 1 << flag_count
             group.append(data[pos])
+            advance = 1
+        # File every consumed position under its 3-byte prefix so later
+        # positions can match into the span we just emitted (positions in
+        # the final two bytes have no full key and are skipped).
+        next_pos = pos + advance
+        insert_end = min(next_pos, n - 2)
+        while pos < insert_end:
+            key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
+            prev[pos] = head.get(key, -1)
+            head[key] = pos
             pos += 1
+        pos = next_pos
         flag_count += 1
         if flag_count == 8:
             flush_group()

@@ -31,7 +31,7 @@ import numpy as np
 from repro.errors import EmblemDetectionError, EmblemFormatError
 from repro.mocoder.interleave import deinterleave_blocks, interleave_blocks
 from repro.mocoder.manchester import manchester_decode, manchester_encode_fast
-from repro.mocoder.reed_solomon import ReedSolomonCode
+from repro.mocoder.reed_solomon import ReedSolomonCode, get_code
 from repro.util.bits import bits_to_bytes, bytes_to_bits
 from repro.util.crc import crc32_of
 
@@ -163,8 +163,8 @@ class EmblemSpec:
         return self.protected_byte_capacity - EmblemHeader.SIZE
 
     def inner_code(self) -> ReedSolomonCode:
-        """The inner Reed-Solomon code configured by this spec."""
-        return ReedSolomonCode(self.rs_codeword, self.rs_data)
+        """The inner Reed-Solomon code configured by this spec (shared/cached)."""
+        return get_code(self.rs_codeword, self.rs_data)
 
 
 # --------------------------------------------------------------------------- #
@@ -262,7 +262,10 @@ class Emblem:
         image = np.full((spec.total_cells_y, spec.total_cells_x), WHITE, dtype=np.uint8)
         image[cells == 1] = BLACK
         if spec.cell_pixels > 1:
-            image = np.kron(image, np.ones((spec.cell_pixels, spec.cell_pixels), dtype=np.uint8))
+            # Equivalent to np.kron with a ones block, but an order of
+            # magnitude faster: two contiguous repeats instead of an outer
+            # product + reshape.
+            image = image.repeat(spec.cell_pixels, axis=0).repeat(spec.cell_pixels, axis=1)
         return image
 
     def _build_cell_grid(self) -> np.ndarray:
@@ -366,10 +369,13 @@ class EmblemSampler:
 
     def __init__(self, spec: EmblemSpec, image: np.ndarray):
         self.spec = spec
-        self.image = np.asarray(image, dtype=np.float64)
+        raw = np.asarray(image)
+        self.image = raw.astype(np.float64)
         if self.image.ndim != 2:
             raise EmblemDetectionError("expected a single-channel grayscale scan")
-        self.threshold = otsu_threshold(self.image)
+        # Threshold from the raw array: uint8 scans take the fast
+        # bincount-based histogram path inside otsu_threshold.
+        self.threshold = otsu_threshold(raw)
         self._locate_frame()
         self._verify_header_band()
 
@@ -438,10 +444,18 @@ class EmblemSampler:
         return xs, ys
 
     def _sample_at(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        """Sample the image at the given positions (mean of a small cross)."""
+        """Sample the image at the given positions (mean of a small cross).
+
+        The +-1-pixel cross is only averaged in when a cell spans at least
+        3 pixels in the scan; on finer grids (e.g. 2 px/cell emblems read
+        without scanner upsampling) the cross arms would land in the
+        *neighbouring* cells and corrupt every sample.
+        """
         height, width = self.image.shape
         xs = np.clip(np.round(xs).astype(np.int64), 0, width - 1)
         ys = np.clip(np.round(ys).astype(np.int64), 0, height - 1)
+        if min(self.cell_width, self.cell_height) < 3.0:
+            return self.image[ys, xs]
         total = np.zeros(xs.shape, dtype=np.float64)
         for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)):
             sample_x = np.clip(xs + dx, 0, width - 1)
@@ -491,9 +505,17 @@ class EmblemSampler:
 
 def otsu_threshold(image: np.ndarray) -> float:
     """Otsu's threshold on a grayscale image (used to binarise scans)."""
-    values = np.asarray(image, dtype=np.float64).ravel()
-    histogram, bin_edges = np.histogram(values, bins=256, range=(0.0, 256.0))
-    histogram = histogram.astype(np.float64)
+    raw = np.asarray(image)
+    if raw.dtype == np.uint8:
+        # Same bins as np.histogram(range=(0, 256), bins=256) — every uint8
+        # value v lands in bin v — but an order of magnitude faster.
+        histogram = np.bincount(raw.ravel(), minlength=256).astype(np.float64)
+        bin_edges = np.arange(257, dtype=np.float64)
+        values = raw.reshape(-1)
+    else:
+        values = raw.astype(np.float64).ravel()
+        histogram, bin_edges = np.histogram(values, bins=256, range=(0.0, 256.0))
+        histogram = histogram.astype(np.float64)
     total = histogram.sum()
     if total == 0:
         return 128.0

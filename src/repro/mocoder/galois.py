@@ -36,6 +36,22 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 EXP_TABLE, LOG_TABLE = _build_tables()
 
 
+def _build_mul_table() -> np.ndarray:
+    values = np.arange(1, 256)
+    table = np.zeros((256, 256), dtype=np.uint8)
+    table[1:, 1:] = EXP_TABLE[
+        LOG_TABLE[values][:, None] + LOG_TABLE[values][None, :]
+    ].astype(np.uint8)
+    return table
+
+
+#: Full 256 x 256 multiplication table (64 KB, fits in L1/L2 cache).  A single
+#: fancy-indexed gather ``MUL_TABLE[a, b]`` multiplies whole arrays with the
+#: zero rows/columns handling a*0 = 0 for free — the fastest path for the
+#: vectorised encoder and syndrome computation.
+MUL_TABLE = _build_mul_table()
+
+
 def gf_mul(a: int, b: int) -> int:
     """Multiply two field elements."""
     if a == 0 or b == 0:

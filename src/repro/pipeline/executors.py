@@ -1,0 +1,157 @@
+"""Pluggable executors for the streaming pipeline's per-segment work.
+
+Segments are independent, so the pipeline maps a pure function over them.
+The executor decides *where* that function runs:
+
+* :class:`SerialExecutor` — inline, in submission order (zero overhead, the
+  default, and the reference every parallel backend must match byte for
+  byte);
+* :class:`ThreadPoolSegmentExecutor` — a ``concurrent.futures`` thread pool;
+  the encode hot loops are numpy-heavy and release the GIL for much of their
+  time;
+* :class:`ProcessPoolSegmentExecutor` — a ``concurrent.futures`` process
+  pool for CPU-bound stages (the LZSS compressor is pure Python and scales
+  with processes, not threads).
+
+All executors preserve submission order and bound the number of in-flight
+segments, so downstream consumers see a deterministic stream and peak memory
+stays proportional to ``window``, not to the payload.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from typing import Callable, Iterable, Iterator, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Names accepted by :func:`get_executor`.
+EXECUTOR_NAMES = ("serial", "thread", "process", "auto")
+
+
+class SegmentExecutor:
+    """Base class: ordered, bounded mapping of a function over segments."""
+
+    name = "base"
+
+    def map_ordered(
+        self, function: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> Iterator[ResultT]:
+        """Apply ``function`` to every item, yielding results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "SegmentExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(SegmentExecutor):
+    """Run every segment inline on the calling thread."""
+
+    name = "serial"
+
+    def map_ordered(self, function, items):
+        for item in items:
+            yield function(item)
+
+
+class _PoolExecutor(SegmentExecutor):
+    """Shared logic for the ``concurrent.futures``-backed executors.
+
+    Keeps at most ``window`` futures in flight (default ``2 * workers``) and
+    yields results in submission order, so memory is bounded and output is
+    deterministic regardless of worker scheduling.
+    """
+
+    def __init__(self, workers: int | None = None, window: int | None = None):
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.window = max(1, window if window is not None else 2 * self.workers)
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_ordered(self, function, items):
+        pending: deque[Future] = deque()
+        iterator = iter(items)
+        exhausted = False
+        try:
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append(self.pool.submit(function, item))
+                if pending:
+                    yield pending.popleft().result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolSegmentExecutor(_PoolExecutor):
+    """Bounded-window thread-pool executor."""
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessPoolSegmentExecutor(_PoolExecutor):
+    """Bounded-window process-pool executor.
+
+    The mapped function and its arguments must be picklable; the pipeline's
+    segment jobs are module-level functions over plain data for exactly this
+    reason.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def get_executor(spec: "str | SegmentExecutor | None") -> SegmentExecutor:
+    """Resolve an executor from a name, ``"name:workers"`` spec, or instance.
+
+    ``"serial"`` (and ``None``) run inline; ``"thread"`` / ``"process"`` use
+    all visible CPUs; ``"thread:4"`` pins the worker count; ``"auto"`` picks
+    a process pool when more than one CPU is visible and serial otherwise.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, SegmentExecutor):
+        return spec
+    name, _, count = str(spec).partition(":")
+    workers = int(count) if count else None
+    if name == "auto":
+        name = "process" if (os.cpu_count() or 1) > 1 else "serial"
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadPoolSegmentExecutor(workers=workers)
+    if name == "process":
+        return ProcessPoolSegmentExecutor(workers=workers)
+    raise ValueError(f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}")

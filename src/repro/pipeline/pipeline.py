@@ -1,0 +1,432 @@
+"""The streaming, chunked archival/restore pipeline.
+
+The one-shot flow of :mod:`repro.core.archiver` materialises the payload,
+the DBCoder container and every emblem raster at once; fine for the paper's
+1.2 MB SQL archive, hopeless for multi-gigabyte dumps.  This module splits
+the same seven-step flow (Figure 2a) at the payload layer:
+
+* the :mod:`~repro.pipeline.segmenter` slices the payload into fixed-size
+  segments, reading file-like sources incrementally;
+* each segment runs **DBCoder encode + MOCoder encode** independently — its
+  own container, its own emblem stream, its own outer-code parity groups —
+  through a pluggable :mod:`~repro.pipeline.executors` backend (serial,
+  thread pool, process pool);
+* emblem batches are emitted *incrementally and in payload order*, so a
+  consumer can write frames to the recorder as they appear; peak memory is
+  bounded by ``segment_size * executor.window`` instead of the payload size.
+
+Restoration mirrors the split: every :class:`~repro.core.archive.
+SegmentRecord` names the emblem frames of one segment, so segments decode
+independently (and in parallel), and damage in one segment never forces the
+others to be re-decoded.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
+from repro.core.profiles import MediaProfile, TEST_PROFILE
+from repro.bootstrap.document import build_bootstrap
+from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dynarisc.programs import get_program
+from repro.errors import RestorationError
+from repro.mocoder.emblem import EmblemKind, EmblemSpec
+from repro.mocoder.mocoder import DecodeReport, MOCoder
+from repro.nested import dynarisc_emulator_image
+from repro.pipeline.executors import SegmentExecutor, get_executor
+from repro.pipeline.segmenter import (
+    DEFAULT_SEGMENT_SIZE,
+    PayloadSource,
+    iter_segments,
+)
+from repro.util.crc import crc32_of
+
+__all__ = [
+    "ArchivePipeline",
+    "RestorePipeline",
+    "EncodedSegment",
+    "DecodedSegment",
+    "build_system_artifacts",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Per-segment jobs (module-level and plain-data so process pools can use them)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _EncodeJob:
+    spec: EmblemSpec
+    dbcoder_profile: int
+    outer_code: bool
+    kind: int
+    index: int
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class _EncodeResult:
+    index: int
+    offset: int
+    length: int
+    crc32: int
+    container_bytes: int
+    images: list
+
+
+def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
+    """Steps 2-3 for one segment: DBCoder container -> emblem rasters."""
+    container = DBCoder(Profile(job.dbcoder_profile)).encode(job.data)
+    mocoder = MOCoder(job.spec, outer_code=job.outer_code)
+    stream = mocoder.encode(container, kind=EmblemKind(job.kind))
+    return _EncodeResult(
+        index=job.index,
+        offset=job.offset,
+        length=len(job.data),
+        crc32=crc32_of(job.data),
+        container_bytes=len(container),
+        images=stream.images(),
+    )
+
+
+@dataclass(frozen=True)
+class _DecodeJob:
+    spec: EmblemSpec
+    record: SegmentRecord
+    images: list
+    decode_payload: bool
+
+
+@dataclass(frozen=True)
+class _DecodeResult:
+    record: SegmentRecord
+    payload: bytes | None
+    container: bytes
+    report: DecodeReport
+
+
+def _decode_segment_job(job: _DecodeJob) -> _DecodeResult:
+    """Step 5 for one segment: scanned rasters -> container (-> payload)."""
+    mocoder = MOCoder(job.spec)
+    container, report = mocoder.decode(list(job.images))
+    payload = None
+    if job.decode_payload:
+        payload = DBCoder().decode(container)
+        if len(payload) != job.record.length or crc32_of(payload) != job.record.crc32:
+            raise RestorationError(
+                f"segment {job.record.index}: restored bytes do not match the "
+                "manifest's segment length/CRC"
+            )
+    return _DecodeResult(
+        record=job.record, payload=payload, container=container, report=report
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Public result types
+# --------------------------------------------------------------------------- #
+@dataclass
+class EncodedSegment:
+    """One segment's emblem batch, emitted incrementally by the pipeline."""
+
+    record: SegmentRecord
+    images: list[np.ndarray]
+
+
+@dataclass
+class DecodedSegment:
+    """One segment restored back to payload bytes."""
+
+    record: SegmentRecord
+    payload: bytes
+    report: DecodeReport
+
+
+def merge_reports(reports: Iterable[DecodeReport]) -> DecodeReport:
+    """Aggregate per-segment decode statistics into one report."""
+    merged = DecodeReport()
+    for report in reports:
+        merged.emblems_seen += report.emblems_seen
+        merged.emblems_decoded += report.emblems_decoded
+        merged.emblems_failed += report.emblems_failed
+        merged.rs_corrections += report.rs_corrections
+        merged.groups_reconstructed += report.groups_reconstructed
+        merged.failures.extend(report.failures)
+    return merged
+
+
+def build_system_artifacts(
+    profile: MediaProfile, outer_code: bool = True
+) -> tuple[list[np.ndarray], str]:
+    """Steps 4-6, shared by the one-shot and streaming archivers.
+
+    Returns the system emblem images (the archived DBCoder decoder) and the
+    rendered Bootstrap text; neither depends on the payload, so the pipeline
+    builds them once per archive regardless of the segment count.
+    """
+    system_mocoder = MOCoder(profile.spec, outer_code=outer_code)
+    dbcoder_decoder = get_program("lzss_decoder")
+    system_stream = system_mocoder.encode(dbcoder_decoder.code, kind=EmblemKind.SYSTEM)
+    emulator = dynarisc_emulator_image()
+    mocoder_decoder = get_program("manchester_unpack")
+    bootstrap = build_bootstrap(
+        dynarisc_emulator_image=emulator.to_bytes(),
+        mocoder_decoder_image=mocoder_decoder.code,
+        dynarisc_entry=emulator.entry,
+        mocoder_entry=mocoder_decoder.entry,
+    )
+    return system_stream.images(), bootstrap.render()
+
+
+# --------------------------------------------------------------------------- #
+# Archival
+# --------------------------------------------------------------------------- #
+class ArchivePipeline:
+    """Streaming, chunked archival: payload source -> emblem batches.
+
+    Parameters
+    ----------
+    profile:
+        Media profile selecting the emblem geometry.
+    dbcoder_profile:
+        DBCoder compression profile applied to every segment.
+    outer_code:
+        Whether each segment's emblem stream gets 17+3 parity groups.
+    segment_size:
+        Payload bytes per segment; ``None`` keeps the whole payload in one
+        segment (the one-shot behaviour).
+    executor:
+        Executor name (``"serial"``, ``"thread[:N]"``, ``"process[:N]"``,
+        ``"auto"``) or a :class:`~repro.pipeline.executors.SegmentExecutor`
+        instance.
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile = TEST_PROFILE,
+        dbcoder_profile: Profile = Profile.PORTABLE,
+        outer_code: bool = True,
+        segment_size: int | None = DEFAULT_SEGMENT_SIZE,
+        executor: str | SegmentExecutor = "serial",
+    ):
+        self.profile = profile
+        self.dbcoder_profile = Profile(dbcoder_profile)
+        self.outer_code = outer_code
+        self.segment_size = segment_size
+        self.executor = executor
+        self._owns_executor = not isinstance(executor, SegmentExecutor)
+
+    # ------------------------------------------------------------------ #
+    def iter_encode(
+        self,
+        source: PayloadSource,
+        kind: EmblemKind = EmblemKind.DATA,
+        _tally: "_CrcTally | None" = None,
+    ) -> Iterator[EncodedSegment]:
+        """Encode ``source`` segment by segment, yielding emblem batches.
+
+        Batches arrive in payload order; only ``executor.window`` segments
+        are in flight at once, so a consumer that writes each batch to the
+        medium and drops it holds O(segment) memory for any payload size.
+        """
+        executor = get_executor(self.executor)
+
+        def jobs() -> Iterator[_EncodeJob]:
+            for segment in iter_segments(source, self.segment_size):
+                if _tally is not None:
+                    _tally.update(segment.data)
+                yield _EncodeJob(
+                    spec=self.profile.spec,
+                    dbcoder_profile=int(self.dbcoder_profile),
+                    outer_code=self.outer_code,
+                    kind=int(kind),
+                    index=segment.index,
+                    offset=segment.offset,
+                    data=segment.data,
+                )
+
+        emblem_start = 0
+        try:
+            for result in executor.map_ordered(_encode_segment_job, jobs()):
+                record = SegmentRecord(
+                    index=result.index,
+                    offset=result.offset,
+                    length=result.length,
+                    crc32=result.crc32,
+                    emblem_start=emblem_start,
+                    emblem_count=len(result.images),
+                    container_bytes=result.container_bytes,
+                )
+                emblem_start += record.emblem_count
+                yield EncodedSegment(record=record, images=result.images)
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    # ------------------------------------------------------------------ #
+    def archive_stream(
+        self, source: PayloadSource, payload_kind: str = "binary"
+    ) -> MicrOlonysArchive:
+        """Run the full archival flow over a streaming source.
+
+        This *collects* every emblem batch into a
+        :class:`~repro.core.archive.MicrOlonysArchive` artefact — callers
+        that must stay memory-bounded should consume :meth:`iter_encode`
+        directly and persist batches as they arrive.
+        """
+        records: list[SegmentRecord] = []
+        data_images: list[np.ndarray] = []
+        tally = _CrcTally()
+        for batch in self.iter_encode(source, _tally=tally):
+            records.append(batch.record)
+            data_images.extend(batch.images)
+        system_images, bootstrap_text = build_system_artifacts(
+            self.profile, outer_code=self.outer_code
+        )
+        manifest = ArchiveManifest(
+            profile_name=self.profile.name,
+            dbcoder_profile=self.dbcoder_profile.name,
+            archive_bytes=tally.length,
+            archive_crc32=tally.crc,
+            data_emblem_count=len(data_images),
+            system_emblem_count=len(system_images),
+            payload_kind=payload_kind,
+            segment_size=self.segment_size,
+            segments=tuple(records),
+        )
+        return MicrOlonysArchive(
+            manifest=manifest,
+            data_emblem_images=data_images,
+            system_emblem_images=system_images,
+            bootstrap_text=bootstrap_text,
+        )
+
+    def archive_bytes(
+        self, payload: bytes, payload_kind: str = "binary"
+    ) -> MicrOlonysArchive:
+        """Archive an in-memory byte payload (convenience wrapper)."""
+        return self.archive_stream(payload, payload_kind=payload_kind)
+
+
+class _CrcTally:
+    """Running CRC-32 / length over the payload, fed as segments are read.
+
+    Segments are generated strictly in payload order (the executors only
+    parallelise the *encoding*, never the reading), so chaining
+    ``zlib.crc32`` per segment yields exactly the CRC of the whole payload
+    without ever holding more than one segment in memory.
+    """
+
+    def __init__(self) -> None:
+        self.crc = 0
+        self.length = 0
+
+    def update(self, data: bytes) -> None:
+        self.crc = zlib.crc32(data, self.crc) & 0xFFFFFFFF
+        self.length += len(data)
+
+
+# --------------------------------------------------------------------------- #
+# Restoration
+# --------------------------------------------------------------------------- #
+class RestorePipeline:
+    """Per-segment restoration: scanned emblem rasters -> payload bytes."""
+
+    def __init__(
+        self,
+        profile: MediaProfile = TEST_PROFILE,
+        executor: str | SegmentExecutor = "serial",
+    ):
+        self.profile = profile
+        self.executor = executor
+        self._owns_executor = not isinstance(executor, SegmentExecutor)
+
+    # ------------------------------------------------------------------ #
+    def _iter_jobs(
+        self,
+        manifest: ArchiveManifest,
+        data_images: list[np.ndarray],
+        decode_payload: bool,
+    ) -> Iterator[_DecodeJob]:
+        for record in manifest.segments:
+            end = record.emblem_start + record.emblem_count
+            if end > len(data_images):
+                raise RestorationError(
+                    f"segment {record.index} expects emblem frames "
+                    f"{record.emblem_start}..{end - 1} but only "
+                    f"{len(data_images)} scans were provided; segmented "
+                    "restore needs one scan per recorded frame (damaged "
+                    "frames may be blank, but not absent)"
+                )
+            yield _DecodeJob(
+                spec=self.profile.spec,
+                record=record,
+                images=data_images[record.emblem_start:end],
+                decode_payload=decode_payload,
+            )
+
+    def iter_decode(
+        self, manifest: ArchiveManifest, data_images: list[np.ndarray]
+    ) -> Iterator[DecodedSegment]:
+        """Decode each segment independently, in payload order."""
+        executor = get_executor(self.executor)
+        try:
+            for result in executor.map_ordered(
+                _decode_segment_job, self._iter_jobs(manifest, data_images, True)
+            ):
+                yield DecodedSegment(
+                    record=result.record, payload=result.payload, report=result.report
+                )
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    def iter_decode_containers(
+        self, manifest: ArchiveManifest, data_images: list[np.ndarray]
+    ) -> Iterator[tuple[SegmentRecord, bytes, DecodeReport]]:
+        """Decode each segment only down to its DBCoder container.
+
+        Used by the emulated restoration modes, where the database-layout
+        decoding runs under DynaRisc/VeRisc in the caller's control.
+        """
+        executor = get_executor(self.executor)
+        try:
+            for result in executor.map_ordered(
+                _decode_segment_job, self._iter_jobs(manifest, data_images, False)
+            ):
+                yield result.record, result.container, result.report
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    # ------------------------------------------------------------------ #
+    def restore_payload(
+        self, manifest: ArchiveManifest, data_images: list[np.ndarray]
+    ) -> tuple[bytes, DecodeReport, list[SegmentRecord]]:
+        """Restore the whole payload via per-segment decoding.
+
+        Raises
+        ------
+        RestorationError
+            If any segment fails its integrity checks or the reassembled
+            payload does not match the manifest's archive CRC.
+        """
+        parts: list[bytes] = []
+        reports: list[DecodeReport] = []
+        records: list[SegmentRecord] = []
+        for decoded in self.iter_decode(manifest, data_images):
+            parts.append(decoded.payload)
+            reports.append(decoded.report)
+            records.append(decoded.record)
+        payload = b"".join(parts)
+        if len(payload) != manifest.archive_bytes or crc32_of(payload) != manifest.archive_crc32:
+            raise RestorationError(
+                "reassembled payload does not match the manifest's archive "
+                "length/CRC; the restoration is not bit-for-bit"
+            )
+        return payload, merge_reports(reports), records

@@ -1,0 +1,59 @@
+"""Golden regression test for the rendered Bootstrap document.
+
+The Bootstrap is the one artefact a future user holds with *no* software to
+check it against: its text embeds the VeRisc pseudocode and the
+letter-encoded DynaRisc emulator + MOCoder decoder images.  Any change to
+the emulator image, the decoder programs, the letter codec or the document
+layout changes what would be printed on paper — that must only ever happen
+deliberately.
+
+The golden copy is checked in at ``tests/golden/bootstrap_test_profile.txt``.
+When a decoder-image change is intentional, regenerate it with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_bootstrap_golden.py
+
+and review the resulting diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+from repro import TEST_PROFILE
+from repro.bootstrap.document import BootstrapDocument
+from repro.pipeline.pipeline import build_system_artifacts
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "bootstrap_test_profile.txt"
+
+
+def rendered_bootstrap() -> str:
+    _, bootstrap_text = build_system_artifacts(TEST_PROFILE)
+    return bootstrap_text
+
+
+def test_bootstrap_matches_golden_copy():
+    rendered = rendered_bootstrap()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.write_text(rendered)
+    golden = GOLDEN_PATH.read_text()
+    assert rendered == golden, (
+        "the rendered Bootstrap document changed — the archived decoder "
+        "images or the document layout differ from the checked-in golden "
+        "copy.  If this is deliberate, regenerate with "
+        "REPRO_REGEN_GOLDEN=1 and review the diff."
+    )
+
+
+def test_golden_copy_is_a_valid_bootstrap():
+    """The checked-in text still parses and passes every section CRC."""
+    document = BootstrapDocument.parse(GOLDEN_PATH.read_text())
+    names = [section.name for section in document.sections]
+    assert names == ["DYNARISC-EMULATOR", "MOCODER-DECODER"]
+    assert all(section.payload for section in document.sections)
+
+
+def test_bootstrap_is_profile_independent():
+    """System artefacts depend on the decoder images, not the media profile."""
+    from repro.core.profiles import MICROFILM_PROFILE
+
+    _, other = build_system_artifacts(MICROFILM_PROFILE)
+    assert other == rendered_bootstrap()

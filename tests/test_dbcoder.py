@@ -47,6 +47,47 @@ class TestLZSS:
     def test_roundtrip_property(self, data):
         assert lzss_decompress(lzss_compress(data)) == data
 
+    @given(st.binary(max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_chain_matches_reference_matcher(self, data):
+        """The hash-chain compressor emits what the exhaustive matcher would.
+
+        With an unbound chain both searches consider every window candidate
+        and share the newest-candidate tie-break, so the streams must be
+        byte-identical (the production MAX_CHAIN cap may diverge — only on
+        inputs where a 3-byte prefix repeats > MAX_CHAIN times in-window).
+        """
+        from repro.dbcoder.lz77 import MAX_MATCH, MIN_MATCH, _find_longest_match
+
+        reference = bytearray()
+        flags = 0
+        flag_count = 0
+        group = bytearray()
+        pos = 0
+        while pos < len(data):
+            limit = min(MAX_MATCH, len(data) - pos)
+            offset, length = (0, 0)
+            if limit >= MIN_MATCH:
+                offset, length = _find_longest_match(data, pos, limit)
+            if length >= MIN_MATCH:
+                group.append(offset & 0xFF)
+                group.append(((offset >> 8) << 4) | (length - MIN_MATCH))
+                pos += length
+            else:
+                flags |= 1 << flag_count
+                group.append(data[pos])
+                pos += 1
+            flag_count += 1
+            if flag_count == 8:
+                reference.append(flags)
+                reference.extend(group)
+                flags = flag_count = 0
+                group = bytearray()
+        if flag_count:
+            reference.append(flags)
+            reference.extend(group)
+        assert lzss_compress(data, max_chain=1 << 30) == bytes(reference)
+
 
 class TestArithmeticCoder:
     def test_roundtrip_text(self, sql_sample):

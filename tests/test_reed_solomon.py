@@ -83,6 +83,25 @@ class TestInnerCode:
         with pytest.raises(ValueError):
             ReedSolomonCode(20, 20)
 
+    @pytest.mark.parametrize("n,k", [(255, 223), (20, 17)])
+    def test_vectorised_encode_matches_reference(self, rng, n, k):
+        """The parity-matrix encoder equals the LFSR reference, per block."""
+        code = ReedSolomonCode(n, k)
+        data = rng.integers(0, 256, size=(40, k), dtype=np.int32)
+        assert np.array_equal(code.encode_blocks(data), code._encode_blocks_reference(data))
+
+    @pytest.mark.parametrize("n,k", [(255, 223), (20, 17)])
+    def test_vectorised_syndromes_match_reference(self, rng, n, k):
+        """The gather-based syndromes equal the Horner reference, errors included."""
+        code = ReedSolomonCode(n, k)
+        codewords = code.encode_blocks(rng.integers(0, 256, size=(40, k), dtype=np.int32))
+        for block in range(0, 40, 3):
+            position = int(rng.integers(0, n))
+            codewords[block, position] ^= int(rng.integers(1, 256))
+        assert np.array_equal(
+            code.syndromes_blocks(codewords), code._syndromes_blocks_reference(codewords)
+        )
+
     @settings(max_examples=20, deadline=None)
     @given(
         data=st.binary(min_size=1, max_size=223),
