@@ -5,11 +5,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-pipeline golden
+.PHONY: test bench-smoke bench-pipeline cli-smoke golden
 
 ## tier-1 test suite (the roadmap's verification command)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## CLI smoke test: archive -> inspect -> restore a tiny payload bit-exactly
+cli-smoke:
+	rm -rf .cli-smoke && mkdir .cli-smoke
+	$(PYTHON) -c "open('.cli-smoke/payload.bin','wb').write(b'ULE cli smoke payload. '*200)"
+	$(PYTHON) -m repro archive -i .cli-smoke/payload.bin -o .cli-smoke/arch \
+		--media test --codec portable --segment-size 2048
+	$(PYTHON) -m repro inspect .cli-smoke/arch
+	$(PYTHON) -m repro restore -i .cli-smoke/arch -o .cli-smoke/restored.bin \
+		--via-channel --seed 7
+	cmp .cli-smoke/payload.bin .cli-smoke/restored.bin
+	$(PYTHON) -m repro profiles --json | $(PYTHON) -c "import json,sys; json.load(sys.stdin)"
+	rm -rf .cli-smoke
 
 ## quick pipeline benchmark used as a CI smoke check
 bench-smoke:

@@ -8,7 +8,8 @@ cinema scanners produce sharper, lower-distortion images than microfilm.
 import numpy as np
 import pytest
 
-from repro.core import Archiver, Restorer, CINEMA_PROFILE, MICROFILM_PROFILE
+from repro.api import ArchiveConfig, open_archive, open_restore
+from repro.core import CINEMA_PROFILE, MICROFILM_PROFILE
 from repro.mocoder.mocoder import MOCoder
 
 from conftest import FILM_IMAGE_BYTES, report, scaled
@@ -34,12 +35,13 @@ def test_cinema_emblem_count_full_scale():
 
 
 def test_cinema_roundtrip(benchmark, image_payload):
-    archiver = Archiver(CINEMA_PROFILE, outer_code=False)
-    archive = archiver.archive_bytes(image_payload, payload_kind="dpx")
-    restorer = Restorer(CINEMA_PROFILE)
+    config = ArchiveConfig(media="cinema", outer_code=False, payload_kind="dpx")
+    with open_archive(config) as writer:
+        writer.write(image_payload)
+    archive = writer.archive
+    reader = open_restore(archive, config)
     result = benchmark.pedantic(
-        restorer.restore_via_channel, args=(archive,), kwargs={"seed": 21},
-        rounds=1, iterations=1,
+        reader.read_via_channel, kwargs={"seed": 21}, rounds=1, iterations=1,
     )
     report("E3: 2K-write / 4K-scan roundtrip (scaled payload)", [
         ("payload bytes", len(image_payload)),
@@ -58,8 +60,11 @@ def test_cinema_scanner_is_cleaner_than_microfilm(benchmark, image_payload):
     corrections = {}
     budget = {}
     for name, profile in (("cinema", CINEMA_PROFILE), ("microfilm", MICROFILM_PROFILE)):
-        archive = Archiver(profile, outer_code=False).archive_bytes(image_payload)
-        result = Restorer(profile).restore_via_channel(archive, seed=3)
+        config = ArchiveConfig(media=profile.name, outer_code=False)
+        with open_archive(config) as writer:
+            writer.write(image_payload)
+        archive = writer.archive
+        result = open_restore(archive, config).read_via_channel(seed=3)
         assert result.payload == image_payload
         emblems = max(1, len(archive.data_emblem_images))
         corrections[name] = result.data_report.rs_corrections / emblems

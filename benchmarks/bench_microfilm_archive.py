@@ -8,7 +8,8 @@ bitonal frames on 16 mm microfilm and restored without errors; the system
 import numpy as np
 import pytest
 
-from repro.core import Archiver, Restorer, MICROFILM_PROFILE, MICROFILM_DENSE_PROFILE
+from repro.api import ArchiveConfig, open_archive, open_restore
+from repro.core import MICROFILM_PROFILE, MICROFILM_DENSE_PROFILE
 from repro.media.film import MICROFILM_REEL
 from repro.mocoder.mocoder import MOCoder
 
@@ -52,12 +53,14 @@ def test_reel_capacity_full_scale():
 
 
 def test_microfilm_roundtrip(benchmark, image_payload):
-    archiver = Archiver(MICROFILM_PROFILE, outer_code=False)
-    archive = archiver.archive_bytes(image_payload, payload_kind="tiff")
-    restorer = Restorer(MICROFILM_PROFILE)
+    config = ArchiveConfig(media="microfilm", outer_code=False, payload_kind="tiff")
+    with open_archive(config) as writer:
+        writer.write(image_payload)
+    archive = writer.archive
+    reader = open_restore(archive, config)
 
     def roundtrip():
-        return restorer.restore_via_channel(archive, seed=13)
+        return reader.read_via_channel(seed=13)
 
     result = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
     report("E2: bitonal microfilm roundtrip (scaled payload)", [

@@ -12,7 +12,8 @@ from the real emblem capacity and printed alongside.
 
 import pytest
 
-from repro.core import Archiver, Restorer, PAPER_PROFILE
+from repro.api import ArchiveConfig, open_archive, open_restore
+from repro.core import PAPER_PROFILE
 from repro.dbms import tpch_archive_of_size
 from repro.mocoder.mocoder import MOCoder
 
@@ -42,10 +43,14 @@ def test_paper_capacity_figures():
 
 
 def test_encode_archive_to_emblems(benchmark, sql_archive):
-    archiver = Archiver(PAPER_PROFILE)
-    archive = benchmark.pedantic(
-        archiver.archive_text, args=(sql_archive.decode("utf-8"),), rounds=1, iterations=1
-    )
+    config = ArchiveConfig(media="paper", payload_kind="sql")
+
+    def encode():
+        with open_archive(config) as writer:
+            writer.write(sql_archive)
+        return writer.archive
+
+    archive = benchmark.pedantic(encode, rounds=1, iterations=1)
     report("E1: encoding (scaled archive)", [
         ("archive bytes", len(sql_archive)),
         ("data+parity emblems", archive.manifest.data_emblem_count),
@@ -55,12 +60,11 @@ def test_encode_archive_to_emblems(benchmark, sql_archive):
 
 
 def test_print_scan_restore_bit_exact(benchmark, sql_archive):
-    archiver = Archiver(PAPER_PROFILE)
-    archive = archiver.archive_text(sql_archive.decode("utf-8"))
-    restorer = Restorer(PAPER_PROFILE)
+    with open_archive(ArchiveConfig(media="paper", payload_kind="sql")) as writer:
+        writer.write(sql_archive)
+    reader = open_restore(writer.archive)
     result = benchmark.pedantic(
-        restorer.restore_via_channel, args=(archive,), kwargs={"seed": 7},
-        rounds=1, iterations=1,
+        reader.read_via_channel, kwargs={"seed": 7}, rounds=1, iterations=1,
     )
     report("E1: restoration (scaled archive)", [
         ("restored bytes", len(result.payload)),

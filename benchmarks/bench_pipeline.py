@@ -3,9 +3,9 @@
 Measures — rather than asserts — the three claims behind the streaming
 pipeline:
 
-1. **throughput**: encode MB/s for the one-shot ``Archiver``, the streaming
-   serial pipeline, and the streaming parallel pipeline (thread and process
-   executors), on the same payload;
+1. **throughput**: encode MB/s for the one-shot session, the streaming
+   serial session, and the streaming parallel session (thread and process
+   executors), all through ``repro.api.open_archive`` on the same payload;
 2. **peak memory**: the one-shot path materialises every emblem raster at
    once, the streaming path holds only the in-flight window — tracemalloc
    peaks make the difference visible;
@@ -37,14 +37,12 @@ import tracemalloc
 
 import numpy as np
 
-from repro.core.archiver import Archiver
-from repro.core.restorer import Restorer
+from repro import registry
+from repro.api import ArchiveConfig, open_archive, open_restore
 from repro.core.profiles import MediaProfile
-from repro.dbcoder.dbcoder import Profile
 from repro.media.distortions import OFFICE_SCAN
 from repro.media.paper import PaperChannel
 from repro.mocoder.emblem import EmblemSpec
-from repro.pipeline.pipeline import ArchivePipeline
 
 #: Mid-sized emblems for the benchmark: paper-like capacity (~57 kB/emblem)
 #: at 2 px/cell so the one-shot raster set stays a few hundred megabytes.
@@ -59,6 +57,10 @@ BENCH_PROFILE = MediaProfile(
     ),
     channel_factory=lambda: PaperChannel(dpi=300, distortion=OFFICE_SCAN.scaled(0.25)),
 )
+
+# Plug the bench profile into the media registry so configs select it by name.
+if BENCH_PROFILE.name not in registry.media:
+    registry.media.register(BENCH_PROFILE.name, BENCH_PROFILE)
 
 
 def _make_payload(size: int, seed: int = 20210101) -> bytes:
@@ -143,15 +145,18 @@ def _timed(fn):
     return result, elapsed, peak
 
 
-def bench_encode(payload: bytes, segment_size: int, dbcoder_profile: Profile,
+def bench_encode(payload: bytes, segment_size: int, codec: str,
                  executors: list[str]) -> dict[str, tuple[float, float, int | None]]:
     """Return {mode: (seconds, MB/s, peak_bytes)} for each encode mode."""
     results: dict[str, tuple[float, float, int | None]] = {}
     mb = len(payload) / 1e6
 
     def one_shot():
-        archive = Archiver(BENCH_PROFILE, dbcoder_profile=dbcoder_profile).archive_bytes(payload)
-        return archive.manifest.data_emblem_count
+        with open_archive(
+            ArchiveConfig(media=BENCH_PROFILE.name, codec=codec, segment_size=None)
+        ) as writer:
+            writer.write(payload)
+        return writer.archive.manifest.data_emblem_count
 
     with seed_hot_loops():
         start = time.perf_counter()
@@ -163,19 +168,25 @@ def bench_encode(payload: bytes, segment_size: int, dbcoder_profile: Profile,
     results["one-shot"] = (seconds, mb / seconds, peak)
 
     for executor in executors:
-        pipeline = ArchivePipeline(
-            BENCH_PROFILE,
-            dbcoder_profile=dbcoder_profile,
+        config = ArchiveConfig(
+            media=BENCH_PROFILE.name,
+            codec=codec,
             segment_size=segment_size,
             executor=executor,
         )
 
         def streaming():
+            # collect=False drops each batch after counting it: the
+            # bounded-memory usage pattern a recorder-facing consumer
+            # would follow.
             emblems = 0
-            # Consume incrementally and drop each batch: the bounded-memory
-            # usage pattern a recorder-facing consumer would follow.
-            for batch in pipeline.iter_encode(payload):
+
+            def count(batch):
+                nonlocal emblems
                 emblems += len(batch.images)
+
+            with open_archive(config, on_batch=count, collect=False) as writer:
+                writer.write(payload)
             return emblems
 
         count, seconds, peak = _timed(streaming)
@@ -184,12 +195,13 @@ def bench_encode(payload: bytes, segment_size: int, dbcoder_profile: Profile,
 
 
 def bench_segmented_restore(payload: bytes, segment_size: int,
-                            dbcoder_profile: Profile) -> tuple[bool, int, float]:
+                            codec: str) -> tuple[bool, int, float]:
     """Corrupt one segment's emblems; restore via per-segment decode."""
-    pipeline = ArchivePipeline(
-        BENCH_PROFILE, dbcoder_profile=dbcoder_profile, segment_size=segment_size
-    )
-    archive = pipeline.archive_bytes(payload, payload_kind="binary")
+    with open_archive(
+        ArchiveConfig(media=BENCH_PROFILE.name, codec=codec, segment_size=segment_size)
+    ) as writer:
+        writer.write(payload)
+    archive = writer.archive
     segments = archive.manifest.segments
     assert len(segments) > 1, "restore demo needs a multi-segment archive"
     # Blank out one emblem frame of the middle segment (within the outer
@@ -198,7 +210,7 @@ def bench_segmented_restore(payload: bytes, segment_size: int,
     blank = np.full_like(archive.data_emblem_images[victim.emblem_start], 255)
     archive.data_emblem_images[victim.emblem_start] = blank
     start = time.perf_counter()
-    result = Restorer(BENCH_PROFILE).restore(archive)
+    result = open_restore(archive).read()
     elapsed = time.perf_counter() - start
     return result.payload == payload, result.data_report.groups_reconstructed, elapsed
 
@@ -211,9 +223,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="payload size in MiB (default 4)")
     parser.add_argument("--segment-kb", type=int, default=512,
                         help="pipeline segment size in KiB (default 512)")
-    parser.add_argument("--dbcoder-profile", choices=["STORE", "PORTABLE", "DENSE"],
-                        default="STORE",
-                        help="DBCoder profile (STORE isolates the MOCoder path)")
+    parser.add_argument("--codec", choices=["store", "portable", "dense"],
+                        default="store",
+                        help="compression codec (store isolates the MOCoder path)")
     parser.add_argument("--workers", type=int, default=os.cpu_count() or 1,
                         help="worker count for the parallel executors")
     parser.add_argument("--assert-speedup", action="store_true",
@@ -229,14 +241,12 @@ def main(argv: list[str] | None = None) -> int:
         payload_bytes = int(args.payload_mb * 1024 * 1024)
         segment_size = args.segment_kb * 1024
         executors = ["serial", f"thread:{args.workers}", f"process:{args.workers}"]
-    dbcoder_profile = Profile[args.dbcoder_profile]
-
     print(f"payload: {payload_bytes / 1e6:.1f} MB random bytes | "
-          f"segment: {segment_size // 1024} KiB | dbcoder: {dbcoder_profile.name} | "
+          f"segment: {segment_size // 1024} KiB | codec: {args.codec} | "
           f"cpus visible: {os.cpu_count()}")
     payload = _make_payload(payload_bytes)
 
-    results = bench_encode(payload, segment_size, dbcoder_profile, executors)
+    results = bench_encode(payload, segment_size, args.codec, executors)
     print(f"\n{'mode':<22} {'seconds':>9} {'MB/s':>8} {'py-heap peak':>14}")
     for mode, (seconds, mbps, peak) in results.items():
         peak_text = f"{peak / 1e6:>11.1f} MB" if peak is not None else f"{'-':>14}"
@@ -245,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
           "workers allocate in their own address spaces)")
 
     ok, reconstructed, seconds = bench_segmented_restore(
-        payload[: min(payload_bytes, 2 * 1024 * 1024)], segment_size, dbcoder_profile
+        payload[: min(payload_bytes, 2 * 1024 * 1024)], segment_size, args.codec
     )
     print(f"\nsegment-corrupted restore: bit-exact={ok}, "
           f"outer-code groups reconstructed={reconstructed}, {seconds:.2f}s")

@@ -9,14 +9,16 @@ still restores the database bit-for-bit.
     python examples/damaged_media_recovery.py
 """
 
-from repro import Archiver, Restorer, TEST_PROFILE, generate_tpch
+from repro import ArchiveConfig, db_dump, generate_tpch, open_archive, open_restore
 from repro.media.distortions import OFFICE_SCAN
 from repro.media.paper import PaperChannel
 
 
 def main() -> None:
     database = generate_tpch(scale_factor=0.00002, seed=9)
-    archive = Archiver(TEST_PROFILE).archive_database(database)
+    with open_archive(ArchiveConfig(media="test", payload_kind="sql")) as writer:
+        writer.write(db_dump(database).encode("utf-8"))
+    archive = writer.archive
     print(f"archived into {archive.total_emblem_count} emblems")
 
     # Fifty years later: a rougher scanner than the one used for verification
@@ -32,11 +34,11 @@ def main() -> None:
     print(f"{len(data_scans) - len(surviving)} emblems lost, "
           f"{len(surviving)} damaged scans remain")
 
-    restorer = Restorer(TEST_PROFILE)
-    result = restorer.restore_from_scans(
-        data_images=surviving,
+    result = open_restore(archive).read_from_scans(
+        surviving,
         system_images=system_scans,
         bootstrap_text=archive.bootstrap_text,
+        payload_kind="sql",
     )
     print(f"RS symbol corrections: {result.data_report.rs_corrections}")
     print(f"emblem groups rebuilt from parity: {result.data_report.groups_reconstructed}")

@@ -10,7 +10,7 @@ decoders, and end up with a plain SQL file any future database can load.
     python examples/future_user_restore.py
 """
 
-from repro import Archiver, TEST_PROFILE, generate_tpch
+from repro import ArchiveConfig, TEST_PROFILE, db_dump, generate_tpch, open_archive
 from repro.bootstrap import BootstrapDocument
 from repro.dbcoder.formats import unpack_container
 from repro.dbms import db_load
@@ -66,7 +66,9 @@ def hand_written_verisc(memory_words, entry, input_data):
 def main() -> None:
     # ----- today: the archive is produced and put on the shelf -------------
     database = generate_tpch(scale_factor=0.00001, seed=3)
-    archive = Archiver(TEST_PROFILE).archive_database(database)
+    with open_archive(ArchiveConfig(media="test", payload_kind="sql")) as writer:
+        writer.write(db_dump(database).encode("utf-8"))
+    archive = writer.archive
 
     # ----- 2085: only the Bootstrap text and the emblem scans survive ------
     bootstrap = BootstrapDocument.parse(archive.bootstrap_text)

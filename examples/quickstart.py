@@ -1,15 +1,15 @@
 """Quickstart: archive a small database to emblems and restore it (Figure 2).
 
-Runs the full Micr'Olonys flow on the small test profile in a few seconds:
-generate a tiny TPC-H database, archive it (DBCoder -> MOCoder -> Bootstrap),
-pass the emblems through a simulated print/scan cycle, and restore the
-database bit-for-bit.
+Runs the full Micr'Olonys flow on the small test profile in a few seconds,
+in one call through the :mod:`repro.api` facade: generate a tiny TPC-H
+database, archive it (DBCoder -> MOCoder -> Bootstrap), pass the emblems
+through a simulated print/scan cycle (step 7), and restore the database
+bit-for-bit.  Every choice is selected by name via :class:`ArchiveConfig`.
 
     python examples/quickstart.py
 """
 
-from repro import Archiver, Restorer, TEST_PROFILE, generate_tpch
-from repro.dbms import db_dump
+from repro import ArchiveConfig, db_dump, generate_tpch, run_end_to_end
 
 
 def main() -> None:
@@ -18,17 +18,18 @@ def main() -> None:
     print(f"database: {database.total_rows} rows across {len(database.table_names)} tables")
     print(f"SQL archive: {len(archive_text):,} bytes")
 
-    archiver = Archiver(TEST_PROFILE)
-    archive = archiver.archive_database(database)
-    print(f"archived as {archive.manifest.data_emblem_count} data emblems, "
-          f"{archive.manifest.system_emblem_count} system emblems, "
-          f"plus a {len(archive.bootstrap_text.splitlines())}-line Bootstrap document")
+    config = ArchiveConfig(media="test", codec="portable",
+                           payload_kind="sql", scan_seed=2026)
+    result = run_end_to_end(config, archive_text.encode("utf-8"))
 
-    restorer = Restorer(TEST_PROFILE)
-    result = restorer.restore_via_channel(archive, seed=2026)
+    manifest = result.archive.manifest
+    print(f"archived as {manifest.data_emblem_count} data emblems, "
+          f"{manifest.system_emblem_count} system emblems, "
+          f"plus a {len(result.archive.bootstrap_text.splitlines())}-line Bootstrap document")
+    print(f"recorded and scanned {result.frames_recorded} frames on {result.channel_name}")
     print(f"restored {len(result.payload):,} bytes "
-          f"({result.data_report.rs_corrections} RS symbol corrections during scanning)")
-    print("bit-for-bit restoration:", result.database == database)
+          f"({result.restoration.data_report.rs_corrections} RS symbol corrections during scanning)")
+    print("bit-for-bit restoration:", result.restoration.database == database)
 
 
 if __name__ == "__main__":

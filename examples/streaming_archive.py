@@ -1,21 +1,19 @@
 """Streaming archival: bounded memory, parallel segments, per-segment restore.
 
-Archives a multi-segment payload through the streaming pipeline without ever
-materialising the whole emblem set, saves each batch as it is emitted,
-deliberately damages one segment's frames, and restores bit-for-bit via
-per-segment decoding.
+Archives a multi-segment payload through an :func:`repro.api.open_archive`
+session — chunked writes, an ``on_batch`` callback persisting each emblem
+batch as it is emitted — then deliberately damages one segment's frames and
+restores bit-for-bit via per-segment decoding.
 
     python examples/streaming_archive.py
 """
 
-import io
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro import ArchivePipeline, Restorer, TEST_PROFILE
-from repro.dbcoder import Profile
+from repro import ArchiveConfig, open_archive, open_restore
 from repro.media.image import write_pgm
 
 
@@ -23,31 +21,33 @@ def main() -> None:
     rng = np.random.default_rng(20210111)
     payload = bytes(rng.integers(0, 256, size=24_000, dtype=np.uint8))
 
-    pipeline = ArchivePipeline(
-        TEST_PROFILE,
-        dbcoder_profile=Profile.STORE,
+    config = ArchiveConfig(
+        media="test",
+        codec="store",
         segment_size=8_192,      # three segments
-        executor="thread:2",     # or "process:N" for CPU-bound profiles
+        executor="thread:2",     # or "process:N" for CPU-bound codecs
     )
 
     # Stream emblem batches to disk as they are emitted: this is the
-    # bounded-memory consumption pattern — at no point does the process hold
-    # more than the in-flight window of segments.
+    # bounded-memory consumption pattern — frames can be recorded and
+    # dropped while the writer is still encoding later segments.
     out_dir = Path(tempfile.mkdtemp(prefix="streaming_archive_"))
-    records = []
-    frame = 0
-    for batch in pipeline.iter_encode(io.BytesIO(payload)):
-        for image in batch.images:
-            write_pgm(out_dir / f"data_emblem_{frame:04d}.pgm", image)
-            frame += 1
-        records.append(batch.record)
-        print(f"segment {batch.record.index}: {batch.record.length:,} payload bytes "
-              f"-> {batch.record.emblem_count} emblem frames "
-              f"(offset {batch.record.offset:,}, crc32 {batch.record.crc32:08x})")
+    frame_counter = {"frames": 0}
 
-    # The convenience API collects everything (including the system emblems
-    # and Bootstrap) into one artefact; we use it here for the restore side.
-    archive = pipeline.archive_bytes(payload, payload_kind="binary")
+    def save_batch(batch) -> None:
+        for image in batch.images:
+            write_pgm(out_dir / f"data_emblem_{frame_counter['frames']:04d}.pgm", image)
+            frame_counter["frames"] += 1
+        record = batch.record
+        print(f"segment {record.index}: {record.length:,} payload bytes "
+              f"-> {record.emblem_count} emblem frames "
+              f"(offset {record.offset:,}, crc32 {record.crc32:08x})")
+
+    with open_archive(config, on_batch=save_batch) as writer:
+        for start in range(0, len(payload), 5_000):   # chunks need not align
+            writer.write(payload[start:start + 5_000])
+
+    archive = writer.archive
     manifest = archive.manifest
     print(f"\nmanifest: {manifest.archive_bytes:,} bytes in "
           f"{len(manifest.segments)} segments, "
@@ -58,7 +58,7 @@ def main() -> None:
     archive.data_emblem_images[victim.emblem_start] = np.full_like(
         archive.data_emblem_images[victim.emblem_start], 255
     )
-    result = Restorer(TEST_PROFILE, executor="thread:2").restore(archive)
+    result = open_restore(archive, executor="thread:2").read()
     print(f"\nrestore with segment {victim.index} damaged: "
           f"bit-exact={result.payload == payload}, "
           f"outer-code groups reconstructed="

@@ -11,7 +11,7 @@ default it runs a 10% scale version.
 import sys
 import time
 
-from repro import Archiver, Restorer, PAPER_PROFILE
+from repro import ArchiveConfig, PAPER_PROFILE, open_archive, open_restore
 from repro.dbms import tpch_archive_of_size
 from repro.mocoder import MOCoder
 
@@ -26,14 +26,15 @@ def main(full: bool = False) -> None:
     print(f"full-scale projection: 1.2 MB -> {pages_full_scale} A4 pages "
           f"({1_200_000 / 1000 / pages_full_scale:.1f} kB/page; paper reports ~26 pages, ~50 kB/page)")
 
-    archiver = Archiver(PAPER_PROFILE)
+    config = ArchiveConfig(media="paper", codec="portable", payload_kind="sql")
     start = time.time()
-    archive = archiver.archive_text(dump)
+    with open_archive(config) as writer:
+        writer.write(dump.encode("utf-8"))
+    archive = writer.archive
     print(f"encoded into {archive.total_emblem_count} emblems in {time.time() - start:.1f}s")
 
-    restorer = Restorer(PAPER_PROFILE)
     start = time.time()
-    result = restorer.restore_via_channel(archive, seed=600)
+    result = open_restore(archive).read_via_channel(seed=600)
     print(f"scanned and restored in {time.time() - start:.1f}s "
           f"({result.data_report.rs_corrections} RS corrections)")
     print("bit-for-bit restoration:", result.database == database)

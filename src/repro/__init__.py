@@ -6,8 +6,13 @@ Micr'Olonys, its end-to-end archival system for visual analog media.
 
 Public API highlights
 ---------------------
-* :class:`repro.core.Archiver` / :class:`repro.core.Restorer` — the end-to-end
-  archival and restoration flows of Figure 2.
+* :mod:`repro.api` — the unified facade: :class:`~repro.api.ArchiveConfig`
+  (one JSON-round-trippable config naming every choice),
+  :func:`~repro.api.open_archive` / :func:`~repro.api.open_restore`
+  (session-based streaming I/O), :func:`~repro.api.run_end_to_end` (all
+  seven Figure 2a steps in one call) and the ``python -m repro`` CLI.
+* :mod:`repro.registry` — named, pluggable registries for codecs, media
+  channels, executors and distortion profiles.
 * :class:`repro.dbcoder.DBCoder` — database layout coder (LZSS + arithmetic
   coding, plus a columnar extension).
 * :class:`repro.mocoder.MOCoder` — media layout coder (emblems, differential
@@ -24,6 +29,7 @@ Public API highlights
 from repro.core import (
     Archiver,
     Restorer,
+    RestoreEngine,
     RestorationResult,
     MicrOlonysArchive,
     ArchiveManifest,
@@ -33,6 +39,7 @@ from repro.core import (
     MICROFILM_DENSE_PROFILE,
     CINEMA_PROFILE,
     TEST_PROFILE,
+    DNA_PROFILE,
     PROFILES,
     get_profile,
 )
@@ -46,13 +53,32 @@ from repro.pipeline import (
     get_executor,
 )
 from repro.dbms import Database, Table, Column, ColumnType, db_dump, db_load, generate_tpch
-from repro.errors import ReproError
+from repro.errors import ConfigError, RegistryError, ReproError, UnknownNameError
+from repro import registry
+from repro.api import (
+    ArchiveConfig,
+    ArchiveReader,
+    ArchiveWriter,
+    EndToEndResult,
+    open_archive,
+    open_restore,
+    run_end_to_end,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArchiveConfig",
+    "ArchiveReader",
+    "ArchiveWriter",
+    "EndToEndResult",
+    "open_archive",
+    "open_restore",
+    "run_end_to_end",
+    "registry",
     "Archiver",
     "Restorer",
+    "RestoreEngine",
     "RestorationResult",
     "MicrOlonysArchive",
     "ArchiveManifest",
@@ -67,6 +93,7 @@ __all__ = [
     "MICROFILM_DENSE_PROFILE",
     "CINEMA_PROFILE",
     "TEST_PROFILE",
+    "DNA_PROFILE",
     "PROFILES",
     "get_profile",
     "DBCoder",
@@ -82,5 +109,8 @@ __all__ = [
     "db_load",
     "generate_tpch",
     "ReproError",
+    "RegistryError",
+    "UnknownNameError",
+    "ConfigError",
     "__version__",
 ]

@@ -1,0 +1,272 @@
+"""``python -m repro`` — the command-line face of the :mod:`repro.api` facade.
+
+Subcommands
+-----------
+``archive``
+    Archive a payload file into a directory of emblem images + manifest +
+    Bootstrap, streaming the input through an :class:`~repro.api.session.
+    ArchiveWriter`.  The resolved :class:`~repro.api.ArchiveConfig` is saved
+    as ``config.json`` next to the manifest, so a run is reproducible from
+    the artefact alone.
+``restore``
+    Restore a saved archive directory back to the payload file, optionally
+    re-running the simulated record/scan cycle first (``--via-channel``).
+``inspect``
+    Summarise a saved archive's manifest without loading the images.
+``profiles``
+    List every registered media channel, codec, executor and distortion
+    profile (``--json`` for machine-readable output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import registry
+from repro.api.config import ArchiveConfig
+from repro.api.session import open_archive, open_restore
+from repro.core.archive import ArchiveManifest
+from repro.errors import ReproError
+
+#: Chunk size used when streaming the input file into the writer.
+_READ_CHUNK = 1 << 20
+
+
+def _load_config(args: argparse.Namespace) -> ArchiveConfig:
+    """Build the run config from ``--config`` JSON plus per-flag overrides."""
+    if getattr(args, "config", None):
+        config = ArchiveConfig.from_json(Path(args.config).read_text())
+    else:
+        config = ArchiveConfig()
+    overrides = {}
+    for key in ("media", "codec", "executor", "segment_size", "decode_mode",
+                "distortion", "scan_seed", "payload_kind"):
+        value = getattr(args, key, None)
+        if value is not None:
+            overrides[key] = value
+    if getattr(args, "no_outer_code", False):
+        overrides["outer_code"] = False
+    return config.replace(**overrides) if overrides else config
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_archive(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    input_path = Path(args.input)
+    output_dir = Path(args.output)
+    with open_archive(config) as writer, input_path.open("rb") as stream:
+        while True:
+            chunk = stream.read(_READ_CHUNK)
+            if not chunk:
+                break
+            writer.write(chunk)
+    archive = writer.archive
+    archive.save(output_dir)
+    (output_dir / "config.json").write_text(config.to_json() + "\n")
+    manifest = archive.manifest
+    summary = {
+        "output": str(output_dir),
+        "config": config.to_dict(),
+        "payload_bytes": manifest.archive_bytes,
+        "segments": max(len(manifest.segments), 1),
+        "data_emblems": manifest.data_emblem_count,
+        "system_emblems": manifest.system_emblem_count,
+        "bootstrap_lines": len(archive.bootstrap_text.splitlines()),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"archived {manifest.archive_bytes:,} bytes -> {output_dir}")
+        print(f"  {config.describe()}")
+        print(f"  {summary['segments']} segments, "
+              f"{manifest.data_emblem_count} data + "
+              f"{manifest.system_emblem_count} system emblems, "
+              f"{summary['bootstrap_lines']}-line Bootstrap")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    overrides = {}
+    for key in ("decode_mode", "executor", "distortion"):
+        value = getattr(args, key, None)
+        if value is not None:
+            overrides[key] = value
+    reader = open_restore(args.input, **overrides)
+    if args.via_channel:
+        result = reader.read_via_channel(seed=args.seed)
+    else:
+        result = reader.read()
+    output_path = Path(args.output)
+    output_path.write_bytes(result.payload)
+    summary = {
+        "output": str(output_path),
+        "payload_bytes": len(result.payload),
+        "payload_kind": reader.archive.manifest.payload_kind,
+        "decode_mode": result.decode_mode,
+        "emblems_decoded": result.data_report.emblems_decoded,
+        "rs_corrections": result.data_report.rs_corrections,
+        "groups_reconstructed": result.data_report.groups_reconstructed,
+        "emulator_steps": result.emulator_steps,
+        "bit_exact": result.bit_exact,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"restored {len(result.payload):,} bytes -> {output_path} "
+              f"(bit-exact: {result.bit_exact})")
+        for note in result.notes:
+            print(f"  {note}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    directory = Path(args.input)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise ReproError(f"{directory} does not contain an archive manifest")
+    try:
+        manifest = ArchiveManifest.from_json(manifest_path.read_text())
+    except (ValueError, TypeError) as exc:
+        raise ReproError(f"{manifest_path} is not a valid archive manifest: {exc}") from exc
+    config_path = directory / "config.json"
+    saved_config = None
+    if config_path.exists():
+        try:
+            saved_config = json.loads(config_path.read_text())
+        except ValueError as exc:
+            raise ReproError(f"{config_path} is not valid JSON: {exc}") from exc
+    summary = {
+        "directory": str(directory),
+        "profile": manifest.profile_name,
+        "codec": manifest.dbcoder_profile,
+        "payload_kind": manifest.payload_kind,
+        "payload_bytes": manifest.archive_bytes,
+        "payload_crc32": manifest.archive_crc32,
+        "segment_size": manifest.segment_size,
+        "segments": [segment.to_dict() for segment in manifest.segments],
+        "data_emblems": manifest.data_emblem_count,
+        "system_emblems": manifest.system_emblem_count,
+        "config": saved_config,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"{directory}: {manifest.payload_kind} payload, "
+              f"{manifest.archive_bytes:,} bytes on {manifest.profile_name} "
+              f"via {manifest.dbcoder_profile}")
+        print(f"  {manifest.data_emblem_count} data + "
+              f"{manifest.system_emblem_count} system emblems, "
+              f"{max(len(manifest.segments), 1)} segments "
+              f"(segment_size={manifest.segment_size or 'one-shot'})")
+        for segment in manifest.segments:
+            print(f"  segment {segment.index}: offset={segment.offset} "
+                  f"length={segment.length} emblems={segment.emblem_count}")
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    listing = {
+        "media": [
+            {
+                "name": name,
+                "description": profile.description,
+                "emblem_payload_bytes": profile.spec.payload_capacity,
+            }
+            for name, profile in registry.media.items()
+        ],
+        "media_aliases": registry.media.aliases(),
+        "codecs": [
+            {"name": name, "description": codec.description, "builtin": codec.is_builtin}
+            for name, codec in registry.codecs.items()
+        ],
+        "executors": registry.executors.names(),
+        "distortions": registry.distortions.names(),
+    }
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    print("media channels:")
+    for entry in listing["media"]:
+        print(f"  {entry['name']:<22} {entry['description']}")
+    aliases = listing["media_aliases"]
+    print(f"  aliases: {', '.join(f'{a} -> {t}' for a, t in sorted(aliases.items()))}")
+    print("codecs:")
+    for entry in listing["codecs"]:
+        kind = "builtin" if entry["builtin"] else "user"
+        print(f"  {entry['name']:<22} [{kind}] {entry['description']}")
+    print(f"executors: {', '.join(listing['executors'])} "
+          f"(suffix ':N' pins the worker count)")
+    print(f"distortions: {', '.join(listing['distortions'])}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Micr'Olonys / ULE archival toolchain (CIDR 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    archive = sub.add_parser("archive", help="archive a payload file to an emblem directory")
+    archive.add_argument("--input", "-i", required=True, help="payload file to archive")
+    archive.add_argument("--output", "-o", required=True, help="archive directory to create")
+    archive.add_argument("--config", help="ArchiveConfig JSON file (flags override it)")
+    archive.add_argument("--media", help="media channel name (see 'profiles')")
+    archive.add_argument("--codec", help="compression codec name")
+    archive.add_argument("--executor", help="executor spec, e.g. serial, thread:4")
+    archive.add_argument("--segment-size", dest="segment_size", type=int,
+                         help="payload bytes per pipeline segment")
+    archive.add_argument("--payload-kind", dest="payload_kind",
+                         help="manifest payload kind (e.g. sql, binary)")
+    archive.add_argument("--distortion", help="distortion profile override")
+    archive.add_argument("--no-outer-code", dest="no_outer_code", action="store_true",
+                         help="skip the 17+3 inter-emblem parity groups")
+    archive.add_argument("--json", action="store_true", help="machine-readable summary")
+    archive.set_defaults(handler=_cmd_archive)
+
+    restore = sub.add_parser("restore", help="restore a saved archive directory")
+    restore.add_argument("--input", "-i", required=True, help="archive directory")
+    restore.add_argument("--output", "-o", required=True, help="file for the restored payload")
+    restore.add_argument("--decode-mode", dest="decode_mode",
+                         choices=["python", "dynarisc", "nested"],
+                         help="restoration fidelity (default: python)")
+    restore.add_argument("--executor", help="executor spec for segmented decode")
+    restore.add_argument("--distortion", help="distortion profile for --via-channel")
+    restore.add_argument("--via-channel", dest="via_channel", action="store_true",
+                         help="record/scan through the simulated medium first")
+    restore.add_argument("--seed", type=int, help="scan seed for --via-channel")
+    restore.add_argument("--json", action="store_true", help="machine-readable summary")
+    restore.set_defaults(handler=_cmd_restore)
+
+    inspect = sub.add_parser("inspect", help="summarise a saved archive's manifest")
+    inspect.add_argument("input", help="archive directory")
+    inspect.add_argument("--json", action="store_true", help="machine-readable summary")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    profiles = sub.add_parser("profiles", help="list registered media/codecs/executors")
+    profiles.add_argument("--json", action="store_true", help="machine-readable listing")
+    profiles.set_defaults(handler=_cmd_profiles)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

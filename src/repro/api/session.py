@@ -1,0 +1,395 @@
+"""Session-based streaming I/O over the archival pipeline.
+
+:func:`open_archive` returns an :class:`ArchiveWriter` — a context manager
+that accepts payload chunks of any size via :meth:`~ArchiveWriter.write` and
+encodes them *while they arrive*: a background thread drives the streaming
+pipeline over a bounded queue, so segments encode (optionally in parallel)
+concurrently with the caller producing data, and per-segment progress
+callbacks fire as emblem batches complete.  :func:`open_restore` is the
+reading half, and :func:`run_end_to_end` runs all seven steps of Figure 2a —
+including step 7's channel ``record``/``scan``, which no previous entry
+point covered — in one call.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.api.config import ArchiveConfig
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
+from repro.core.restorer import RestorationResult, RestoreEngine
+from repro.errors import ArchiveError, RestorationError
+from repro.pipeline.pipeline import (
+    ArchivePipeline,
+    EncodedSegment,
+    build_system_artifacts,
+)
+
+__all__ = [
+    "ArchiveWriter",
+    "ArchiveReader",
+    "EndToEndResult",
+    "open_archive",
+    "open_restore",
+    "run_end_to_end",
+]
+
+#: Sentinel closing the writer's chunk queue.
+_EOF = object()
+
+
+class ArchiveWriter:
+    """A streaming archival session (returned by :func:`open_archive`).
+
+    Usage::
+
+        with open_archive(config) as writer:
+            for chunk in source:
+                writer.write(chunk)
+        archive = writer.archive        # or the return value of close()
+
+    Chunks are re-segmented by the pipeline's segmenter, so ``write`` calls
+    need not align with segment boundaries.  Encoding runs on a background
+    thread while the caller keeps writing; at most a bounded window of
+    chunks and in-flight segments exist at once.  ``progress`` (if given) is
+    called with each completed :class:`~repro.core.archive.SegmentRecord`,
+    from the encoder thread.
+    """
+
+    def __init__(
+        self,
+        config: ArchiveConfig,
+        *,
+        payload_kind: str | None = None,
+        progress: Callable[[SegmentRecord], None] | None = None,
+        on_batch: Callable[[EncodedSegment], None] | None = None,
+        collect: bool = True,
+    ):
+        self.config = config
+        self.payload_kind = payload_kind if payload_kind is not None else config.payload_kind
+        self.progress = progress
+        self.on_batch = on_batch
+        #: With ``collect=False`` emblem images are dropped after the
+        #: callbacks run — the bounded-memory mode for consumers that persist
+        #: frames themselves; the closed archive then carries the manifest,
+        #: system emblems and Bootstrap but an empty data-image list.
+        self.collect = collect
+        self.archive: MicrOlonysArchive | None = None
+        self._profile = config.media_profile()
+        self._pipeline = ArchivePipeline(
+            profile=self._profile,
+            dbcoder_profile=config.resolve_codec(),
+            outer_code=config.outer_code,
+            segment_size=config.segment_size,
+            executor=config.executor,
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=8)
+        self._records: list[SegmentRecord] = []
+        self._images: list[np.ndarray] = []
+        self._error: BaseException | None = None
+        self._crc = 0
+        self._length = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._encode_loop, name="repro-archive-writer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _chunks(self) -> Iterator[bytes]:
+        while True:
+            chunk = self._queue.get()
+            if chunk is _EOF:
+                return
+            yield chunk
+
+    def _encode_loop(self) -> None:
+        try:
+            for batch in self._pipeline.iter_encode(self._chunks()):
+                self._records.append(batch.record)
+                if self.collect:
+                    self._images.extend(batch.images)
+                if self.on_batch is not None:
+                    self.on_batch(batch)
+                if self.progress is not None:
+                    self.progress(batch.record)
+        except BaseException as exc:  # surfaced on the caller's thread
+            self._error = exc
+            # Unblock a writer stuck on a full queue, then discard the rest.
+            while True:
+                try:
+                    if self._queue.get_nowait() is _EOF:
+                        break
+                except queue.Empty:
+                    break
+
+    def _check_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            self._closed = True
+            raise error
+
+    # ------------------------------------------------------------------ #
+    def write(self, chunk: bytes) -> None:
+        """Feed payload bytes into the archive (any chunk size)."""
+        if self._closed:
+            raise ArchiveError("this archive session is closed")
+        self._check_error()
+        chunk = bytes(chunk)
+        if not chunk:
+            return
+        self._crc = zlib.crc32(chunk, self._crc) & 0xFFFFFFFF
+        self._length += len(chunk)
+        while True:
+            try:
+                self._queue.put(chunk, timeout=0.1)
+                return
+            except queue.Full:
+                self._check_error()
+
+    def close(self) -> MicrOlonysArchive:
+        """Finish encoding and assemble the archive artefact (idempotent)."""
+        if self._closed:
+            if self.archive is None:
+                raise ArchiveError("this archive session failed; nothing to return")
+            return self.archive
+        self._closed = True
+        self._queue.put(_EOF)
+        self._thread.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        system_images, bootstrap_text = build_system_artifacts(
+            self._profile, outer_code=self.config.outer_code
+        )
+        manifest = ArchiveManifest(
+            profile_name=self._profile.name,
+            dbcoder_profile=self._pipeline.codec.manifest_name,
+            archive_bytes=self._length,
+            archive_crc32=self._crc,
+            data_emblem_count=sum(record.emblem_count for record in self._records),
+            system_emblem_count=len(system_images),
+            payload_kind=self.payload_kind,
+            segment_size=self.config.segment_size,
+            segments=tuple(self._records),
+        )
+        self.archive = MicrOlonysArchive(
+            manifest=manifest,
+            data_emblem_images=self._images,
+            system_emblem_images=system_images,
+            bootstrap_text=bootstrap_text,
+        )
+        return self.archive
+
+    def abort(self) -> None:
+        """Drop the session without assembling an archive."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_EOF)
+        self._thread.join()
+        self._error = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class ArchiveReader:
+    """A restoration session (returned by :func:`open_restore`).
+
+    Wraps :class:`~repro.core.restorer.RestoreEngine` with the config-driven
+    profile/executor resolution of the facade; ``read()`` restores straight
+    from the archive artefact, ``read_via_channel()`` re-runs the simulated
+    record/scan cycle first.
+    """
+
+    def __init__(self, archive: MicrOlonysArchive, config: ArchiveConfig):
+        self.archive = archive
+        self.config = config
+        self._engine = RestoreEngine(
+            profile=config.media_profile(),
+            decode_mode=config.decode_mode,
+            executor=config.executor,
+        )
+
+    # ------------------------------------------------------------------ #
+    def read(self) -> RestorationResult:
+        """Restore the payload directly from the archive artefact."""
+        return self._engine.restore(self.archive)
+
+    def read_via_channel(self, seed: int | None = None) -> RestorationResult:
+        """Record on the configured medium, scan back, then restore."""
+        if seed is None:
+            seed = self.config.scan_seed
+        return self._engine.restore_via_channel(self.archive, seed=seed)
+
+    def read_from_scans(self, data_images, **kwargs) -> RestorationResult:
+        """Restore from externally produced scans (engine pass-through)."""
+        return self._engine.restore_from_scans(data_images, **kwargs)
+
+    def payload(self) -> bytes:
+        """Convenience: the restored payload bytes."""
+        return self.read().payload
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ArchiveReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Facade entry points
+# --------------------------------------------------------------------------- #
+def _resolve_config(config: ArchiveConfig | None, overrides: dict) -> ArchiveConfig:
+    """Default config + keyword overrides, validated once."""
+    config = config if config is not None else ArchiveConfig()
+    return config.replace(**overrides) if overrides else config
+
+
+def open_archive(
+    config: ArchiveConfig | None = None,
+    *,
+    payload_kind: str | None = None,
+    progress: Callable[[SegmentRecord], None] | None = None,
+    on_batch: Callable[[EncodedSegment], None] | None = None,
+    collect: bool = True,
+    **overrides,
+) -> ArchiveWriter:
+    """Open a streaming archival session.
+
+    ``config`` defaults to ``ArchiveConfig()``; keyword ``overrides`` are
+    applied on top (``open_archive(media="paper", codec="dense")``).
+    ``progress`` receives each completed
+    :class:`~repro.core.archive.SegmentRecord`; ``on_batch`` additionally
+    receives the emblem images (an :class:`~repro.pipeline.EncodedSegment`),
+    so a recorder-facing consumer can persist frames as they are emitted.
+    Both callbacks run on the encoder thread.  ``collect=False`` drops each
+    batch's images after the callbacks — peak memory then stays bounded by
+    the executor window regardless of payload size.
+    """
+    config = _resolve_config(config, overrides)
+    return ArchiveWriter(
+        config, payload_kind=payload_kind, progress=progress, on_batch=on_batch,
+        collect=collect,
+    )
+
+
+def open_restore(
+    source: MicrOlonysArchive | str | Path,
+    config: ArchiveConfig | None = None,
+    **overrides,
+) -> ArchiveReader:
+    """Open a restoration session over an archive artefact or saved directory.
+
+    When no ``config`` is given, the archive's own manifest supplies the
+    media profile and codec — the archive is self-describing, exactly as the
+    paper intends; ``overrides`` then adjust individual fields
+    (``open_restore(path, decode_mode="dynarisc")``).
+    """
+    archive = (
+        source
+        if isinstance(source, MicrOlonysArchive)
+        else MicrOlonysArchive.load(source)
+    )
+    if config is None:
+        config = ArchiveConfig(
+            media=archive.manifest.profile_name,
+            codec=archive.manifest.dbcoder_profile,
+            payload_kind=archive.manifest.payload_kind,
+            segment_size=archive.manifest.segment_size,
+        )
+    if overrides:
+        config = config.replace(**overrides)
+    return ArchiveReader(archive, config)
+
+
+@dataclass
+class EndToEndResult:
+    """Everything produced by one :func:`run_end_to_end` run."""
+
+    config: ArchiveConfig
+    archive: MicrOlonysArchive
+    restoration: RestorationResult
+    frames_recorded: int
+    channel_name: str
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def payload(self) -> bytes:
+        """The restored payload bytes."""
+        return self.restoration.payload
+
+    @property
+    def ok(self) -> bool:
+        """True when restoration completed (it is bit-exact by construction)."""
+        return self.restoration.bit_exact
+
+
+def run_end_to_end(
+    config: ArchiveConfig | None = None,
+    payload: bytes = b"",
+    *,
+    payload_kind: str | None = None,
+    progress: Callable[[SegmentRecord], None] | None = None,
+    **overrides,
+) -> EndToEndResult:
+    """All seven steps of Figure 2a plus restoration, in one call.
+
+    Archives ``payload`` with the configured codec and media profile,
+    **records** the emblems onto the configured channel and **scans** them
+    back (step 7 — the simulated analog hop every other entry point leaves
+    out), then restores from the degraded scans and integrity-checks the
+    result.  Raises :class:`~repro.errors.RestorationError` (or a media
+    error) if the chain is not bit-exact; on success the returned
+    :class:`EndToEndResult` carries the archive, the scan statistics and the
+    restored payload.
+    """
+    config = _resolve_config(config, overrides)
+    with open_archive(config, payload_kind=payload_kind, progress=progress) as writer:
+        writer.write(payload)
+    archive = writer.archive
+
+    # Step 7: the analog hop — record emblem rasters onto the medium, scan
+    # them back as (possibly degraded) images.
+    channel = config.channel()
+    data_frames = channel.record(archive.data_emblem_images)
+    system_frames = channel.record(archive.system_emblem_images)
+    data_scan = channel.scan(data_frames, seed=config.scan_seed)
+    system_scan = channel.scan(system_frames, seed=config.scan_seed)
+
+    reader = open_restore(archive, config)
+    restoration = reader.read_from_scans(
+        data_scan.images,
+        system_images=system_scan.images,
+        bootstrap_text=archive.bootstrap_text,
+        payload_kind=archive.manifest.payload_kind,
+        manifest=archive.manifest,
+    )
+    if restoration.payload != payload:
+        raise RestorationError(
+            "end-to-end restoration returned different bytes than were archived"
+        )
+    return EndToEndResult(
+        config=config,
+        archive=archive,
+        restoration=restoration,
+        frames_recorded=data_scan.frames_recorded + system_scan.frames_recorded,
+        channel_name=data_scan.channel_name,
+        notes=list(restoration.notes),
+    )

@@ -21,14 +21,16 @@ from repro.core.profiles import (
     MICROFILM_DENSE_PROFILE,
     CINEMA_PROFILE,
     TEST_PROFILE,
+    DNA_PROFILE,
     get_profile,
     PROFILES,
 )
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.archiver import Archiver
-from repro.core.restorer import Restorer, RestorationResult
+from repro.core.restorer import RestoreEngine, Restorer, RestorationResult
 
 __all__ = [
+    "RestoreEngine",
     "SegmentRecord",
     "MediaProfile",
     "PAPER_PROFILE",
@@ -36,6 +38,7 @@ __all__ = [
     "MICROFILM_DENSE_PROFILE",
     "CINEMA_PROFILE",
     "TEST_PROFILE",
+    "DNA_PROFILE",
     "PROFILES",
     "get_profile",
     "ArchiveManifest",

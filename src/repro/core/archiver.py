@@ -28,6 +28,8 @@ optionally parallel encoding.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.archive import MicrOlonysArchive
 from repro.core.profiles import MediaProfile, TEST_PROFILE
 from repro.dbcoder.dbcoder import DBCoder, Profile
@@ -41,6 +43,12 @@ from repro.pipeline.segmenter import PayloadSource, segment_count
 
 class Archiver:
     """Archive databases (or raw byte payloads) onto analog media.
+
+    .. deprecated::
+        ``Archiver`` is a deprecation shim: use :func:`repro.api.open_archive`
+        (streaming sessions) or :func:`repro.api.run_end_to_end` (one call,
+        all seven steps) with an :class:`repro.api.ArchiveConfig`.  The shim
+        keeps the historical behaviour, but warns on construction.
 
     Parameters
     ----------
@@ -71,6 +79,12 @@ class Archiver:
         segment_size: int | None = None,
         executor: str = "serial",
     ):
+        warnings.warn(
+            "repro.core.Archiver is deprecated; use repro.api.open_archive() "
+            "(or repro.api.run_end_to_end) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.profile = profile
         self.dbcoder = DBCoder(dbcoder_profile)
         self.outer_code = outer_code

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.media.channel import MediaChannel
 from repro.media.distortions import OFFICE_SCAN
+from repro.media.dna import DNAEmblemChannel
 from repro.media.film import CinemaFilmChannel, MicrofilmChannel
 from repro.media.paper import PaperChannel
 from repro.mocoder.emblem import EmblemSpec
@@ -104,6 +105,24 @@ TEST_PROFILE = MediaProfile(
     ),
 )
 
+#: Small emblems carried on the synthetic-DNA channel sketch (§5 future
+#: work): the "frame" is an addressed oligo strand pool rather than an
+#: optical raster, so the channel is digital — see
+#: :class:`~repro.media.dna.DNAEmblemChannel`.
+DNA_PROFILE = MediaProfile(
+    name="dna-oligo",
+    description="synthetic-DNA oligo pool; emblems packed into addressed strands",
+    spec=EmblemSpec(
+        name="dna-oligo",
+        data_cells_x=64,
+        data_cells_y=64,
+        cell_pixels=2,
+    ),
+    channel_factory=lambda: DNAEmblemChannel(
+        frame_shape=(DNA_PROFILE.spec.pixels_y, DNA_PROFILE.spec.pixels_x)
+    ),
+)
+
 #: All named profiles.
 PROFILES = {
     profile.name: profile
@@ -113,15 +132,20 @@ PROFILES = {
         MICROFILM_DENSE_PROFILE,
         CINEMA_PROFILE,
         TEST_PROFILE,
+        DNA_PROFILE,
     )
 }
 
 
 def get_profile(name: str) -> MediaProfile:
-    """Look a media profile up by name."""
-    try:
-        return PROFILES[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown media profile {name!r}; available: {sorted(PROFILES)}"
-        ) from exc
+    """Look a media profile up by name (alias-aware).
+
+    Delegates to :data:`repro.registry.media`, so short aliases like
+    ``"paper"`` resolve too and unknown names raise
+    :class:`~repro.errors.UnknownNameError` (a :class:`~repro.errors.
+    ReproError` that still subclasses ``KeyError``) with a did-you-mean
+    suggestion.
+    """
+    from repro import registry  # local import: registry registers *us*
+
+    return registry.get_media(name)

@@ -23,6 +23,7 @@ VeRisc-hosted nested emulator — the complete ULE chain.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,8 +65,12 @@ class RestorationResult:
         return True
 
 
-class Restorer:
+class RestoreEngine:
     """Restore databases from scanned emblem images and the Bootstrap text.
+
+    This is the engine behind :func:`repro.api.open_restore` and
+    :func:`repro.api.run_end_to_end`; the historical :class:`Restorer` name
+    remains as a thin deprecation shim over it.
 
     Parameters
     ----------
@@ -163,14 +168,26 @@ class Restorer:
             )
 
         # Step 5: recover the payload — per segment when the manifest
-        # describes a segmented archive, as one stream otherwise.
+        # describes a segmented archive, as one stream otherwise.  The
+        # manifest names the compression codec; user-registered codecs only
+        # decode under the reference (python) decoders.
+        codec_name = manifest.dbcoder_profile if manifest is not None else None
+        if codec_name is not None and self.decode_mode != "python":
+            from repro import registry
+
+            if not registry.get_codec(codec_name).is_builtin:
+                raise RestorationError(
+                    f"codec {codec_name!r} is user-registered; the archived "
+                    "DynaRisc decoder only handles the PORTABLE profile — "
+                    "restore with decode_mode='python'"
+                )
         if manifest is not None and len(manifest.segments) > 1:
             payload, data_report, emulator_steps = self._restore_segmented(
                 manifest, data_images, decoder_code, notes
             )
         else:
             payload, data_report, emulator_steps = self._restore_whole_stream(
-                data_images, decoder_code, notes
+                data_images, decoder_code, notes, codec_name=codec_name
             )
 
         # Step 6: load the SQL archive into a present-day database.
@@ -197,11 +214,26 @@ class Restorer:
         data_images: list[np.ndarray],
         decoder_code: bytes | None,
         notes: list[str],
+        codec_name: str | None = None,
     ) -> tuple[bytes, DecodeReport, int]:
         """Steps 5a-5b over the whole data stream (one-shot archives)."""
         container, data_report = self.mocoder.decode(data_images)
+        if codec_name is not None:
+            from repro import registry
+
+            codec = registry.get_codec(codec_name)
+            if not codec.is_builtin:
+                # User codecs own their container; decode verifies length/CRC.
+                return codec.decode(container), data_report, 0
         header, payload_stream = unpack_container(container)
-        profile = Profile(header.profile_id)
+        try:
+            profile = Profile(header.profile_id)
+        except ValueError as exc:
+            raise RestorationError(
+                f"container names DBCoder profile id {header.profile_id}, which is "
+                "not a built-in profile; archives made with a user-registered codec "
+                "must be restored with their manifest (which names the codec)"
+            ) from exc
         emulator_steps = 0
         if self.decode_mode == "python" or decoder_code is None:
             payload = DBCoder.decompress_payload(payload_stream, profile)
@@ -295,8 +327,26 @@ class Restorer:
         return payload, nested.steps
 
 
+class Restorer(RestoreEngine):
+    """Deprecated alias of :class:`RestoreEngine`.
+
+    Use :func:`repro.api.open_restore` (or :class:`RestoreEngine` directly
+    for engine-level access); this shim stays importable and round-trips
+    exactly as before, but warns.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "repro.core.Restorer is deprecated; use repro.api.open_restore() "
+            "(or repro.api.run_end_to_end) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 def restore_archive_directory(directory: str, profile_name: str, decode_mode: str = "python") -> RestorationResult:
     """Convenience wrapper: load a saved archive directory and restore it."""
     archive = MicrOlonysArchive.load(directory)
-    restorer = Restorer(get_profile(profile_name), decode_mode=decode_mode)
+    restorer = RestoreEngine(get_profile(profile_name), decode_mode=decode_mode)
     return restorer.restore(archive)

@@ -68,16 +68,22 @@ def _find_longest_match(data: bytes, pos: int, limit: int) -> tuple[int, int]:
     return best_offset, best_length
 
 
-def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN) -> bytes:
-    """Compress ``data`` with greedy LZSS parsing over hash chains.
+def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) -> bytes:
+    """Compress ``data`` with LZSS parsing over hash chains.
 
     Every position is filed under its 3-byte prefix; matching walks the
     chain of previous occurrences newest-first (so ties keep the smallest
     offset, like the reference matcher), stopping early when the maximum
     encodable length is reached or ``max_chain`` candidates were tried.
-    This replaces the old per-byte window scan (~1 ``rfind`` over 4 KiB per
-    input byte) and compresses several times faster at near-identical
-    ratios; the stream format is unchanged.
+
+    With ``lazy`` (the default) the parse adds one token of lookahead: when
+    a match is found at ``pos``, the matcher also probes ``pos + 1``, and if
+    the next position matches *longer*, the current byte is emitted as a
+    literal so the longer match wins — the classic lazy-evaluation parse
+    (deflate's ``max_lazy`` idea), worth a few percent of ratio on text/SQL
+    at a modest throughput cost.  ``lazy=False`` reproduces the greedy
+    parse byte for byte, which is what the exhaustive-matcher equivalence
+    test pins.  The stream format is unchanged either way.
 
     Empty input compresses to an empty stream.
     """
@@ -90,9 +96,56 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN) -> bytes:
     flags = 0
     flag_count = 0
     group = bytearray()
-    pos = 0
     head: dict[int, int] = {}
     prev = [-1] * max(0, n - 2)
+    filed = 0  # positions < filed are already in the hash chains
+
+    def file_through(end: int) -> None:
+        """File positions ``filed .. end-1`` under their 3-byte prefixes.
+
+        Positions in the final two bytes have no full key and are skipped.
+        """
+        nonlocal filed
+        stop = min(end, n - 2)
+        while filed < stop:
+            key = data[filed] | (data[filed + 1] << 8) | (data[filed + 2] << 16)
+            prev[filed] = head.get(key, -1)
+            head[key] = filed
+            filed += 1
+        if end > filed:
+            filed = end
+
+    def find_match(pos: int, limit: int, floor: int = 0, chain: int | None = None) -> tuple[int, int]:
+        """Longest chain match at ``pos`` (positions < pos must be filed).
+
+        ``floor`` sets a length the match must strictly beat; the lazy probe
+        passes the current match's length, so most candidates die on the
+        single-byte rejection test instead of a full comparison.  ``chain``
+        caps the candidates walked (the probe uses a quarter budget, as
+        deflate does).  Returns ``(0, floor)`` when nothing beats the floor.
+        """
+        best_offset = 0
+        best_length = floor
+        key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
+        candidate = head.get(key, -1)
+        window_start = pos - (WINDOW_SIZE - 1)
+        if chain is None:
+            chain = max_chain
+        while candidate >= 0 and candidate >= window_start and chain > 0:
+            chain -= 1
+            # A longer match must extend past the current best; one byte
+            # rejects most candidates without a full comparison.
+            if not best_length or data[candidate + best_length] == data[pos + best_length]:
+                length = 0
+                while length < limit and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_length:
+                    best_length = length
+                    best_offset = pos - candidate
+                    if length == limit:
+                        break
+            candidate = prev[candidate]
+        return best_offset, best_length
 
     def flush_group() -> None:
         nonlocal flags, flag_count, group
@@ -103,48 +156,46 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN) -> bytes:
             flag_count = 0
             group = bytearray()
 
+    pos = 0
+    carried: tuple[int, int] | None = None  # match pre-computed by a lazy probe
     while pos < n:
         limit = min(MAX_MATCH, n - pos)
-        best_offset = 0
-        best_length = 0
-        if limit >= MIN_MATCH:
-            key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
-            candidate = head.get(key, -1)
-            window_start = pos - (WINDOW_SIZE - 1)
-            chain = max_chain
-            while candidate >= 0 and candidate >= window_start and chain > 0:
-                chain -= 1
-                # A longer match must extend past the current best; one byte
-                # rejects most candidates without a full comparison.
-                if not best_length or data[candidate + best_length] == data[pos + best_length]:
-                    length = 0
-                    while length < limit and data[candidate + length] == data[pos + length]:
-                        length += 1
-                    if length > best_length:
-                        best_length = length
-                        best_offset = pos - candidate
-                        if length == limit:
-                            break
-                candidate = prev[candidate]
+        if carried is not None:
+            best_offset, best_length = carried
+            carried = None
+        elif limit >= MIN_MATCH:
+            file_through(pos)
+            best_offset, best_length = find_match(pos, limit)
+        else:
+            best_offset, best_length = 0, 0
+
+        if lazy and MIN_MATCH <= best_length < limit:
+            # One-token lookahead: if pos+1 matches strictly longer, demote
+            # this position to a literal and keep the longer match.
+            next_limit = min(MAX_MATCH, n - pos - 1)
+            if next_limit > best_length:
+                file_through(pos + 1)
+                next_offset, next_length = find_match(
+                    pos + 1, next_limit, floor=best_length, chain=max(1, max_chain // 4)
+                )
+                if next_offset:
+                    flags |= 1 << flag_count
+                    group.append(data[pos])
+                    carried = (next_offset, next_length)
+                    pos += 1
+                    flag_count += 1
+                    if flag_count == 8:
+                        flush_group()
+                    continue
+
         if best_length >= MIN_MATCH:
             group.append(best_offset & 0xFF)
             group.append(((best_offset >> 8) << 4) | (best_length - MIN_MATCH))
-            advance = best_length
+            pos += best_length
         else:
             flags |= 1 << flag_count
             group.append(data[pos])
-            advance = 1
-        # File every consumed position under its 3-byte prefix so later
-        # positions can match into the span we just emitted (positions in
-        # the final two bytes have no full key and are skipped).
-        next_pos = pos + advance
-        insert_end = min(next_pos, n - 2)
-        while pos < insert_end:
-            key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
-            prev[pos] = head.get(key, -1)
-            head[key] = pos
             pos += 1
-        pos = next_pos
         flag_count += 1
         if flag_count == 8:
             flush_group()

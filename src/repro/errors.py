@@ -153,3 +153,45 @@ class ArchiveError(ReproError):
 
 class RestorationError(ArchiveError):
     """The archived database could not be restored bit-for-bit."""
+
+
+# --------------------------------------------------------------------------- #
+# Registries and the unified configuration facade
+# --------------------------------------------------------------------------- #
+class RegistryError(ReproError):
+    """Base class for registry registration/lookup errors."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A registry lookup (codec, media channel, executor, ...) failed.
+
+    Carries the failed ``name``, the registry ``kind``, the valid ``choices``
+    and a did-you-mean ``suggestion`` (closest valid name, when one is close
+    enough).  Inherits :class:`KeyError` so pre-registry callers that caught
+    ``KeyError`` from ``get_profile`` keep working.
+    """
+
+    def __init__(self, kind: str, name: str, choices: list[str], suggestion: str | None = None):
+        self.kind = kind
+        self.name = name
+        self.choices = list(choices)
+        self.suggestion = suggestion
+        message = f"unknown {kind} {name!r}"
+        if suggestion:
+            message += f"; did you mean {suggestion!r}?"
+        message += f" (valid names: {', '.join(self.choices) or 'none registered'})"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message and mangle the quotes.
+        return self.args[0]
+
+    def __reduce__(self):
+        # Exceptions pickle via (cls, self.args) by default, which would call
+        # __init__ with the rendered message instead of the four fields; this
+        # matters when the error crosses a process-pool boundary.
+        return (UnknownNameError, (self.kind, self.name, self.choices, self.suggestion))
+
+
+class ConfigError(ArchiveError):
+    """An :class:`repro.api.ArchiveConfig` is invalid or cannot be parsed."""

@@ -31,6 +31,11 @@ class ScanOutcome:
 class MediaChannel:
     """Base class for simulated analog media.
 
+    Subclasses that model their degradation elsewhere (the DNA channel's
+    strand dropout/substitution) set ``supports_distortion = False`` so
+    config-level distortion overrides can be rejected instead of silently
+    ignored.
+
     Parameters
     ----------
     name:
@@ -45,6 +50,9 @@ class MediaChannel:
     distortion:
         Degradations applied by the medium + scanner.
     """
+
+    #: Whether :meth:`scan` applies the ``distortion`` profile.
+    supports_distortion = True
 
     def __init__(
         self,

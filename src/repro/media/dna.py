@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import MediaError
+from repro.errors import MediaCapacityError, MediaError
+from repro.media.channel import MediaChannel, ScanOutcome
 from repro.util.crc import crc32_of
 from repro.util.rng import deterministic_rng
 
@@ -185,3 +186,86 @@ class DNAChannel:
     def roundtrip(self, data: bytes, seed: int | None = None) -> bytes:
         """Synthesise, sequence and reassemble ``data``."""
         return self.assemble(self.sequence(self.synthesize(data), seed=seed))
+
+
+class DNAEmblemChannel(MediaChannel):
+    """Emblem rasters carried on the DNA channel (record = synthesise).
+
+    Makes DNA a first-class *media channel* in the sense of step 7 of
+    Figure 2a: ``record`` packs each bitonal emblem raster into addressed
+    oligo strands, ``scan`` sequences the pool back and rebuilds the raster.
+    Unlike the optical channels the medium is digital — a frame either
+    reassembles exactly or the strand pool reports the loss — so the scanned
+    images are pristine rasters and the channel's error model lives in the
+    strand dropout/substitution parameters instead of a
+    :class:`~repro.media.distortions.DistortionProfile`.
+    """
+
+    #: Bytes prepended to each frame's packed bits: height + width (LE u32).
+    _SHAPE_HEADER_BYTES = 8
+
+    #: Degradation lives in the strand dropout/substitution model, not in a
+    #: raster DistortionProfile — config-level overrides are rejected.
+    supports_distortion = False
+
+    def __init__(
+        self,
+        frame_shape: tuple[int, int] = (256, 256),
+        dna: DNAChannel | None = None,
+    ):
+        super().__init__(
+            name="synthetic DNA oligo pool",
+            frame_shape=frame_shape,
+            scan_scale=1.0,
+            write_bitonal=True,
+        )
+        # Short strands keep the per-read corruption probability low
+        # (~170 nt at 0.02 % substitution/base leaves ~97 % of reads valid),
+        # so six-fold coverage makes whole-strand loss vanishingly rare.
+        self.dna = dna if dna is not None else DNAChannel(
+            strand_payload_bytes=32,
+            coverage=6,
+            dropout_rate=0.01,
+            substitution_rate=0.0002,
+        )
+
+    # ------------------------------------------------------------------ #
+    def record(self, images: list[np.ndarray]) -> list[list[str]]:
+        """Synthesise one strand pool per emblem raster."""
+        height, width = self.frame_shape
+        pools: list[list[str]] = []
+        for index, image in enumerate(images):
+            image = np.asarray(image, dtype=np.uint8)
+            if image.shape[0] > height or image.shape[1] > width:
+                raise MediaCapacityError(
+                    f"{self.name}: emblem {index} of {image.shape} pixels exceeds the "
+                    f"{self.frame_shape} frame budget"
+                )
+            bits = (image < 128).astype(np.uint8)
+            header = image.shape[0].to_bytes(4, "little") + image.shape[1].to_bytes(4, "little")
+            pools.append(self.dna.synthesize(header + np.packbits(bits).tobytes()))
+        return pools
+
+    def scan(self, frames: list[list[str]], seed: int | None = None) -> ScanOutcome:
+        """Sequence each pool and reassemble the emblem rasters.
+
+        Raises
+        ------
+        MediaError
+            If a frame's strand pool lost more copies than coverage allows.
+        """
+        base_seed = seed if seed is not None else self.dna.seed
+        images: list[np.ndarray] = []
+        for index, pool in enumerate(frames):
+            frame_seed = None if base_seed is None else base_seed + 9973 * index
+            raw = self.dna.assemble(self.dna.sequence(pool, seed=frame_seed))
+            if len(raw) < self._SHAPE_HEADER_BYTES:
+                raise MediaError(f"frame {index}: reassembled pool is missing its shape header")
+            height = int.from_bytes(raw[0:4], "little")
+            width = int.from_bytes(raw[4:8], "little")
+            bits = np.unpackbits(
+                np.frombuffer(raw[self._SHAPE_HEADER_BYTES:], dtype=np.uint8),
+                count=height * width,
+            ).reshape(height, width)
+            images.append(np.where(bits == 1, 0, 255).astype(np.uint8))
+        return ScanOutcome(images=images, channel_name=self.name, frames_recorded=len(frames))

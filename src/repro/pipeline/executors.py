@@ -133,25 +133,40 @@ class ProcessPoolSegmentExecutor(_PoolExecutor):
         return ProcessPoolExecutor(max_workers=self.workers)
 
 
+def parse_executor_spec(spec: str) -> tuple[str, int | None]:
+    """Split an executor spec into its base name and worker count.
+
+    ``"thread:4"`` -> ``("thread", 4)``; a bad worker count raises
+    :class:`ValueError`.
+    """
+    name, _, count = str(spec).partition(":")
+    try:
+        workers = int(count) if count else None
+    except ValueError:
+        raise ValueError(
+            f"bad executor spec {spec!r}: worker count must be an integer"
+        ) from None
+    if workers is not None and workers < 1:
+        raise ValueError(f"bad executor spec {spec!r}: worker count must be >= 1")
+    return name, workers
+
+
 def get_executor(spec: "str | SegmentExecutor | None") -> SegmentExecutor:
     """Resolve an executor from a name, ``"name:workers"`` spec, or instance.
 
     ``"serial"`` (and ``None``) run inline; ``"thread"`` / ``"process"`` use
     all visible CPUs; ``"thread:4"`` pins the worker count; ``"auto"`` picks
     a process pool when more than one CPU is visible and serial otherwise.
+    Names resolve through :data:`repro.registry.executors`, so
+    user-registered executor factories work here (and therefore in every
+    pipeline/API entry point); unknown names raise
+    :class:`~repro.errors.UnknownNameError` with a did-you-mean suggestion.
     """
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, SegmentExecutor):
         return spec
-    name, _, count = str(spec).partition(":")
-    workers = int(count) if count else None
-    if name == "auto":
-        name = "process" if (os.cpu_count() or 1) > 1 else "serial"
-    if name == "serial":
-        return SerialExecutor()
-    if name == "thread":
-        return ThreadPoolSegmentExecutor(workers=workers)
-    if name == "process":
-        return ProcessPoolSegmentExecutor(workers=workers)
-    raise ValueError(f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}")
+    name, workers = parse_executor_spec(spec)
+    from repro import registry  # local import: registry registers the built-ins
+
+    return registry.get_executor_factory(name)(workers)

@@ -32,7 +32,7 @@ import numpy as np
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.profiles import MediaProfile, TEST_PROFILE
 from repro.bootstrap.document import build_bootstrap
-from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dbcoder.dbcoder import Profile
 from repro.dynarisc.programs import get_program
 from repro.errors import RestorationError
 from repro.mocoder.emblem import EmblemKind, EmblemSpec
@@ -61,7 +61,9 @@ __all__ = [
 @dataclass(frozen=True)
 class _EncodeJob:
     spec: EmblemSpec
-    dbcoder_profile: int
+    #: Registry name of the compression codec (see :data:`repro.registry.codecs`);
+    #: a plain string so the job pickles into process-pool workers.
+    codec: str
     outer_code: bool
     kind: int
     index: int
@@ -81,7 +83,9 @@ class _EncodeResult:
 
 def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
     """Steps 2-3 for one segment: DBCoder container -> emblem rasters."""
-    container = DBCoder(Profile(job.dbcoder_profile)).encode(job.data)
+    from repro import registry  # deferred: registry imports this package
+
+    container = registry.get_codec(job.codec).encode(job.data)
     mocoder = MOCoder(job.spec, outer_code=job.outer_code)
     stream = mocoder.encode(container, kind=EmblemKind(job.kind))
     return _EncodeResult(
@@ -100,6 +104,9 @@ class _DecodeJob:
     record: SegmentRecord
     images: list
     decode_payload: bool
+    #: Codec registry name from the archive manifest (``"PORTABLE"`` and
+    #: friends resolve case-insensitively to the built-ins).
+    codec: str = "portable"
 
 
 @dataclass(frozen=True)
@@ -112,11 +119,13 @@ class _DecodeResult:
 
 def _decode_segment_job(job: _DecodeJob) -> _DecodeResult:
     """Step 5 for one segment: scanned rasters -> container (-> payload)."""
+    from repro import registry  # deferred: registry imports this package
+
     mocoder = MOCoder(job.spec)
     container, report = mocoder.decode(list(job.images))
     payload = None
     if job.decode_payload:
-        payload = DBCoder().decode(container)
+        payload = registry.get_codec(job.codec).decode(container)
         if len(payload) != job.record.length or crc32_of(payload) != job.record.crc32:
             raise RestorationError(
                 f"segment {job.record.index}: restored bytes do not match the "
@@ -194,7 +203,11 @@ class ArchivePipeline:
     profile:
         Media profile selecting the emblem geometry.
     dbcoder_profile:
-        DBCoder compression profile applied to every segment.
+        Compression codec applied to every segment: a
+        :class:`~repro.dbcoder.Profile`, a registry name (``"portable"``,
+        ``"dense"``, ... — including user codecs registered with
+        :func:`repro.registry.register_codec`), or a
+        :class:`~repro.registry.Codec` instance.
     outer_code:
         Whether each segment's emblem stream gets 17+3 parity groups.
     segment_size:
@@ -209,13 +222,28 @@ class ArchivePipeline:
     def __init__(
         self,
         profile: MediaProfile = TEST_PROFILE,
-        dbcoder_profile: Profile = Profile.PORTABLE,
+        dbcoder_profile: "Profile | str" = Profile.PORTABLE,
         outer_code: bool = True,
         segment_size: int | None = DEFAULT_SEGMENT_SIZE,
         executor: str | SegmentExecutor = "serial",
     ):
+        from repro import registry  # deferred: registry imports this package
+        from repro.errors import RegistryError
+
         self.profile = profile
-        self.dbcoder_profile = Profile(dbcoder_profile)
+        self.codec = registry.get_codec(dbcoder_profile)
+        # Jobs ship only the codec *name* (they must pickle into workers), so
+        # the codec has to be resolvable by name wherever jobs run — fail
+        # fast here rather than deep inside an executor.
+        if self.codec.name not in registry.codecs:
+            raise RegistryError(
+                f"codec {self.codec.name!r} is not registered; register it with "
+                "repro.registry.register_codec() (or registry.codecs.register) "
+                "before constructing a pipeline — segment jobs resolve codecs "
+                "by name"
+            )
+        #: The built-in DBCoder profile, or ``None`` for user codecs.
+        self.dbcoder_profile = self.codec.profile
         self.outer_code = outer_code
         self.segment_size = segment_size
         self.executor = executor
@@ -242,7 +270,7 @@ class ArchivePipeline:
                     _tally.update(segment.data)
                 yield _EncodeJob(
                     spec=self.profile.spec,
-                    dbcoder_profile=int(self.dbcoder_profile),
+                    codec=self.codec.name,
                     outer_code=self.outer_code,
                     kind=int(kind),
                     index=segment.index,
@@ -290,7 +318,7 @@ class ArchivePipeline:
         )
         manifest = ArchiveManifest(
             profile_name=self.profile.name,
-            dbcoder_profile=self.dbcoder_profile.name,
+            dbcoder_profile=self.codec.manifest_name,
             archive_bytes=tally.length,
             archive_crc32=tally.crc,
             data_emblem_count=len(data_images),
@@ -368,6 +396,7 @@ class RestorePipeline:
                 record=record,
                 images=data_images[record.emblem_start:end],
                 decode_payload=decode_payload,
+                codec=manifest.dbcoder_profile or "portable",
             )
 
     def iter_decode(

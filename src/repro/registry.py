@@ -1,0 +1,392 @@
+"""Named, pluggable registries: one string-keyed contract for every substrate.
+
+The ULE paper's core argument is a *single self-describing contract* between
+the writer and the future reader; this module is the in-process half of that
+contract.  Every pluggable substrate of the library — compression codecs,
+media channels, pipeline executors and scanner distortion models — is
+resolvable by a short string name, so an :class:`repro.api.ArchiveConfig`
+(and therefore a saved ``config.json``) fully describes a run without any
+Python object wiring.
+
+Four registries ship populated with the built-ins:
+
+* :data:`codecs` — DBCoder compression codecs (``store`` / ``portable`` /
+  ``dense``); user codecs register a byte-level compress/decompress pair via
+  :func:`register_codec`.
+* :data:`media` — :class:`~repro.core.profiles.MediaProfile` entries pairing
+  an emblem geometry with its analog channel (paper, microfilm, cinema film,
+  synthetic DNA), with short aliases (``paper``, ``microfilm``, ``cinema``,
+  ``dna``, ``test``).
+* :data:`executors` — factories for the pipeline's segment executors
+  (``serial`` / ``thread`` / ``process`` / ``auto``).
+* :data:`distortions` — named scanner/medium degradation profiles.
+
+Lookups are case-insensitive and failures raise
+:class:`~repro.errors.UnknownNameError` with a did-you-mean suggestion.
+
+Process-pool note: worker processes re-import this module and therefore see
+the built-ins, but *not* codecs registered only in the parent process — run
+custom codecs with the ``serial``/``thread`` executors, or register them at
+import time of a module the workers also import.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.errors import DecompressionError, RegistryError, UnknownNameError
+from repro.core.profiles import (
+    CINEMA_PROFILE,
+    DNA_PROFILE,
+    MICROFILM_DENSE_PROFILE,
+    MICROFILM_PROFILE,
+    MediaProfile,
+    PAPER_PROFILE,
+    TEST_PROFILE,
+)
+from repro.dbcoder.dbcoder import DBCoder, Profile
+from repro.dbcoder.formats import pack_container, unpack_container
+from repro.media.distortions import (
+    AGED_MICROFILM,
+    CINEMA_SCAN,
+    DistortionProfile,
+    OFFICE_SCAN,
+    PRISTINE,
+)
+from repro.pipeline.executors import (
+    ProcessPoolSegmentExecutor,
+    SegmentExecutor,
+    SerialExecutor,
+    ThreadPoolSegmentExecutor,
+)
+from repro.util.crc import crc32_of
+
+ValueT = TypeVar("ValueT")
+
+__all__ = [
+    "Registry",
+    "Codec",
+    "codecs",
+    "media",
+    "executors",
+    "distortions",
+    "get_codec",
+    "get_media",
+    "get_executor_factory",
+    "get_distortion",
+    "register_codec",
+    "CUSTOM_CODEC_PROFILE_ID",
+]
+
+
+class Registry(Generic[ValueT]):
+    """A case-insensitive name -> value mapping with aliases and suggestions.
+
+    ``register``/``unregister`` let users plug their own entries in at run
+    time; ``get`` resolves aliases and raises
+    :class:`~repro.errors.UnknownNameError` (with the closest valid name)
+    instead of a bare ``KeyError``.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, ValueT] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return str(name).strip().lower()
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, value: ValueT, *, overwrite: bool = False) -> ValueT:
+        """Register ``value`` under ``name``.
+
+        Raises
+        ------
+        RegistryError
+            If the name (or an alias of it) is already taken and
+            ``overwrite`` is false.
+        """
+        key = self._normalize(name)
+        if not key:
+            raise RegistryError(f"{self.kind} names must be non-empty")
+        if not overwrite and (key in self._entries or key in self._aliases):
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._aliases.pop(key, None)
+        self._entries[key] = value
+        return value
+
+    def alias(self, alias: str, target: str, *, overwrite: bool = False) -> None:
+        """Make ``alias`` resolve to the already-registered ``target``.
+
+        Raises
+        ------
+        RegistryError
+            If the alias collides with a registered name, or with an
+            existing alias and ``overwrite`` is false.
+        """
+        target_key = self.resolve_name(target)
+        key = self._normalize(alias)
+        if key in self._entries:
+            raise RegistryError(f"{self.kind} {alias!r} is already a registered name")
+        if key in self._aliases and not overwrite:
+            raise RegistryError(
+                f"{self.kind} alias {alias!r} already points at "
+                f"{self._aliases[key]!r}; pass overwrite=True to repoint it"
+            )
+        self._aliases[key] = target_key
+
+    def unregister(self, name: str) -> None:
+        """Remove a name (and any aliases pointing at it) or an alias."""
+        key = self._normalize(name)
+        if key in self._entries:
+            del self._entries[key]
+            self._aliases = {
+                alias: target for alias, target in self._aliases.items() if target != key
+            }
+            return
+        if key in self._aliases:
+            del self._aliases[key]
+            return
+        raise self._unknown(name)
+
+    # ------------------------------------------------------------------ #
+    def resolve_name(self, name: str) -> str:
+        """Return the canonical registered name for ``name`` (alias-aware)."""
+        key = self._normalize(name)
+        key = self._aliases.get(key, key)
+        if key not in self._entries:
+            raise self._unknown(name)
+        return key
+
+    def get(self, name: str) -> ValueT:
+        """Look ``name`` up, raising :class:`UnknownNameError` on a miss."""
+        return self._entries[self.resolve_name(name)]
+
+    def _unknown(self, name: str) -> UnknownNameError:
+        valid = sorted(self._entries) + sorted(self._aliases)
+        close = difflib.get_close_matches(self._normalize(name), valid, n=1, cutoff=0.5)
+        return UnknownNameError(self.kind, name, valid, close[0] if close else None)
+
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        """Canonical registered names, sorted (aliases excluded)."""
+        return sorted(self._entries)
+
+    def aliases(self) -> dict[str, str]:
+        """Alias -> canonical-name mapping."""
+        return dict(self._aliases)
+
+    def items(self) -> Iterator[tuple[str, ValueT]]:
+        for name in self.names():
+            yield name, self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve_name(name)
+        except UnknownNameError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={self.names()})"
+
+
+# --------------------------------------------------------------------------- #
+# Codecs
+# --------------------------------------------------------------------------- #
+#: Container profile identifier reserved for user-registered codecs; the
+#: codec is then dispatched by *name* (from the archive manifest), never by
+#: this byte.
+CUSTOM_CODEC_PROFILE_ID = 0xFF
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named DBCoder-level compression codec.
+
+    Built-in codecs wrap a :class:`~repro.dbcoder.Profile`; user codecs
+    supply a raw byte-level ``compress``/``decompress`` pair and get the same
+    self-describing container (length + CRC-32 of the original data) wrapped
+    around their stream, so every codec's restore path is integrity-checked.
+    """
+
+    name: str
+    description: str = ""
+    profile: Profile | None = None
+    compress: Callable[[bytes], bytes] | None = field(default=None, repr=False)
+    decompress: Callable[[bytes], bytes] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.profile is None and (self.compress is None or self.decompress is None):
+            raise RegistryError(
+                f"codec {self.name!r} needs either a DBCoder profile or both "
+                "compress and decompress callables"
+            )
+
+    @property
+    def is_builtin(self) -> bool:
+        """True when the codec is one of the DBCoder profiles."""
+        return self.profile is not None
+
+    @property
+    def manifest_name(self) -> str:
+        """The name recorded in archive manifests.
+
+        Built-ins keep the historical ``Profile.name`` spelling
+        (``"PORTABLE"``) so pre-registry manifests and new ones agree.
+        """
+        return self.profile.name if self.profile is not None else self.name
+
+    # ------------------------------------------------------------------ #
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-describing DBCoder container."""
+        if self.profile is not None:
+            return DBCoder(self.profile).encode(data)
+        return pack_container(CUSTOM_CODEC_PROFILE_ID, data, self.compress(data))
+
+    def decode(self, container: bytes) -> bytes:
+        """Decode a container produced by :meth:`encode`, verifying length/CRC."""
+        if self.profile is not None:
+            return DBCoder().decode(container)
+        header, stream = unpack_container(container)
+        data = self.decompress(stream)
+        if len(data) != header.original_length or crc32_of(data) != header.original_crc32:
+            raise DecompressionError(
+                f"codec {self.name!r}: restored data fails the archived length/CRC check"
+            )
+        return data
+
+
+#: Compression codecs, by name.
+codecs: Registry[Codec] = Registry("codec")
+
+codecs.register(
+    "store",
+    Codec("store", "no compression (baseline and debugging aid)", Profile.STORE),
+)
+codecs.register(
+    "portable",
+    Codec(
+        "portable",
+        "byte-aligned LZSS; decodable by the archived DynaRisc decoder",
+        Profile.PORTABLE,
+    ),
+)
+codecs.register(
+    "dense",
+    Codec(
+        "dense",
+        "LZSS + adaptive arithmetic coding (maximum density)",
+        Profile.DENSE,
+    ),
+)
+
+
+def get_codec(name: "str | Profile | Codec") -> Codec:
+    """Resolve a codec from a registry name, a DBCoder profile, or itself."""
+    if isinstance(name, Codec):
+        return name
+    if isinstance(name, Profile):
+        return codecs.get(name.name)
+    return codecs.get(name)
+
+
+def register_codec(
+    name: str,
+    compress: Callable[[bytes], bytes],
+    decompress: Callable[[bytes], bytes],
+    description: str = "",
+    *,
+    overwrite: bool = False,
+) -> Codec:
+    """Register a user codec from a byte-level compress/decompress pair.
+
+    The callables must be picklable (module-level functions) to work with
+    the ``process`` executor; see the module docs for the worker-process
+    caveat.
+    """
+    codec = Codec(name=Registry._normalize(name), description=description,
+                  compress=compress, decompress=decompress)
+    return codecs.register(name, codec, overwrite=overwrite)
+
+
+# --------------------------------------------------------------------------- #
+# Media channels
+# --------------------------------------------------------------------------- #
+#: Media profiles (emblem geometry + analog channel), by name.
+media: Registry[MediaProfile] = Registry("media channel")
+
+for _profile in (
+    PAPER_PROFILE,
+    MICROFILM_PROFILE,
+    MICROFILM_DENSE_PROFILE,
+    CINEMA_PROFILE,
+    TEST_PROFILE,
+    DNA_PROFILE,
+):
+    media.register(_profile.name, _profile)
+
+media.alias("paper", PAPER_PROFILE.name)
+media.alias("microfilm", MICROFILM_PROFILE.name)
+media.alias("microfilm-dense", MICROFILM_DENSE_PROFILE.name)
+media.alias("cinema", CINEMA_PROFILE.name)
+media.alias("test", TEST_PROFILE.name)
+media.alias("dna", DNA_PROFILE.name)
+
+
+def get_media(name: "str | MediaProfile") -> MediaProfile:
+    """Resolve a media profile from a registry name (or pass one through)."""
+    if isinstance(name, MediaProfile):
+        return name
+    return media.get(name)
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+def _make_auto_executor(workers: int | None = None) -> SegmentExecutor:
+    """``auto``: a process pool when more than one CPU is visible, else serial."""
+    if (os.cpu_count() or 1) > 1:
+        return ProcessPoolSegmentExecutor(workers=workers)
+    return SerialExecutor()
+
+
+#: Executor factories (``workers -> SegmentExecutor``), by name.
+executors: Registry[Callable[[int | None], SegmentExecutor]] = Registry("executor")
+
+executors.register("serial", lambda workers=None: SerialExecutor())
+executors.register("thread", lambda workers=None: ThreadPoolSegmentExecutor(workers=workers))
+executors.register("process", lambda workers=None: ProcessPoolSegmentExecutor(workers=workers))
+executors.register("auto", _make_auto_executor)
+
+
+def get_executor_factory(name: str) -> Callable[[int | None], SegmentExecutor]:
+    """Look an executor factory up by base name (no ``:workers`` suffix)."""
+    return executors.get(name)
+
+
+# --------------------------------------------------------------------------- #
+# Distortion profiles
+# --------------------------------------------------------------------------- #
+#: Named scanner/medium degradation models, by name.
+distortions: Registry[DistortionProfile] = Registry("distortion profile")
+
+for _distortion in (PRISTINE, OFFICE_SCAN, AGED_MICROFILM, CINEMA_SCAN):
+    distortions.register(_distortion.name, _distortion)
+
+
+def get_distortion(name: "str | DistortionProfile") -> DistortionProfile:
+    """Resolve a distortion profile from a registry name (or pass one through)."""
+    if isinstance(name, DistortionProfile):
+        return name
+    return distortions.get(name)

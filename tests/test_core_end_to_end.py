@@ -1,19 +1,25 @@
-"""End-to-end tests of the Micr'Olonys archival / restoration flows (Figure 2)."""
+"""End-to-end tests of the Micr'Olonys archival / restoration flows (Figure 2).
+
+Exercises the flows through the :mod:`repro.api` facade (the canonical entry
+point); the deprecated ``Archiver`` / ``Restorer`` shims have their own
+round-trip coverage in ``tests/test_api.py``.
+"""
 
 import numpy as np
 import pytest
 
 from repro import (
-    Archiver,
+    ArchiveConfig,
     MicrOlonysArchive,
-    Restorer,
     TEST_PROFILE,
+    db_dump,
     generate_tpch,
+    open_archive,
+    open_restore,
 )
 from repro.core.profiles import PROFILES, get_profile
 from repro.core.restorer import restore_archive_directory
-from repro.dbcoder import Profile
-from repro.errors import RestorationError
+from repro.errors import ConfigError, RestorationError, UnknownNameError
 
 
 @pytest.fixture(scope="module")
@@ -23,7 +29,9 @@ def tiny_database():
 
 @pytest.fixture(scope="module")
 def tiny_archive(tiny_database):
-    return Archiver(TEST_PROFILE).archive_database(tiny_database)
+    with open_archive(ArchiveConfig(media="test", payload_kind="sql")) as writer:
+        writer.write(db_dump(tiny_database).encode("utf-8"))
+    return writer.archive
 
 
 class TestProfiles:
@@ -42,12 +50,19 @@ class TestProfiles:
             assert profile.spec.pixels_y <= channel.frame_shape[0]
             assert profile.spec.pixels_x <= channel.frame_shape[1]
 
+    def test_profile_aliases_resolve(self):
+        assert get_profile("paper") is get_profile("paper-a4-600dpi")
+        assert get_profile("test") is TEST_PROFILE
+
     def test_unknown_profile(self):
+        # UnknownNameError subclasses both ReproError and KeyError.
+        with pytest.raises(UnknownNameError):
+            get_profile("punch-cards")
         with pytest.raises(KeyError):
             get_profile("punch-cards")
 
 
-class TestArchiver:
+class TestArchiveSession:
     def test_archive_contains_all_artifacts(self, tiny_archive):
         assert tiny_archive.data_emblem_images
         assert tiny_archive.system_emblem_images
@@ -55,26 +70,25 @@ class TestArchiver:
         assert tiny_archive.manifest.data_emblem_count == len(tiny_archive.data_emblem_images)
 
     def test_emblem_count_estimate_close_to_actual(self, tiny_database, tiny_archive):
-        archiver = Archiver(TEST_PROFILE)
+        config = ArchiveConfig(media="test")
         # The estimate ignores compression, so it upper-bounds the actual count.
-        from repro.dbms import db_dump
-        estimate = archiver.estimate_emblems(len(db_dump(tiny_database).encode()))
+        estimate = config.estimate_emblems(len(db_dump(tiny_database).encode("utf-8")))
         assert estimate >= tiny_archive.manifest.data_emblem_count
 
 
-class TestRestorer:
+class TestRestoreSession:
     def test_direct_restore_is_bit_exact(self, tiny_database, tiny_archive):
-        result = Restorer(TEST_PROFILE).restore(tiny_archive)
+        result = open_restore(tiny_archive).read()
         assert result.database == tiny_database
         assert result.archive_text.startswith("--")
 
     def test_restore_through_the_scanner(self, tiny_database, tiny_archive):
-        result = Restorer(TEST_PROFILE).restore_via_channel(tiny_archive, seed=5)
+        result = open_restore(tiny_archive).read_via_channel(seed=5)
         assert result.database == tiny_database
         assert result.data_report.emblems_failed == 0
 
     def test_restore_with_emulated_decoder(self, tiny_database, tiny_archive):
-        result = Restorer(TEST_PROFILE, decode_mode="dynarisc").restore(tiny_archive)
+        result = open_restore(tiny_archive, decode_mode="dynarisc").read()
         assert result.database == tiny_database
         assert result.emulator_steps > 0
 
@@ -85,27 +99,29 @@ class TestRestorer:
             system_emblem_images=tiny_archive.system_emblem_images,
             bootstrap_text=tiny_archive.bootstrap_text,
         )
-        result = Restorer(TEST_PROFILE).restore(damaged)
+        result = open_restore(damaged).read()
         assert result.database == tiny_database
         assert result.data_report.groups_reconstructed >= 1
 
-    def test_dense_profile_requires_reference_decoder(self, tiny_database):
-        archive = Archiver(TEST_PROFILE, dbcoder_profile=Profile.DENSE).archive_database(
-            tiny_database
-        )
-        assert Restorer(TEST_PROFILE).restore(archive).database == tiny_database
+    def test_dense_codec_requires_reference_decoder(self, tiny_database):
+        config = ArchiveConfig(media="test", codec="dense", payload_kind="sql")
+        with open_archive(config) as writer:
+            writer.write(db_dump(tiny_database).encode("utf-8"))
+        archive = writer.archive
+        assert open_restore(archive).read().database == tiny_database
         with pytest.raises(RestorationError):
-            Restorer(TEST_PROFILE, decode_mode="dynarisc").restore(archive)
+            open_restore(archive, decode_mode="dynarisc").read()
 
-    def test_invalid_decode_mode(self):
-        with pytest.raises(ValueError):
-            Restorer(TEST_PROFILE, decode_mode="magic")
+    def test_invalid_decode_mode(self, tiny_archive):
+        with pytest.raises(ConfigError):
+            open_restore(tiny_archive, decode_mode="magic")
 
     def test_raw_byte_payload_archive(self, rng):
         """The microfilm/cinema experiments archive an image file, not SQL."""
         payload = bytes(rng.integers(0, 256, size=2000, dtype=np.uint8))
-        archive = Archiver(TEST_PROFILE).archive_bytes(payload, payload_kind="tiff")
-        result = Restorer(TEST_PROFILE).restore(archive)
+        with open_archive(ArchiveConfig(media="test"), payload_kind="tiff") as writer:
+            writer.write(payload)
+        result = open_restore(writer.archive).read()
         assert result.payload == payload
         assert result.database is None
 
@@ -117,6 +133,12 @@ class TestArchivePersistence:
         assert loaded.manifest == tiny_archive.manifest
         assert len(loaded.data_emblem_images) == len(tiny_archive.data_emblem_images)
         result = restore_archive_directory(str(directory), "test-small")
+        assert result.database == tiny_database
+
+    def test_open_restore_from_directory(self, tiny_database, tiny_archive, tmp_path):
+        directory = tiny_archive.save(tmp_path / "archive-api")
+        # The manifest supplies media + codec: the archive is self-describing.
+        result = open_restore(directory).read()
         assert result.database == tiny_database
 
     def test_loading_a_non_archive_directory_fails(self, tmp_path):

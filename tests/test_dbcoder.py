@@ -50,12 +50,14 @@ class TestLZSS:
     @given(st.binary(max_size=600))
     @settings(max_examples=40, deadline=None)
     def test_hash_chain_matches_reference_matcher(self, data):
-        """The hash-chain compressor emits what the exhaustive matcher would.
+        """The greedy hash-chain parse emits what the exhaustive matcher would.
 
         With an unbound chain both searches consider every window candidate
         and share the newest-candidate tie-break, so the streams must be
         byte-identical (the production MAX_CHAIN cap may diverge — only on
         inputs where a 3-byte prefix repeats > MAX_CHAIN times in-window).
+        ``lazy=False`` pins the greedy parse; the default lazy parse is
+        covered by :class:`TestLazyMatching`.
         """
         from repro.dbcoder.lz77 import MAX_MATCH, MIN_MATCH, _find_longest_match
 
@@ -86,7 +88,33 @@ class TestLZSS:
         if flag_count:
             reference.append(flags)
             reference.extend(group)
-        assert lzss_compress(data, max_chain=1 << 30) == bytes(reference)
+        assert lzss_compress(data, max_chain=1 << 30, lazy=False) == bytes(reference)
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_parse_roundtrips(self, data):
+        """The lazy parse always decodes back to the original bytes."""
+        assert lzss_decompress(lzss_compress(data, lazy=True)) == data
+
+    def test_lazy_parse_beats_greedy_on_text(self, sql_sample):
+        """One-token lookahead must not lose ratio on a realistic payload."""
+        payload = sql_sample * 4
+        lazy = lzss_compress(payload, lazy=True)
+        greedy = lzss_compress(payload, lazy=False)
+        assert len(lazy) <= len(greedy)
+        assert lzss_decompress(lazy) == payload
+
+    def test_lazy_defers_to_a_longer_match(self):
+        """A constructed input where greedy takes a 3-byte match but a
+        4-byte match starts one byte later; lazy emits the literal and
+        keeps the longer match, saving a token."""
+        data = b"abc" + b"bcde" + b"xx" + b"abcde"
+        lazy = lzss_compress(data, lazy=True)
+        greedy = lzss_compress(data, lazy=False)
+        assert lzss_decompress(lazy) == data
+        assert lzss_decompress(greedy) == data
+        # Strict: the deferral must actually fire and save a token here.
+        assert len(lazy) < len(greedy)
 
 
 class TestArithmeticCoder:

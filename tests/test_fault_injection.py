@@ -15,13 +15,12 @@ distortions) and asserts that
 import numpy as np
 import pytest
 
-from repro import Archiver, Restorer, TEST_PROFILE
+from repro import ArchiveConfig, TEST_PROFILE, open_archive, open_restore
 from repro.errors import (
     ECCError,
     MissingEmblemError,
     UncorrectableBlockError,
 )
-from repro.dbcoder import Profile
 from repro.media.channel import MediaChannel
 from repro.media.distortions import (
     AGED_MICROFILM,
@@ -49,9 +48,9 @@ def payload() -> bytes:
 
 @pytest.fixture(scope="module")
 def archive(payload):
-    return Archiver(TEST_PROFILE, dbcoder_profile=Profile.STORE).archive_bytes(
-        payload, payload_kind="binary"
-    )
+    with open_archive(ArchiveConfig(media="test", codec="store")) as writer:
+        writer.write(payload)
+    return writer.archive
 
 
 def damaged_copy(archive, replace: dict[int, np.ndarray]):
@@ -114,8 +113,8 @@ class TestMediaChannelMatrix:
         channel = self.CHANNELS[channel_name]()
         scans = channel.roundtrip(archive.data_emblem_images, seed=seed)
         system_scans = channel.roundtrip(archive.system_emblem_images, seed=seed)
-        result = Restorer(TEST_PROFILE).restore_from_scans(
-            data_images=scans,
+        result = open_restore(archive).read_from_scans(
+            scans,
             system_images=system_scans,
             payload_kind="binary",
             manifest=archive.manifest,
@@ -131,7 +130,7 @@ class TestInnerCodeBudget:
     def test_dust_within_budget_is_corrected(self, archive, payload):
         rng = np.random.default_rng(5)
         dusted = add_dust(archive.data_emblem_images[2], spots=4, max_radius=2, rng=rng)
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, {2: dusted}))
+        result = open_restore(damaged_copy(archive, {2: dusted})).read()
         assert result.payload == payload
 
     def test_scratch_within_budget_is_corrected(self, archive, payload):
@@ -139,7 +138,7 @@ class TestInnerCodeBudget:
         scratched = add_scratches(
             archive.data_emblem_images[4], scratches=1, max_width=1, rng=rng
         )
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, {4: scratched}))
+        result = open_restore(damaged_copy(archive, {4: scratched})).read()
         assert result.payload == payload
 
     def test_beyond_sixteen_errors_raises_uncorrectable(self, archive):
@@ -164,7 +163,7 @@ class TestInnerCodeBudget:
         image[height // 2:height // 2 + 80, width // 4:width // 4 + 160] = (
             rng.integers(0, 256, size=(80, 160), dtype=np.uint8) // 128 * 255
         )
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, {0: image}))
+        result = open_restore(damaged_copy(archive, {0: image})).read()
         assert result.payload == payload
         assert result.data_report.emblems_failed == 1
         assert result.data_report.groups_reconstructed >= 1
@@ -180,7 +179,7 @@ class TestOuterCodeBudget:
             index: blank_like(archive.data_emblem_images[index])
             for index in range(GROUP_PARITY)
         }
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+        result = open_restore(damaged_copy(archive, erased)).read()
         assert result.payload == payload
         assert result.data_report.groups_reconstructed >= 1
 
@@ -192,7 +191,7 @@ class TestOuterCodeBudget:
             index: blank_like(archive.data_emblem_images[index])
             for index in erased_indices
         }
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+        result = open_restore(damaged_copy(archive, erased)).read()
         assert result.payload == payload
         assert result.data_report.groups_reconstructed == 2
 
@@ -202,15 +201,17 @@ class TestOuterCodeBudget:
             for index in range(GROUP_PARITY + 1)
         }
         with pytest.raises(MissingEmblemError):
-            Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+            open_restore(damaged_copy(archive, erased)).read()
 
     def test_no_outer_code_means_no_erasure_budget(self, payload):
-        bare = Archiver(
-            TEST_PROFILE, dbcoder_profile=Profile.STORE, outer_code=False
-        ).archive_bytes(payload, payload_kind="binary")
+        with open_archive(
+            ArchiveConfig(media="test", codec="store", outer_code=False)
+        ) as writer:
+            writer.write(payload)
+        bare = writer.archive
         erased = {0: blank_like(bare.data_emblem_images[0])}
         with pytest.raises(ECCError):
-            Restorer(TEST_PROFILE).restore(damaged_copy(bare, erased))
+            open_restore(damaged_copy(bare, erased)).read()
 
 
 # --------------------------------------------------------------------------- #
@@ -221,7 +222,7 @@ class TestSegmentedFaults:
     def segmented(self):
         payload = random_payload(9_000, seed=404)
         archive = ArchivePipeline(
-            TEST_PROFILE, dbcoder_profile=Profile.STORE, segment_size=3_000
+            TEST_PROFILE, dbcoder_profile="store", segment_size=3_000
         ).archive_bytes(payload, payload_kind="binary")
         assert len(archive.manifest.segments) == 3
         return archive, payload
@@ -234,7 +235,7 @@ class TestSegmentedFaults:
                 archive.data_emblem_images[middle.emblem_start]
             )
         }
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+        result = open_restore(damaged_copy(archive, erased)).read()
         assert result.payload == payload
         assert result.data_report.groups_reconstructed == 1
 
@@ -245,7 +246,7 @@ class TestSegmentedFaults:
             for offset in range(GROUP_PARITY):
                 index = record.emblem_start + offset
                 erased[index] = blank_like(archive.data_emblem_images[index])
-        result = Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+        result = open_restore(damaged_copy(archive, erased)).read()
         assert result.payload == payload
         assert result.data_report.groups_reconstructed == len(archive.manifest.segments)
 
@@ -259,9 +260,9 @@ class TestSegmentedFaults:
             for offset in range(GROUP_PARITY + 1)
         }
         with pytest.raises(MissingEmblemError):
-            Restorer(TEST_PROFILE).restore(damaged_copy(archive, erased))
+            open_restore(damaged_copy(archive, erased)).read()
 
     def test_segmented_channel_roundtrip(self, segmented):
         archive, payload = segmented
-        result = Restorer(TEST_PROFILE).restore_via_channel(archive, seed=8)
+        result = open_restore(archive).read_via_channel(seed=8)
         assert result.payload == payload

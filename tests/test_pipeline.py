@@ -12,17 +12,17 @@ import numpy as np
 import pytest
 
 from repro import (
-    Archiver,
+    ArchiveConfig,
     ArchivePipeline,
-    Restorer,
     RestorePipeline,
     TEST_PROFILE,
+    open_restore,
 )
 from repro.core.archive import ArchiveManifest, SegmentRecord
 from repro.core.profiles import MediaProfile
 from repro.dbcoder import Profile
 from repro.dbcoder.formats import HEADER_SIZE
-from repro.errors import RestorationError
+from repro.errors import RestorationError, UnknownNameError
 from repro.media.paper import PaperChannel
 from repro.mocoder.emblem import EmblemSpec
 from repro.pipeline import (
@@ -48,6 +48,13 @@ BIG_SPEC_PROFILE = MediaProfile(
     ),
     channel_factory=lambda: PaperChannel(dpi=300),
 )
+
+# Register the bench profile so manifest-driven open_restore resolves it —
+# the same path a user takes to plug a custom medium into the facade.
+from repro import registry  # noqa: E402
+
+if BIG_SPEC_PROFILE.name not in registry.media:
+    registry.media.register(BIG_SPEC_PROFILE.name, BIG_SPEC_PROFILE)
 
 
 def random_payload(size: int, seed: int) -> bytes:
@@ -159,8 +166,12 @@ class TestExecutors:
         assert isinstance(get_executor("process:2"), ProcessPoolSegmentExecutor)
         instance = SerialExecutor()
         assert get_executor(instance) is instance
-        with pytest.raises(ValueError):
+        with pytest.raises(UnknownNameError, match="did you mean"):
+            get_executor("thredd")
+        with pytest.raises(UnknownNameError):
             get_executor("quantum")
+        with pytest.raises(ValueError):
+            get_executor("thread:zero")
 
 
 def _square(x):
@@ -182,7 +193,7 @@ class TestPipelineRoundTrip:
         payload = random_payload(size, seed=100 + size)
         pipeline = ArchivePipeline(TEST_PROFILE, segment_size=1024)
         archive = pipeline.archive_bytes(payload, payload_kind="binary")
-        result = Restorer(TEST_PROFILE).restore(archive)
+        result = open_restore(archive).read()
         assert result.payload == payload
 
     @pytest.mark.parametrize("dbcoder_profile", list(Profile))
@@ -193,7 +204,7 @@ class TestPipelineRoundTrip:
         )
         archive = pipeline.archive_bytes(payload, payload_kind="binary")
         assert len(archive.manifest.segments) == 3
-        result = Restorer(TEST_PROFILE).restore(archive)
+        result = open_restore(archive).read()
         assert result.payload == payload
 
     @pytest.mark.parametrize("seed", [1, 2, 3])
@@ -207,7 +218,7 @@ class TestPipelineRoundTrip:
             payload
         )
         assert archive.manifest.archive_bytes == size
-        result = Restorer(TEST_PROFILE).restore(archive)
+        result = open_restore(archive).read()
         assert result.payload == payload
 
     def test_megabyte_scale_roundtrip(self):
@@ -220,7 +231,7 @@ class TestPipelineRoundTrip:
         )
         archive = pipeline.archive_bytes(payload, payload_kind="binary")
         assert len(archive.manifest.segments) == 3
-        result = Restorer(BIG_SPEC_PROFILE).restore(archive)
+        result = open_restore(archive).read()
         assert result.payload == payload
 
     def test_stream_source_matches_bytes_source(self):
@@ -246,7 +257,7 @@ class TestExecutorEquivalence:
     def test_parallel_segmented_restore(self):
         payload = random_payload(16_000, seed=31)
         archive = ArchivePipeline(TEST_PROFILE, segment_size=4_096).archive_bytes(payload)
-        result = Restorer(TEST_PROFILE, executor="thread:2").restore(archive)
+        result = open_restore(archive, executor="thread:2").read()
         assert result.payload == payload
 
     def test_segmented_restore_under_emulated_decoder(self):
@@ -254,7 +265,7 @@ class TestExecutorEquivalence:
         payload = compressible_payload(6_000, seed=41)
         archive = ArchivePipeline(TEST_PROFILE, segment_size=2_048).archive_bytes(payload)
         assert len(archive.manifest.segments) == 3
-        result = Restorer(TEST_PROFILE, decode_mode="dynarisc").restore(archive)
+        result = open_restore(archive, decode_mode="dynarisc").read()
         assert result.payload == payload
         assert result.emulator_steps > 0
         assert "3 segments decoded under the dynarisc emulator" in result.notes[-1]
@@ -322,7 +333,7 @@ class TestSegmentMetadata:
         directory = artefact.save(tmp_path / "segmented")
         loaded = MicrOlonysArchive.load(directory)
         assert loaded.manifest == artefact.manifest
-        assert Restorer(TEST_PROFILE).restore(loaded).payload == payload
+        assert open_restore(loaded).read().payload == payload
 
 
 # --------------------------------------------------------------------------- #
@@ -330,32 +341,36 @@ class TestSegmentMetadata:
 # --------------------------------------------------------------------------- #
 class TestEstimateEmblems:
     @pytest.mark.parametrize("size", [0, 100, 5_000, 20_000])
-    def test_estimate_is_exact_for_store_profile(self, size):
+    def test_estimate_is_exact_for_store_codec(self, size):
         """STORE adds exactly the container header, so the estimate pins."""
-        archiver = Archiver(TEST_PROFILE, dbcoder_profile=Profile.STORE)
+        config = ArchiveConfig(media="test", codec="store")
         payload = random_payload(size, seed=size + 1)
-        archive = archiver.archive_bytes(payload)
-        assert archiver.estimate_emblems(size) == archive.manifest.data_emblem_count
+        archive = ArchivePipeline(
+            TEST_PROFILE, dbcoder_profile="store", segment_size=None
+        ).archive_bytes(payload)
+        assert config.estimate_emblems(size) == archive.manifest.data_emblem_count
 
     def test_estimate_is_exact_for_segmented_store(self):
-        archiver = Archiver(
-            TEST_PROFILE, dbcoder_profile=Profile.STORE, segment_size=3_000
-        )
+        config = ArchiveConfig(media="test", codec="store", segment_size=3_000)
         payload = random_payload(10_000, seed=9)
-        archive = archiver.archive_bytes(payload)
-        assert archiver.estimate_emblems(10_000) == archive.manifest.data_emblem_count
+        archive = ArchivePipeline(
+            TEST_PROFILE, dbcoder_profile="store", segment_size=3_000
+        ).archive_bytes(payload)
+        assert config.estimate_emblems(10_000) == archive.manifest.data_emblem_count
 
     def test_estimate_uses_the_container_header_size(self):
         """The old code hard-coded ``+ 20``; the estimate must track formats."""
-        archiver = Archiver(TEST_PROFILE)
+        config = ArchiveConfig(media="test")
         capacity = TEST_PROFILE.spec.payload_capacity
         # A payload that fills an emblem exactly once the real header size is
         # added: one byte more must spill into a second emblem.
         boundary = capacity - HEADER_SIZE
-        assert archiver.estimate_emblems(boundary) < archiver.estimate_emblems(boundary + 1)
+        assert config.estimate_emblems(boundary) < config.estimate_emblems(boundary + 1)
 
     def test_estimate_upper_bounds_compressible_payloads(self):
-        archiver = Archiver(TEST_PROFILE)
+        config = ArchiveConfig(media="test")
         payload = compressible_payload(20_000, seed=3)
-        archive = archiver.archive_bytes(payload)
-        assert archiver.estimate_emblems(len(payload)) >= archive.manifest.data_emblem_count
+        archive = ArchivePipeline(
+            TEST_PROFILE, segment_size=None
+        ).archive_bytes(payload)
+        assert config.estimate_emblems(len(payload)) >= archive.manifest.data_emblem_count
