@@ -5,11 +5,34 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-pipeline cli-smoke golden
+.PHONY: test bench-smoke bench-pipeline cli-smoke store-smoke hygiene golden
 
 ## tier-1 test suite (the roadmap's verification command)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## repo hygiene: fail if bytecode artefacts are tracked by git
+hygiene:
+	@bad=$$(git ls-files | grep -E '(\.pyc$$|__pycache__)' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "tracked bytecode artefacts found:"; echo "$$bad"; exit 1; \
+	fi
+	@echo "hygiene ok: no tracked *.pyc / __pycache__"
+
+## store smoke test: archive -> inspect -> read_range on the container backend
+store-smoke:
+	rm -rf .store-smoke && mkdir .store-smoke
+	$(PYTHON) -c "open('.store-smoke/payload.bin','wb').write(b'ULE store smoke payload. '*400)"
+	$(PYTHON) -m repro archive -i .store-smoke/payload.bin -o .store-smoke/backup.ule \
+		--store container --media test --codec portable --segment-size 2048
+	$(PYTHON) -m repro inspect .store-smoke/backup.ule --json \
+		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
+		assert m['format_version']==2 and m['segments'], m"
+	$(PYTHON) -m repro restore -i .store-smoke/backup.ule -o .store-smoke/slice.bin \
+		--offset 3000 --length 1000
+	$(PYTHON) -c "want=(b'ULE store smoke payload. '*400)[3000:4000]; \
+	got=open('.store-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
+	rm -rf .store-smoke
 
 ## CLI smoke test: archive -> inspect -> restore a tiny payload bit-exactly
 cli-smoke:

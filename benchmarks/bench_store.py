@@ -1,0 +1,119 @@
+"""Store benchmark: streaming writes and random-access partial restore.
+
+Measures the two claims behind ``repro.store``:
+
+1. **bounded-memory streaming**: archiving through a store target with
+   ``collect=False`` holds only the executor window in memory, while the
+   collecting session materialises every raster — tracemalloc peaks make
+   the gap visible across the directory, container and memory backends;
+2. **random access**: ``read_range`` over a small slice decodes only the
+   covering segments, so its latency (and frames-decoded count) stays flat
+   as the archive grows, while a full restore scales with the payload.
+
+Run standalone (it is *not* collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import ArchiveConfig, open_archive, open_restore
+from repro.store import MemoryBackend
+
+
+def payload_bytes(size: int, seed: int = 7) -> bytes:
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+
+def timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def bench_write(payload: bytes, segment_size: int, workdir: Path) -> None:
+    config = ArchiveConfig(media="test", codec="store", segment_size=segment_size)
+    print(f"write: {len(payload) / 1e6:.2f} MB payload, segment_size={segment_size}")
+
+    tracemalloc.start()
+    with open_archive(config) as writer:
+        writer.write(payload)
+    _, collected_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    print(f"  collect=True (in-memory artefact)   peak {collected_peak / 1e6:8.1f} MB")
+
+    targets = [
+        ("directory", workdir / "arch-dir"),
+        ("container", workdir / "arch.ule"),
+        ("memory", "mem:bench-store"),
+    ]
+    for store, target in targets:
+        tracemalloc.start()
+        start = time.perf_counter()
+        with open_archive(config, target=target, store=store) as writer:
+            writer.write(payload)
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rate = len(payload) / 1e6 / elapsed
+        print(f"  {store:<10} streaming (collect=False) peak {peak / 1e6:8.1f} MB  "
+              f"{elapsed:6.2f} s  {rate:5.1f} MB/s")
+
+
+def bench_read(payload: bytes, workdir: Path, slice_bytes: int) -> None:
+    target = workdir / "arch.ule"
+    print(f"read: container archive, {slice_bytes}-byte random slices")
+
+    result, full_time = timed(lambda: open_restore(target).read())
+    assert result.payload == payload
+    full_frames = result.data_report.emblems_seen
+    print(f"  full restore        {full_time:6.2f} s  {full_frames:5d} frames decoded")
+
+    rng = np.random.default_rng(11)
+    offsets = rng.integers(0, max(len(payload) - slice_bytes, 1), size=5)
+    reader = open_restore(target)
+    start = time.perf_counter()
+    for offset in offsets:
+        got = reader.read_range(int(offset), slice_bytes)
+        assert got == payload[int(offset):int(offset) + slice_bytes]
+    partial_time = (time.perf_counter() - start) / len(offsets)
+    frames = reader.frames_decoded / len(offsets)
+    print(f"  read_range (avg)    {partial_time:6.2f} s  {frames:5.1f} frames decoded  "
+          f"({full_time / max(partial_time, 1e-9):4.1f}x faster than full)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small payload, quick)")
+    args = parser.parse_args(argv)
+
+    size = 64_000 if args.smoke else 1_000_000
+    segment_size = 2_048 if args.smoke else 16_384
+    slice_bytes = 512 if args.smoke else 4_096
+    payload = payload_bytes(size)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        bench_write(payload, segment_size, workdir)
+        bench_read(payload, workdir, slice_bytes)
+    finally:
+        MemoryBackend.discard("mem:bench-store")
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@ Public API highlights
   (session-based streaming I/O), :func:`~repro.api.run_end_to_end` (all
   seven Figure 2a steps in one call) and the ``python -m repro`` CLI.
 * :mod:`repro.registry` — named, pluggable registries for codecs, media
-  channels, executors and distortion profiles.
+  channels, executors, distortion profiles and storage backends.
+* :mod:`repro.store` — the on-media layout layer: versioned self-describing
+  manifests (v2), ``directory``/``container``/``memory`` storage backends,
+  and the random-access sources behind
+  :meth:`~repro.api.ArchiveReader.read_range`.
 * :class:`repro.dbcoder.DBCoder` — database layout coder (LZSS + arithmetic
   coding, plus a columnar extension).
 * :class:`repro.mocoder.MOCoder` — media layout coder (emblems, differential
@@ -53,8 +57,9 @@ from repro.pipeline import (
     get_executor,
 )
 from repro.dbms import Database, Table, Column, ColumnType, db_dump, db_load, generate_tpch
-from repro.errors import ConfigError, RegistryError, ReproError, UnknownNameError
+from repro.errors import ConfigError, RegistryError, ReproError, StoreError, UnknownNameError
 from repro import registry
+from repro import store
 from repro.api import (
     ArchiveConfig,
     ArchiveReader,
@@ -76,6 +81,7 @@ __all__ = [
     "open_restore",
     "run_end_to_end",
     "registry",
+    "store",
     "Archiver",
     "Restorer",
     "RestoreEngine",
@@ -112,5 +118,6 @@ __all__ = [
     "RegistryError",
     "UnknownNameError",
     "ConfigError",
+    "StoreError",
     "__version__",
 ]

@@ -3,19 +3,26 @@
 Subcommands
 -----------
 ``archive``
-    Archive a payload file into a directory of emblem images + manifest +
-    Bootstrap, streaming the input through an :class:`~repro.api.session.
-    ArchiveWriter`.  The resolved :class:`~repro.api.ArchiveConfig` is saved
-    as ``config.json`` next to the manifest, so a run is reproducible from
-    the artefact alone.
+    Archive a payload file onto a storage backend (``--store directory``
+    writes one PGM per frame, ``--store container`` a single archive file),
+    streaming the input through an :class:`~repro.api.session.ArchiveWriter`
+    with ``collect=False`` — frames go straight to the target as they
+    encode, so peak memory stays bounded by the executor window regardless
+    of payload size.  The resolved :class:`~repro.api.ArchiveConfig` is
+    embedded in the v2 manifest *and* saved as ``config.json``, so a run is
+    reproducible from the artefact alone.
 ``restore``
-    Restore a saved archive directory back to the payload file, optionally
-    re-running the simulated record/scan cycle first (``--via-channel``).
+    Restore a saved archive (directory or container file) back to the
+    payload file, optionally re-running the simulated record/scan cycle
+    first (``--via-channel``), or restoring just a byte range
+    (``--offset``/``--length`` — only the covering segments are decoded).
 ``inspect``
-    Summarise a saved archive's manifest without loading the images.
+    Summarise a saved archive's manifest — format version, embedded config,
+    per-segment byte ranges, frame runs and content hashes — without
+    loading any image.
 ``profiles``
-    List every registered media channel, codec, executor and distortion
-    profile (``--json`` for machine-readable output).
+    List every registered media channel, codec, executor, distortion
+    profile and storage backend (``--json`` for machine-readable output).
 """
 
 from __future__ import annotations
@@ -28,8 +35,8 @@ from pathlib import Path
 from repro import registry
 from repro.api.config import ArchiveConfig
 from repro.api.session import open_archive, open_restore
-from repro.core.archive import ArchiveManifest
 from repro.errors import ReproError
+from repro.store import open_source
 
 #: Chunk size used when streaming the input file into the writer.
 _READ_CHUNK = 1 << 20
@@ -58,30 +65,36 @@ def _load_config(args: argparse.Namespace) -> ArchiveConfig:
 def _cmd_archive(args: argparse.Namespace) -> int:
     config = _load_config(args)
     input_path = Path(args.input)
-    output_dir = Path(args.output)
-    with open_archive(config) as writer, input_path.open("rb") as stream:
+    store = args.store or config.store
+    if store is None:
+        store = "memory" if str(args.output).startswith("mem:") else "directory"
+    # Frames stream straight onto the store target as batches complete
+    # (collect=False via target=...), so huge archives never accumulate
+    # their emblem rasters in memory.
+    with open_archive(config, target=args.output, store=store) as writer, \
+            input_path.open("rb") as stream:
         while True:
             chunk = stream.read(_READ_CHUNK)
             if not chunk:
                 break
             writer.write(chunk)
-    archive = writer.archive
-    archive.save(output_dir)
-    (output_dir / "config.json").write_text(config.to_json() + "\n")
-    manifest = archive.manifest
+    manifest = writer.archive.manifest
     summary = {
-        "output": str(output_dir),
+        "output": str(args.output),
+        "store": registry.stores.resolve_name(store),
         "config": config.to_dict(),
+        "format_version": manifest.format_version,
         "payload_bytes": manifest.archive_bytes,
         "segments": max(len(manifest.segments), 1),
         "data_emblems": manifest.data_emblem_count,
         "system_emblems": manifest.system_emblem_count,
-        "bootstrap_lines": len(archive.bootstrap_text.splitlines()),
+        "bootstrap_lines": len(writer.archive.bootstrap_text.splitlines()),
     }
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(f"archived {manifest.archive_bytes:,} bytes -> {output_dir}")
+        print(f"archived {manifest.archive_bytes:,} bytes -> {args.output} "
+              f"({summary['store']} store, manifest v{manifest.format_version})")
         print(f"  {config.describe()}")
         print(f"  {summary['segments']} segments, "
               f"{manifest.data_emblem_count} data + "
@@ -96,52 +109,81 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         value = getattr(args, key, None)
         if value is not None:
             overrides[key] = value
-    reader = open_restore(args.input, **overrides)
-    if args.via_channel:
-        result = reader.read_via_channel(seed=args.seed)
-    else:
-        result = reader.read()
-    output_path = Path(args.output)
-    output_path.write_bytes(result.payload)
-    summary = {
-        "output": str(output_path),
-        "payload_bytes": len(result.payload),
-        "payload_kind": reader.archive.manifest.payload_kind,
-        "decode_mode": result.decode_mode,
-        "emblems_decoded": result.data_report.emblems_decoded,
-        "rs_corrections": result.data_report.rs_corrections,
-        "groups_reconstructed": result.data_report.groups_reconstructed,
-        "emulator_steps": result.emulator_steps,
-        "bit_exact": result.bit_exact,
-    }
-    if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
-    else:
-        print(f"restored {len(result.payload):,} bytes -> {output_path} "
-              f"(bit-exact: {result.bit_exact})")
-        for note in result.notes:
-            print(f"  {note}")
-    return 0
+    partial = args.offset is not None or args.length is not None
+    if partial and args.via_channel:
+        raise ReproError("--offset/--length cannot be combined with --via-channel")
+    with open_restore(args.input, store=args.store, **overrides) as reader:
+        output_path = Path(args.output)
+        if partial:
+            offset = args.offset or 0
+            length = args.length if args.length is not None else (
+                reader.manifest.archive_bytes - offset
+            )
+            payload = reader.read_range(offset, length)
+            output_path.write_bytes(payload)
+            summary = {
+                "output": str(output_path),
+                "offset": offset,
+                "length": len(payload),
+                "segments_decoded": reader.segments_decoded,
+                "frames_decoded": reader.frames_decoded,
+                "segments_total": max(len(reader.manifest.segments), 1),
+            }
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(f"restored bytes [{offset}:{offset + len(payload)}) -> "
+                      f"{output_path} (decoded {reader.segments_decoded} of "
+                      f"{summary['segments_total']} segments, "
+                      f"{reader.frames_decoded} frames)")
+            return 0
+        if args.via_channel:
+            result = reader.read_via_channel(seed=args.seed)
+        else:
+            result = reader.read()
+        output_path.write_bytes(result.payload)
+        summary = {
+            "output": str(output_path),
+            "payload_bytes": len(result.payload),
+            "payload_kind": reader.manifest.payload_kind,
+            "decode_mode": result.decode_mode,
+            "emblems_decoded": result.data_report.emblems_decoded,
+            "rs_corrections": result.data_report.rs_corrections,
+            "groups_reconstructed": result.data_report.groups_reconstructed,
+            "emulator_steps": result.emulator_steps,
+            "bit_exact": result.bit_exact,
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"restored {len(result.payload):,} bytes -> {output_path} "
+                  f"(bit-exact: {result.bit_exact})")
+            for note in result.notes:
+                print(f"  {note}")
+        return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    directory = Path(args.input)
-    manifest_path = directory / "manifest.json"
-    if not manifest_path.exists():
-        raise ReproError(f"{directory} does not contain an archive manifest")
     try:
-        manifest = ArchiveManifest.from_json(manifest_path.read_text())
+        source = open_source(args.input, args.store)
     except (ValueError, TypeError) as exc:
-        raise ReproError(f"{manifest_path} is not a valid archive manifest: {exc}") from exc
-    config_path = directory / "config.json"
-    saved_config = None
-    if config_path.exists():
+        raise ReproError(f"{args.input} is not a readable archive: {exc}") from exc
+    with source:
         try:
-            saved_config = json.loads(config_path.read_text())
-        except ValueError as exc:
-            raise ReproError(f"{config_path} is not valid JSON: {exc}") from exc
+            manifest = source.manifest()
+        except (ValueError, TypeError) as exc:
+            raise ReproError(
+                f"{args.input} does not hold a valid archive manifest: {exc}"
+            ) from exc
+        saved_config = manifest.config
+        if saved_config is None:
+            try:
+                saved_config = json.loads(source.get_text("config.json"))
+            except (ReproError, ValueError):
+                saved_config = None
     summary = {
-        "directory": str(directory),
+        "directory": str(args.input),
+        "format_version": manifest.format_version,
         "profile": manifest.profile_name,
         "codec": manifest.dbcoder_profile,
         "payload_kind": manifest.payload_kind,
@@ -156,16 +198,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(f"{directory}: {manifest.payload_kind} payload, "
+        print(f"{args.input}: {manifest.payload_kind} payload, "
               f"{manifest.archive_bytes:,} bytes on {manifest.profile_name} "
-              f"via {manifest.dbcoder_profile}")
+              f"via {manifest.dbcoder_profile} (manifest v{manifest.format_version})")
         print(f"  {manifest.data_emblem_count} data + "
               f"{manifest.system_emblem_count} system emblems, "
               f"{max(len(manifest.segments), 1)} segments "
               f"(segment_size={manifest.segment_size or 'one-shot'})")
         for segment in manifest.segments:
-            print(f"  segment {segment.index}: offset={segment.offset} "
-                  f"length={segment.length} emblems={segment.emblem_count}")
+            sha = segment.sha256[:12] if segment.sha256 else "-"
+            print(f"  segment {segment.index}: bytes [{segment.offset}:{segment.end}) "
+                  f"frames [{segment.emblem_start}:"
+                  f"{segment.emblem_start + segment.emblem_count}) "
+                  f"crc32={segment.crc32:08x} sha256={sha}")
     return 0
 
 
@@ -186,6 +231,10 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
         ],
         "executors": registry.executors.names(),
         "distortions": registry.distortions.names(),
+        "stores": [
+            {"name": name, "description": backend.description}
+            for name, backend in registry.stores.items()
+        ],
     }
     if args.json:
         print(json.dumps(listing, indent=2, sort_keys=True))
@@ -202,6 +251,9 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
     print(f"executors: {', '.join(listing['executors'])} "
           f"(suffix ':N' pins the worker count)")
     print(f"distortions: {', '.join(listing['distortions'])}")
+    print("stores:")
+    for entry in listing["stores"]:
+        print(f"  {entry['name']:<22} {entry['description']}")
     return 0
 
 
@@ -215,9 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    archive = sub.add_parser("archive", help="archive a payload file to an emblem directory")
+    archive = sub.add_parser("archive", help="archive a payload file onto a storage backend")
     archive.add_argument("--input", "-i", required=True, help="payload file to archive")
-    archive.add_argument("--output", "-o", required=True, help="archive directory to create")
+    archive.add_argument("--output", "-o", required=True,
+                         help="archive target: a directory, a container file, or mem:<name>")
+    archive.add_argument("--store", help="storage backend: directory (default), container, memory")
     archive.add_argument("--config", help="ArchiveConfig JSON file (flags override it)")
     archive.add_argument("--media", help="media channel name (see 'profiles')")
     archive.add_argument("--codec", help="compression codec name")
@@ -232,9 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
     archive.add_argument("--json", action="store_true", help="machine-readable summary")
     archive.set_defaults(handler=_cmd_archive)
 
-    restore = sub.add_parser("restore", help="restore a saved archive directory")
-    restore.add_argument("--input", "-i", required=True, help="archive directory")
+    restore = sub.add_parser("restore", help="restore a saved archive (full or a byte range)")
+    restore.add_argument("--input", "-i", required=True,
+                         help="archive target: directory, container file, or mem:<name>")
     restore.add_argument("--output", "-o", required=True, help="file for the restored payload")
+    restore.add_argument("--store", help="storage backend override (auto-detected by default)")
+    restore.add_argument("--offset", type=int,
+                         help="partial restore: first payload byte to recover")
+    restore.add_argument("--length", type=int,
+                         help="partial restore: number of payload bytes to recover")
     restore.add_argument("--decode-mode", dest="decode_mode",
                          choices=["python", "dynarisc", "nested"],
                          help="restoration fidelity (default: python)")
@@ -247,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
     restore.set_defaults(handler=_cmd_restore)
 
     inspect = sub.add_parser("inspect", help="summarise a saved archive's manifest")
-    inspect.add_argument("input", help="archive directory")
+    inspect.add_argument("input", help="archive target: directory, container file, or mem:<name>")
+    inspect.add_argument("--store", help="storage backend override (auto-detected by default)")
     inspect.add_argument("--json", action="store_true", help="machine-readable summary")
     inspect.set_defaults(handler=_cmd_inspect)
 

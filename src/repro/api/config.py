@@ -72,6 +72,11 @@ class ArchiveConfig:
         Optional distortion-profile name from
         :data:`repro.registry.distortions` overriding the channel's default
         scanner model; ``None`` keeps the channel default.
+    store:
+        Optional storage-backend name from :data:`repro.registry.stores`
+        (``"directory"``, ``"container"``, ``"memory"``) used when a session
+        is given a ``target`` to persist to / read from; ``None`` lets the
+        session infer the backend from the target.
     scan_seed:
         Seed for the simulated record/scan cycle (reproducible damage).
     payload_kind:
@@ -88,6 +93,7 @@ class ArchiveConfig:
     distortion: str | None = None
     scan_seed: int | None = None
     payload_kind: str = "binary"
+    store: str | None = None
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -99,6 +105,10 @@ class ArchiveConfig:
             if self.distortion is not None:
                 object.__setattr__(
                     self, "distortion", registry.distortions.resolve_name(self.distortion)
+                )
+            if self.store is not None:
+                object.__setattr__(
+                    self, "store", registry.stores.resolve_name(self.store)
                 )
         except UnknownNameError as exc:
             raise ConfigError(str(exc)) from exc

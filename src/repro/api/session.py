@@ -13,6 +13,7 @@ point covered — in one call.
 
 from __future__ import annotations
 
+import bisect
 import queue
 import threading
 import zlib
@@ -25,12 +26,14 @@ import numpy as np
 from repro.api.config import ArchiveConfig
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.restorer import RestorationResult, RestoreEngine
-from repro.errors import ArchiveError, RestorationError
+from repro.errors import ArchiveError, RestorationError, StoreError
 from repro.pipeline.pipeline import (
     ArchivePipeline,
     EncodedSegment,
+    RestorePipeline,
     build_system_artifacts,
 )
+from repro.store import BOOTSTRAP_NAME, ArchiveSource, load_archive, open_sink, open_source
 
 __all__ = [
     "ArchiveWriter",
@@ -61,6 +64,13 @@ class ArchiveWriter:
     chunks and in-flight segments exist at once.  ``progress`` (if given) is
     called with each completed :class:`~repro.core.archive.SegmentRecord`,
     from the encoder thread.
+
+    With a ``target`` the session also *persists* the archive through a
+    :mod:`repro.store` backend: emblem frames stream onto the target as each
+    batch completes, and ``close()`` writes the system emblems, the
+    Bootstrap, the session config and the v2 manifest alongside them —
+    ``collect`` then defaults to ``False``, so huge archives stay
+    memory-bounded on the way to disk.
     """
 
     def __init__(
@@ -70,17 +80,27 @@ class ArchiveWriter:
         payload_kind: str | None = None,
         progress: Callable[[SegmentRecord], None] | None = None,
         on_batch: Callable[[EncodedSegment], None] | None = None,
-        collect: bool = True,
+        collect: bool | None = None,
+        target: "str | Path | None" = None,
+        store: str | None = None,
     ):
         self.config = config
         self.payload_kind = payload_kind if payload_kind is not None else config.payload_kind
         self.progress = progress
         self.on_batch = on_batch
+        self.target = target
         #: With ``collect=False`` emblem images are dropped after the
-        #: callbacks run — the bounded-memory mode for consumers that persist
-        #: frames themselves; the closed archive then carries the manifest,
-        #: system emblems and Bootstrap but an empty data-image list.
-        self.collect = collect
+        #: callbacks (and any store sink) run — the bounded-memory mode; the
+        #: closed archive then carries the manifest, system emblems and
+        #: Bootstrap but an empty data-image list.  Defaults to ``False``
+        #: when a ``target`` persists the frames, ``True`` otherwise.
+        self.collect = collect if collect is not None else target is None
+        self._sink = (
+            open_sink(target, store if store is not None else config.store)
+            if target is not None
+            else None
+        )
+        self._frames_written = 0
         self.archive: MicrOlonysArchive | None = None
         self._profile = config.media_profile()
         self._pipeline = ArchivePipeline(
@@ -114,6 +134,10 @@ class ArchiveWriter:
         try:
             for batch in self._pipeline.iter_encode(self._chunks()):
                 self._records.append(batch.record)
+                if self._sink is not None:
+                    for image in batch.images:
+                        self._sink.put_frame("data", self._frames_written, image)
+                        self._frames_written += 1
                 if self.collect:
                     self._images.extend(batch.images)
                 if self.on_batch is not None:
@@ -134,6 +158,8 @@ class ArchiveWriter:
         if self._error is not None:
             error, self._error = self._error, None
             self._closed = True
+            if self._sink is not None:
+                self._sink.close()
             raise error
 
     # ------------------------------------------------------------------ #
@@ -165,6 +191,8 @@ class ArchiveWriter:
         self._thread.join()
         if self._error is not None:
             error, self._error = self._error, None
+            if self._sink is not None:
+                self._sink.close()
             raise error
         system_images, bootstrap_text = build_system_artifacts(
             self._profile, outer_code=self.config.outer_code
@@ -179,7 +207,15 @@ class ArchiveWriter:
             payload_kind=self.payload_kind,
             segment_size=self.config.segment_size,
             segments=tuple(self._records),
+            config=self.config.to_dict(),
         )
+        if self._sink is not None:
+            for index, image in enumerate(system_images):
+                self._sink.put_frame("system", index, image)
+            self._sink.put_text(BOOTSTRAP_NAME, bootstrap_text)
+            self._sink.put_text("config.json", self.config.to_json() + "\n")
+            self._sink.put_manifest(manifest)
+            self._sink.close()
         self.archive = MicrOlonysArchive(
             manifest=manifest,
             data_emblem_images=self._images,
@@ -196,6 +232,8 @@ class ArchiveWriter:
         self._queue.put(_EOF)
         self._thread.join()
         self._error = None
+        if self._sink is not None:
+            self._sink.close()
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "ArchiveWriter":
@@ -215,20 +253,82 @@ class ArchiveReader:
     profile/executor resolution of the facade; ``read()`` restores straight
     from the archive artefact, ``read_via_channel()`` re-runs the simulated
     record/scan cycle first.
+
+    When the session was opened over a :mod:`repro.store` target (a saved
+    directory, a container file, or a ``mem:`` key), the reader is
+    **random-access**: :meth:`restore_segment` and :meth:`read_range` use
+    the manifest to locate, fetch, decode and hash-verify only the segments
+    covering the request — no other frame is read from the medium, and
+    multi-segment requests decode in parallel through the configured
+    executor.  ``on_segment`` (if given) is called with each
+    :class:`~repro.core.archive.SegmentRecord` a partial restore decodes,
+    and :attr:`segments_decoded` / :attr:`frames_decoded` tally the work
+    done across the session's partial reads.
     """
 
-    def __init__(self, archive: MicrOlonysArchive, config: ArchiveConfig):
-        self.archive = archive
+    def __init__(
+        self,
+        archive: MicrOlonysArchive | None,
+        config: ArchiveConfig,
+        *,
+        source: ArchiveSource | None = None,
+        on_segment: Callable[[SegmentRecord], None] | None = None,
+    ):
+        if archive is None and source is None:
+            raise ArchiveError("an ArchiveReader needs an archive artefact or a store source")
+        self._archive = archive
+        self._source = source
+        self._manifest = archive.manifest if archive is not None else None
         self.config = config
+        self.on_segment = on_segment
+        #: Partial-restore work counters (full ``read()`` reports its own
+        #: statistics through the returned :class:`RestorationResult`).
+        self.segments_decoded = 0
+        self.frames_decoded = 0
+        self._profile = config.media_profile()
+        #: Lazily built, then reused across partial reads so repeated
+        #: ``read_range`` calls don't respawn an executor (pool) each time;
+        #: :meth:`close` releases them.
+        self._partial_executor = None
+        self._partial_pipeline: RestorePipeline | None = None
         self._engine = RestoreEngine(
-            profile=config.media_profile(),
+            profile=self._profile,
             decode_mode=config.decode_mode,
             executor=config.executor,
         )
 
     # ------------------------------------------------------------------ #
+    @property
+    def manifest(self) -> ArchiveManifest:
+        """The archive manifest (loaded without touching any frame)."""
+        if self._manifest is None:
+            self._manifest = self._source.manifest()
+        return self._manifest
+
+    @property
+    def archive(self) -> MicrOlonysArchive:
+        """The full archive artefact (materialises every frame on demand)."""
+        if self._archive is None:
+            self._archive = load_archive(self._source)
+            self._manifest = self._archive.manifest
+        return self._archive
+
+    def _frames(self, record: SegmentRecord) -> list[np.ndarray]:
+        """The data frames of one segment, from the source or the artefact."""
+        if self._archive is not None:
+            end = record.emblem_start + record.emblem_count
+            frames = self._archive.data_emblem_images[record.emblem_start:end]
+            if len(frames) != record.emblem_count:
+                raise StoreError(
+                    f"segment {record.index} expects {record.emblem_count} frames "
+                    f"at {record.emblem_start}; the artefact holds {len(frames)}"
+                )
+            return list(frames)
+        return self._source.get_frames("data", record.emblem_start, record.emblem_count)
+
+    # ------------------------------------------------------------------ #
     def read(self) -> RestorationResult:
-        """Restore the payload directly from the archive artefact."""
+        """Restore the whole payload from the archive artefact."""
         return self._engine.restore(self.archive)
 
     def read_via_channel(self, seed: int | None = None) -> RestorationResult:
@@ -246,11 +346,100 @@ class ArchiveReader:
         return self.read().payload
 
     # ------------------------------------------------------------------ #
+    # Random-access restore
+    # ------------------------------------------------------------------ #
+    def _decode_records(self, records: list[SegmentRecord]) -> list[bytes]:
+        """Decode exactly ``records`` (in order), verifying every hash."""
+        if self._partial_pipeline is None:
+            from repro.pipeline.executors import get_executor
+
+            # Passing an executor *instance* keeps the pool alive across
+            # this session's partial reads (the pipeline only closes
+            # executors it resolved from a name itself).
+            self._partial_executor = get_executor(self.config.executor)
+            self._partial_pipeline = RestorePipeline(
+                self._profile, executor=self._partial_executor
+            )
+        pipeline = self._partial_pipeline
+        parts: list[bytes] = []
+        for decoded in pipeline.iter_decode_selected(self.manifest, records, self._frames):
+            parts.append(decoded.payload)
+            self.segments_decoded += 1
+            self.frames_decoded += decoded.record.emblem_count
+            if self.on_segment is not None:
+                self.on_segment(decoded.record)
+        return parts
+
+    def restore_segment(self, index: int) -> bytes:
+        """Decode and verify segment ``index`` alone, returning its bytes.
+
+        Only that segment's frames are fetched and decoded; damage anywhere
+        else on the medium is irrelevant to this call.
+        """
+        segments = self.manifest.segments
+        if not segments:
+            # Pre-pipeline (v1 one-shot) manifest: the whole payload is the
+            # only addressable unit.
+            if index != 0:
+                raise ArchiveError(
+                    f"this archive has no segment records; only segment 0 "
+                    f"(the whole payload) exists, got {index}"
+                )
+            return self.read().payload
+        if not 0 <= index < len(segments):
+            raise ArchiveError(
+                f"segment index {index} out of range (archive has {len(segments)} segments)"
+            )
+        return self._decode_records([segments[index]])[0]
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Restore exactly ``payload[offset:offset + length]``.
+
+        The manifest's logical byte ranges select the covering segments;
+        only their frames are fetched and decoded (in parallel, through the
+        configured executor), each verified against its archived CRC-32 and
+        SHA-256 before the requested slice is cut out.  Out-of-range
+        requests clamp exactly like Python byte slicing.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("read_range offset and length must be non-negative")
+        total = self.manifest.archive_bytes
+        end = min(offset + length, total)
+        if offset >= end:
+            return b""
+        segments = self.manifest.segments
+        if not segments:
+            return self.read().payload[offset:end]
+        # Segments are contiguous and sorted by offset: bisect for the first
+        # segment ending past `offset`, then take segments until `end`.
+        starts = [record.offset for record in segments]
+        first = bisect.bisect_right(starts, offset) - 1
+        covering: list[SegmentRecord] = []
+        for record in segments[max(first, 0):]:
+            if record.offset >= end:
+                break
+            if record.end > offset:
+                covering.append(record)
+        parts = self._decode_records(covering)
+        window = b"".join(parts)
+        base = covering[0].offset
+        return window[offset - base:end - base]
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the store source and any partial-decode executor (idempotent)."""
+        if self._partial_executor is not None:
+            self._partial_executor.close()
+            self._partial_executor = None
+            self._partial_pipeline = None
+        if self._source is not None:
+            self._source.close()
+
     def __enter__(self) -> "ArchiveReader":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        return None
+        self.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -268,7 +457,9 @@ def open_archive(
     payload_kind: str | None = None,
     progress: Callable[[SegmentRecord], None] | None = None,
     on_batch: Callable[[EncodedSegment], None] | None = None,
-    collect: bool = True,
+    collect: bool | None = None,
+    target: "str | Path | None" = None,
+    store: str | None = None,
     **overrides,
 ) -> ArchiveWriter:
     """Open a streaming archival session.
@@ -282,41 +473,72 @@ def open_archive(
     Both callbacks run on the encoder thread.  ``collect=False`` drops each
     batch's images after the callbacks — peak memory then stays bounded by
     the executor window regardless of payload size.
+
+    ``target`` persists the archive through a :mod:`repro.store` backend
+    (``store`` names it explicitly: ``"directory"``, ``"container"``,
+    ``"memory"``; otherwise ``config.store`` or the target's shape decides):
+    frames stream onto the target as they encode and ``collect`` defaults to
+    ``False``, so ``open_archive(..., target="backup.ule", store="container")``
+    writes an arbitrarily large archive in bounded memory.
     """
     config = _resolve_config(config, overrides)
     return ArchiveWriter(
         config, payload_kind=payload_kind, progress=progress, on_batch=on_batch,
-        collect=collect,
+        collect=collect, target=target, store=store,
     )
 
 
 def open_restore(
-    source: MicrOlonysArchive | str | Path,
+    source: "MicrOlonysArchive | ArchiveSource | str | Path",
     config: ArchiveConfig | None = None,
+    *,
+    store: str | None = None,
+    on_segment: Callable[[SegmentRecord], None] | None = None,
     **overrides,
 ) -> ArchiveReader:
-    """Open a restoration session over an archive artefact or saved directory.
+    """Open a restoration session over an archive artefact or store target.
 
-    When no ``config`` is given, the archive's own manifest supplies the
-    media profile and codec — the archive is self-describing, exactly as the
-    paper intends; ``overrides`` then adjust individual fields
+    ``source`` may be an in-memory :class:`~repro.core.archive.
+    MicrOlonysArchive`, an open :class:`~repro.store.ArchiveSource`, or a
+    path/key to a saved archive — a directory, a single-file container, or a
+    ``mem:`` target (``store`` forces the backend; otherwise the layout is
+    sniffed).  Store-backed sessions open *cold*: only the manifest is read
+    up front, so :meth:`ArchiveReader.read_range` /
+    :meth:`~ArchiveReader.restore_segment` fetch and decode just the
+    segments they need.
+
+    When no ``config`` is given, the archive describes itself: a v2
+    manifest's embedded config is used verbatim, a v1 manifest supplies the
+    media profile and codec — exactly the paper's self-description
+    discipline; ``overrides`` then adjust individual fields
     (``open_restore(path, decode_mode="dynarisc")``).
     """
-    archive = (
-        source
-        if isinstance(source, MicrOlonysArchive)
-        else MicrOlonysArchive.load(source)
-    )
+    archive: MicrOlonysArchive | None = None
+    archive_source: ArchiveSource | None = None
+    if isinstance(source, MicrOlonysArchive):
+        archive = source
+        manifest = archive.manifest
+    elif isinstance(source, ArchiveSource):
+        archive_source = source
+        manifest = archive_source.manifest()
+    else:
+        archive_source = open_source(source, store)
+        manifest = archive_source.manifest()
     if config is None:
-        config = ArchiveConfig(
-            media=archive.manifest.profile_name,
-            codec=archive.manifest.dbcoder_profile,
-            payload_kind=archive.manifest.payload_kind,
-            segment_size=archive.manifest.segment_size,
-        )
+        if manifest.config is not None:
+            config = ArchiveConfig.from_dict(manifest.config)
+        else:
+            config = ArchiveConfig(
+                media=manifest.profile_name,
+                codec=manifest.dbcoder_profile,
+                payload_kind=manifest.payload_kind,
+                segment_size=manifest.segment_size,
+            )
     if overrides:
         config = config.replace(**overrides)
-    return ArchiveReader(archive, config)
+    reader = ArchiveReader(archive, config, source=archive_source, on_segment=on_segment)
+    reader._manifest = manifest
+    return reader
 
 
 @dataclass

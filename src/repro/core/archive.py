@@ -39,6 +39,15 @@ class SegmentRecord:
     emblem_start: int
     emblem_count: int
     container_bytes: int
+    #: Hex SHA-256 of the segment's payload bytes (manifest v2); ``None`` on
+    #: records loaded from a v1 manifest, where partial restore falls back to
+    #: the CRC-32 check alone.
+    sha256: str | None = None
+
+    @property
+    def end(self) -> int:
+        """One past the last payload byte this segment covers."""
+        return self.offset + self.length
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -50,7 +59,18 @@ class SegmentRecord:
 
 @dataclass(frozen=True)
 class ArchiveManifest:
-    """Description of an archive, stored alongside the images."""
+    """Description of an archive, stored *on the medium* alongside the images.
+
+    Manifest **v2** is versioned and self-describing: it records its
+    ``format_version``, embeds the originating
+    :class:`~repro.api.ArchiveConfig` as plain data (``config``), and its
+    segment records carry per-segment SHA-256 content hashes next to the
+    frame offsets/counts and logical byte ranges — everything a cold reader
+    needs to locate, decode and verify one segment without touching the
+    rest.  The v1 layout (no ``format_version`` key, no hashes, no embedded
+    config) still loads through a deprecation shim in
+    :mod:`repro.store.manifest`.
+    """
 
     profile_name: str
     dbcoder_profile: str
@@ -65,9 +85,14 @@ class ArchiveManifest:
     #: Per-segment metadata, in payload order.  Pre-pipeline manifests load
     #: with an empty tuple and restore through the whole-stream path.
     segments: tuple[SegmentRecord, ...] = ()
+    #: On-media layout version; see :data:`repro.store.manifest.MANIFEST_FORMAT_VERSION`.
+    format_version: int = 2
+    #: The :meth:`repro.api.ArchiveConfig.to_dict` of the writing session,
+    #: when the archive was written through the facade; ``None`` otherwise.
+    config: dict | None = None
 
     def to_json(self) -> str:
-        """Serialise the manifest as JSON text."""
+        """Serialise the manifest as JSON text (always the v2 layout)."""
         fields = {
             key: value for key, value in self.__dict__.items() if key != "segments"
         }
@@ -75,13 +100,25 @@ class ArchiveManifest:
         return json.dumps(fields, indent=2, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "ArchiveManifest":
-        """Parse a manifest from JSON text (segment-free manifests included)."""
-        fields = json.loads(text)
+    def from_dict(cls, fields: dict) -> "ArchiveManifest":
+        """Build a manifest from a parsed JSON object, any known version.
+
+        v1 objects (no ``format_version``) upgrade through the
+        :func:`repro.store.manifest.upgrade_manifest_fields` deprecation
+        shim; objects from a *newer* format raise :class:`ArchiveError`.
+        """
+        from repro.store.manifest import upgrade_manifest_fields  # lazy: store builds on core
+
+        fields = upgrade_manifest_fields(fields)
         segments = tuple(
             SegmentRecord.from_dict(segment) for segment in fields.pop("segments", [])
         )
         return cls(segments=segments, **fields)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArchiveManifest":
+        """Parse a manifest from JSON text (v1 and segment-free included)."""
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass

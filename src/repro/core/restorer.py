@@ -346,7 +346,13 @@ class Restorer(RestoreEngine):
 
 
 def restore_archive_directory(directory: str, profile_name: str, decode_mode: str = "python") -> RestorationResult:
-    """Convenience wrapper: load a saved archive directory and restore it."""
-    archive = MicrOlonysArchive.load(directory)
+    """Convenience wrapper: load a saved archive and restore it.
+
+    ``directory`` may be any :mod:`repro.store` target — a saved directory,
+    a single-file container archive, or a ``mem:`` key.
+    """
+    from repro.store import load_archive  # lazy: store builds on core
+
+    archive = load_archive(directory)
     restorer = RestoreEngine(get_profile(profile_name), decode_mode=decode_mode)
     return restorer.restore(archive)

@@ -155,6 +155,11 @@ class RestorationError(ArchiveError):
     """The archived database could not be restored bit-for-bit."""
 
 
+class StoreError(ArchiveError):
+    """An on-media archive store (directory/container/memory) is invalid,
+    corrupt, or was asked for something it does not contain."""
+
+
 # --------------------------------------------------------------------------- #
 # Registries and the unified configuration facade
 # --------------------------------------------------------------------------- #

@@ -16,23 +16,36 @@ import numpy as np
 from repro.errors import MediaError
 
 
-def write_pgm(path: str | Path, image: np.ndarray) -> None:
-    """Write a grayscale image as a binary PGM (P5) file."""
+def pgm_bytes(image: np.ndarray) -> bytes:
+    """Serialise a grayscale image as binary PGM (P5) bytes."""
     image = np.asarray(image)
     if image.ndim != 2:
         raise MediaError(f"PGM images are single-channel; got shape {image.shape}")
     image = np.clip(image, 0, 255).astype(np.uint8)
     height, width = image.shape
     header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    return header + image.tobytes()
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write a grayscale image as a binary PGM (P5) file."""
     with open(path, "wb") as stream:
-        stream.write(header)
-        stream.write(image.tobytes())
+        stream.write(pgm_bytes(image))
+
+
+def pgm_from_bytes(data: bytes, name: str = "<bytes>") -> np.ndarray:
+    """Parse binary PGM (P5) bytes into a uint8 array."""
+    return _parse_pgm(data, name)
 
 
 def read_pgm(path: str | Path) -> np.ndarray:
     """Read a binary PGM (P5) file into a uint8 array."""
     with open(path, "rb") as stream:
         data = stream.read()
+    return _parse_pgm(data, str(path))
+
+
+def _parse_pgm(data: bytes, path: "str | Path") -> np.ndarray:
     if not data.startswith(b"P5"):
         raise MediaError(f"{path}: not a binary PGM (P5) file")
     # Parse the three header tokens (width, height, maxval), skipping comments.

@@ -23,9 +23,10 @@ others to be re-decoded.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -77,6 +78,7 @@ class _EncodeResult:
     offset: int
     length: int
     crc32: int
+    sha256: str
     container_bytes: int
     images: list
 
@@ -93,6 +95,7 @@ def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
         offset=job.offset,
         length=len(job.data),
         crc32=crc32_of(job.data),
+        sha256=hashlib.sha256(job.data).hexdigest(),
         container_bytes=len(container),
         images=stream.images(),
     )
@@ -130,6 +133,15 @@ def _decode_segment_job(job: _DecodeJob) -> _DecodeResult:
             raise RestorationError(
                 f"segment {job.record.index}: restored bytes do not match the "
                 "manifest's segment length/CRC"
+            )
+        # v2 manifests additionally pin a SHA-256 over the segment payload.
+        if (
+            job.record.sha256 is not None
+            and hashlib.sha256(payload).hexdigest() != job.record.sha256
+        ):
+            raise RestorationError(
+                f"segment {job.record.index}: restored bytes do not match the "
+                "manifest's segment SHA-256 content hash"
             )
     return _DecodeResult(
         record=job.record, payload=payload, container=container, report=report
@@ -289,6 +301,7 @@ class ArchivePipeline:
                     emblem_start=emblem_start,
                     emblem_count=len(result.images),
                     container_bytes=result.container_bytes,
+                    sha256=result.sha256,
                 )
                 emblem_start += record.emblem_count
                 yield EncodedSegment(record=record, images=result.images)
@@ -408,6 +421,42 @@ class RestorePipeline:
             for result in executor.map_ordered(
                 _decode_segment_job, self._iter_jobs(manifest, data_images, True)
             ):
+                yield DecodedSegment(
+                    record=result.record, payload=result.payload, report=result.report
+                )
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    def iter_decode_selected(
+        self,
+        manifest: ArchiveManifest,
+        records: Iterable[SegmentRecord],
+        frames_for: "Callable[[SegmentRecord], list[np.ndarray]]",
+    ) -> Iterator[DecodedSegment]:
+        """Decode only ``records``, fetching each segment's frames on demand.
+
+        This is the random-access path behind
+        :meth:`repro.api.ArchiveReader.read_range` /
+        :meth:`~repro.api.ArchiveReader.restore_segment`: ``frames_for`` is
+        called lazily (inside the executor's bounded submission window) with
+        one record at a time, so a storage-backed reader only ever pulls the
+        frames of the segments actually being decoded.
+        """
+        executor = get_executor(self.executor)
+
+        def jobs() -> Iterator[_DecodeJob]:
+            for record in records:
+                yield _DecodeJob(
+                    spec=self.profile.spec,
+                    record=record,
+                    images=frames_for(record),
+                    decode_payload=True,
+                    codec=manifest.dbcoder_profile or "portable",
+                )
+
+        try:
+            for result in executor.map_ordered(_decode_segment_job, jobs()):
                 yield DecodedSegment(
                     record=result.record, payload=result.payload, report=result.report
                 )

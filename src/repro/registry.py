@@ -8,7 +8,7 @@ resolvable by a short string name, so an :class:`repro.api.ArchiveConfig`
 (and therefore a saved ``config.json``) fully describes a run without any
 Python object wiring.
 
-Four registries ship populated with the built-ins:
+Five registries ship populated with the built-ins:
 
 * :data:`codecs` — DBCoder compression codecs (``store`` / ``portable`` /
   ``dense``); user codecs register a byte-level compress/decompress pair via
@@ -20,20 +20,28 @@ Four registries ship populated with the built-ins:
 * :data:`executors` — factories for the pipeline's segment executors
   (``serial`` / ``thread`` / ``process`` / ``auto``).
 * :data:`distortions` — named scanner/medium degradation profiles.
+* :data:`stores` — :class:`~repro.store.backends.StorageBackend` archive
+  layouts (``directory`` / ``container`` / ``memory``).
 
 Lookups are case-insensitive and failures raise
 :class:`~repro.errors.UnknownNameError` with a did-you-mean suggestion.
 
-Process-pool note: worker processes re-import this module and therefore see
-the built-ins, but *not* codecs registered only in the parent process — run
-custom codecs with the ``serial``/``thread`` executors, or register them at
-import time of a module the workers also import.
+Plugin discovery: the ``REPRO_PLUGINS`` environment variable names a
+comma-separated list of modules imported when this module loads.  A plugin
+module registers its codecs/media/backends at import time, and because
+*worker processes re-import this module*, plugins named there resolve inside
+``process``-executor workers too — the supported way to run a
+:func:`register_codec` codec under the process pool.  Codecs registered only
+by calling :func:`register_codec` in the parent process remain invisible to
+workers; run those with the ``serial``/``thread`` executors.
 """
 
 from __future__ import annotations
 
 import difflib
+import importlib
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Iterator, TypeVar
 
@@ -62,6 +70,12 @@ from repro.pipeline.executors import (
     SerialExecutor,
     ThreadPoolSegmentExecutor,
 )
+from repro.store.backends import (
+    ContainerBackend,
+    DirectoryBackend,
+    MemoryBackend,
+    StorageBackend,
+)
 from repro.util.crc import crc32_of
 
 ValueT = TypeVar("ValueT")
@@ -73,12 +87,16 @@ __all__ = [
     "media",
     "executors",
     "distortions",
+    "stores",
     "get_codec",
     "get_media",
     "get_executor_factory",
     "get_distortion",
+    "get_store",
     "register_codec",
+    "load_plugins",
     "CUSTOM_CODEC_PROFILE_ID",
+    "PLUGINS_ENV_VAR",
 ]
 
 
@@ -390,3 +408,63 @@ def get_distortion(name: "str | DistortionProfile") -> DistortionProfile:
     if isinstance(name, DistortionProfile):
         return name
     return distortions.get(name)
+
+
+# --------------------------------------------------------------------------- #
+# Storage backends
+# --------------------------------------------------------------------------- #
+#: Archive storage backends (on-media layouts), by name.
+stores: Registry[StorageBackend] = Registry("storage backend")
+
+for _store in (DirectoryBackend(), ContainerBackend(), MemoryBackend()):
+    stores.register(_store.name, _store)
+
+stores.alias("dir", DirectoryBackend.name)
+stores.alias("file", ContainerBackend.name)
+stores.alias("mem", MemoryBackend.name)
+
+
+def get_store(name: "str | StorageBackend") -> StorageBackend:
+    """Resolve a storage backend from a registry name (or pass one through)."""
+    if isinstance(name, StorageBackend):
+        return name
+    return stores.get(name)
+
+
+# --------------------------------------------------------------------------- #
+# Plugin discovery
+# --------------------------------------------------------------------------- #
+#: Environment variable naming plugin modules (comma-separated import paths).
+PLUGINS_ENV_VAR = "REPRO_PLUGINS"
+
+
+def load_plugins(spec: str | None = None) -> list[str]:
+    """Import every plugin module named in ``spec`` (or ``$REPRO_PLUGINS``).
+
+    Each module is imported once (normal ``sys.modules`` semantics) and is
+    expected to register its codecs/media/executors/backends at import time.
+    Because worker processes re-import :mod:`repro.registry`, plugins listed
+    in the environment variable are resolvable inside ``process``-executor
+    workers as well.  A module that fails to import is skipped with a
+    :class:`RuntimeWarning` — a broken plugin must not take the whole
+    library down.  Returns the names that imported successfully.
+    """
+    if spec is None:
+        spec = os.environ.get(PLUGINS_ENV_VAR, "")
+    loaded: list[str] = []
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        try:
+            importlib.import_module(name)
+            loaded.append(name)
+        except Exception as exc:  # noqa: BLE001 — any plugin failure is non-fatal
+            warnings.warn(
+                f"{PLUGINS_ENV_VAR} module {name!r} failed to import: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return loaded
+
+
+load_plugins()

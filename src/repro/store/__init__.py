@@ -1,0 +1,114 @@
+"""``repro.store`` — the on-media layout layer behind the ``repro.api`` sessions.
+
+Three parts, mirroring the tentpole it implements:
+
+* :mod:`repro.store.manifest` — the versioned, self-describing **manifest
+  v2** (format version, embedded :class:`~repro.api.ArchiveConfig`,
+  per-segment content hashes) plus the v1 deprecation shim;
+* :mod:`repro.store.backends` — pluggable **storage backends**
+  (``directory`` / ``container`` / ``memory``), registered in
+  :data:`repro.registry.stores`, each exposing a streaming
+  :class:`~repro.store.backends.ArchiveSink` and a random-access
+  :class:`~repro.store.backends.ArchiveSource`;
+* the helpers below — backend resolution (:func:`open_sink` /
+  :func:`open_source`, with :func:`detect_store` sniffing the layout of an
+  existing target) and :func:`load_archive` for materialising a full
+  :class:`~repro.core.archive.MicrOlonysArchive` from any source.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.archive import MicrOlonysArchive
+from repro.errors import StoreError
+from repro.store.backends import (
+    BOOTSTRAP_NAME,
+    CONTAINER_MAGIC,
+    MANIFEST_NAME,
+    ArchiveSink,
+    ArchiveSource,
+    ContainerBackend,
+    DirectoryBackend,
+    MemoryBackend,
+    StorageBackend,
+)
+from repro.store.manifest import MANIFEST_FORMAT_VERSION, upgrade_manifest_fields
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "ArchiveSink",
+    "ArchiveSource",
+    "StorageBackend",
+    "DirectoryBackend",
+    "ContainerBackend",
+    "MemoryBackend",
+    "detect_store",
+    "open_sink",
+    "open_source",
+    "load_archive",
+    "upgrade_manifest_fields",
+]
+
+
+def detect_store(target: "str | Path") -> str:
+    """Sniff which backend an *existing* target belongs to.
+
+    ``mem:`` prefixes are memory targets; directories are ``directory``
+    archives; regular files are ``container`` archives.
+    """
+    if isinstance(target, str) and target.startswith("mem:"):
+        return "memory"
+    path = Path(target)
+    if path.is_dir():
+        return "directory"
+    if path.is_file():
+        return "container"
+    raise StoreError(
+        f"{target} does not exist; pass store=... explicitly to create it"
+    )
+
+
+def _backend(store: str) -> StorageBackend:
+    from repro import registry  # lazy: registry imports this package
+
+    return registry.get_store(store)
+
+
+def open_sink(target: "str | Path", store: str | None = None) -> ArchiveSink:
+    """Open ``target`` for writing with the named backend.
+
+    When ``store`` is omitted it is inferred: ``mem:`` targets use
+    ``memory``, everything else defaults to ``directory``.
+    """
+    if store is None:
+        is_memory = isinstance(target, str) and target.startswith("mem:")
+        store = "memory" if is_memory else "directory"
+    return _backend(store).create(target)
+
+
+def open_source(target: "str | Path", store: str | None = None) -> ArchiveSource:
+    """Open an existing archive target for reading (layout auto-detected)."""
+    return _backend(store if store is not None else detect_store(target)).open(target)
+
+
+def load_archive(source: "ArchiveSource | str | Path", store: str | None = None) -> MicrOlonysArchive:
+    """Materialise a full in-memory archive artefact from any source.
+
+    This reads *every* frame — it is the compatibility path for whole-archive
+    restoration; partial restore goes through the source directly.
+    """
+    opened = not isinstance(source, ArchiveSource)
+    if opened:
+        source = open_source(source, store)
+    try:
+        manifest = source.manifest()
+        return MicrOlonysArchive(
+            manifest=manifest,
+            data_emblem_images=list(source.iter_frames("data")),
+            system_emblem_images=list(source.iter_frames("system")),
+            bootstrap_text=source.get_text(BOOTSTRAP_NAME),
+        )
+    finally:
+        if opened:
+            source.close()

@@ -1,0 +1,445 @@
+"""Pluggable storage backends: where an archive's frames and manifest live.
+
+A backend owns the physical layout of one archive *target* and exposes two
+session handles:
+
+* :class:`ArchiveSink` — the write side: frames are appended one at a time
+  (``put_frame``), text artefacts (Bootstrap, config) and the manifest are
+  written alongside them, so a streaming writer never holds more than the
+  executor window in memory;
+* :class:`ArchiveSource` — the read side: the manifest and any *single*
+  frame are retrievable without reading the rest of the archive, which is
+  what makes :meth:`repro.api.ArchiveReader.read_range` random-access.
+
+Three backends ship registered in :data:`repro.registry.stores`:
+
+``directory``
+    One PGM file per frame plus ``manifest.json`` / ``bootstrap.txt`` — the
+    historical :meth:`~repro.core.archive.MicrOlonysArchive.save` layout,
+    now written with a v2 manifest.
+``container``
+    A single appendable archive file: a magic header, a stream of
+    self-describing length-prefixed records (frames as PGM bytes), and a
+    JSON record index behind a fixed-size trailer.  Random access goes
+    through the index; a truncated trailer degrades to a linear scan of the
+    record stream, so a damaged file is still readable record by record.
+``memory``
+    An in-process dict keyed by target name (``mem:<name>``), for tests and
+    benchmarks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.archive import ArchiveManifest
+from repro.errors import StoreError
+from repro.media.image import pgm_bytes, pgm_from_bytes
+
+__all__ = [
+    "ArchiveSink",
+    "ArchiveSource",
+    "StorageBackend",
+    "DirectoryBackend",
+    "ContainerBackend",
+    "MemoryBackend",
+    "CONTAINER_MAGIC",
+]
+
+#: Frame kinds a store understands (mirrors the archive artefact).
+FRAME_KINDS = ("data", "system")
+
+#: Artefact names shared by every backend.
+MANIFEST_NAME = "manifest.json"
+BOOTSTRAP_NAME = "bootstrap.txt"
+
+
+def _frame_name(kind: str, index: int) -> str:
+    """Canonical record/file stem for one emblem frame."""
+    if kind not in FRAME_KINDS:
+        raise StoreError(f"unknown frame kind {kind!r} (expected one of {FRAME_KINDS})")
+    return f"{kind}_emblem_{index:04d}.pgm"
+
+
+# --------------------------------------------------------------------------- #
+# Session handles
+# --------------------------------------------------------------------------- #
+class ArchiveSink:
+    """Write handle for one archive target (returned by ``backend.create``)."""
+
+    def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
+        """Persist one emblem raster (``kind`` is ``"data"`` or ``"system"``)."""
+        raise NotImplementedError
+
+    def put_text(self, name: str, text: str) -> None:
+        """Persist a named text artefact (Bootstrap, config)."""
+        raise NotImplementedError
+
+    def put_manifest(self, manifest: ArchiveManifest) -> None:
+        """Persist the archive manifest (v2 JSON)."""
+        self.put_text(MANIFEST_NAME, manifest.to_json() + "\n")
+
+    def close(self) -> None:
+        """Finalise the target (idempotent)."""
+
+    def __enter__(self) -> "ArchiveSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ArchiveSource:
+    """Read handle for one archive target (returned by ``backend.open``).
+
+    The contract that enables partial restore: :meth:`manifest` and
+    :meth:`get_frame` must not require reading any other frame.
+    """
+
+    def manifest(self) -> ArchiveManifest:
+        """The archive manifest (v1 loads through the deprecation shim)."""
+        raise NotImplementedError
+
+    def get_text(self, name: str) -> str:
+        raise NotImplementedError
+
+    def get_frame(self, kind: str, index: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def frame_count(self, kind: str) -> int:
+        raise NotImplementedError
+
+    def get_frames(self, kind: str, start: int, count: int) -> list[np.ndarray]:
+        """A contiguous run of frames (the unit partial restore fetches)."""
+        return [self.get_frame(kind, index) for index in range(start, start + count)]
+
+    def iter_frames(self, kind: str) -> Iterator[np.ndarray]:
+        for index in range(self.frame_count(kind)):
+            yield self.get_frame(kind, index)
+
+    def close(self) -> None:
+        """Release the target (idempotent)."""
+
+    def __enter__(self) -> "ArchiveSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StorageBackend:
+    """A named storage layout; stateless factory for sinks and sources."""
+
+    name = "base"
+    description = ""
+
+    def create(self, target: "str | Path") -> ArchiveSink:
+        """Open ``target`` for writing a fresh archive."""
+        raise NotImplementedError
+
+    def open(self, target: "str | Path") -> ArchiveSource:
+        """Open an existing archive at ``target`` for reading."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# Directory backend — one PGM file per frame
+# --------------------------------------------------------------------------- #
+class _DirectorySink(ArchiveSink):
+    def __init__(self, directory: Path):
+        self.directory = directory
+        directory.mkdir(parents=True, exist_ok=True)
+
+    def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
+        (self.directory / _frame_name(kind, index)).write_bytes(pgm_bytes(image))
+
+    def put_text(self, name: str, text: str) -> None:
+        (self.directory / name).write_text(text)
+
+
+class _DirectorySource(ArchiveSource):
+    def __init__(self, directory: Path):
+        self.directory = directory
+        if not (directory / MANIFEST_NAME).exists():
+            raise StoreError(f"{directory} does not contain an archive manifest")
+
+    def manifest(self) -> ArchiveManifest:
+        return ArchiveManifest.from_json((self.directory / MANIFEST_NAME).read_text())
+
+    def get_text(self, name: str) -> str:
+        path = self.directory / name
+        if not path.exists():
+            raise StoreError(f"{self.directory} has no {name!r}")
+        return path.read_text()
+
+    def get_frame(self, kind: str, index: int) -> np.ndarray:
+        path = self.directory / _frame_name(kind, index)
+        if not path.exists():
+            raise StoreError(f"{self.directory} has no {kind} frame {index}")
+        return pgm_from_bytes(path.read_bytes(), str(path))
+
+    def frame_count(self, kind: str) -> int:
+        prefix = f"{kind}_emblem_"
+        return sum(1 for _ in self.directory.glob(f"{prefix}*.pgm"))
+
+
+class DirectoryBackend(StorageBackend):
+    """PGM files on disk — the historical directory layout."""
+
+    name = "directory"
+    description = "one PGM file per frame in a directory (the classic layout)"
+
+    def create(self, target: "str | Path") -> ArchiveSink:
+        return _DirectorySink(Path(target))
+
+    def open(self, target: "str | Path") -> ArchiveSource:
+        return _DirectorySource(Path(target))
+
+
+# --------------------------------------------------------------------------- #
+# Container backend — a single appendable archive file
+# --------------------------------------------------------------------------- #
+#: File magic: layout name + container format version.
+CONTAINER_MAGIC = b"ULEARC02"
+#: Trailer magic marking an intact record index.
+_INDEX_MAGIC = b"ULEIDX02"
+#: Trailer: u64 little-endian index-payload offset + index magic.
+_TRAILER = struct.Struct("<Q8s")
+#: Record header: u16 name length; the name and a u64 payload length follow.
+_NAME_LEN = struct.Struct("<H")
+_PAYLOAD_LEN = struct.Struct("<Q")
+#: Reserved record name holding the JSON index.
+_INDEX_NAME = "__index__"
+
+
+def _pack_record(name: str, payload: bytes) -> bytes:
+    encoded = name.encode("utf-8")
+    return (
+        _NAME_LEN.pack(len(encoded))
+        + encoded
+        + _PAYLOAD_LEN.pack(len(payload))
+        + payload
+    )
+
+
+def _record_header_size(name: str) -> int:
+    """Bytes between a record's start and its payload."""
+    return _NAME_LEN.size + len(name.encode("utf-8")) + _PAYLOAD_LEN.size
+
+
+class _ContainerSink(ArchiveSink):
+    def __init__(self, path: Path):
+        self.path = path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = open(path, "wb")
+        self._stream.write(CONTAINER_MAGIC)
+        self._offset = len(CONTAINER_MAGIC)
+        #: name -> (payload offset, payload length), in append order.
+        self._index: dict[str, tuple[int, int]] = {}
+        self._closed = False
+
+    def _append(self, name: str, payload: bytes) -> None:
+        if self._closed:
+            raise StoreError(f"{self.path}: container sink is closed")
+        if name in self._index:
+            raise StoreError(f"{self.path}: record {name!r} already written")
+        header = _record_header_size(name)
+        self._stream.write(_pack_record(name, payload))
+        self._index[name] = (self._offset + header, len(payload))
+        self._offset += header + len(payload)
+
+    def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
+        self._append(_frame_name(kind, index), pgm_bytes(image))
+
+    def put_text(self, name: str, text: str) -> None:
+        self._append(name, text.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        index_payload = json.dumps(
+            [[name, offset, length] for name, (offset, length) in self._index.items()]
+        ).encode("utf-8")
+        self._stream.write(_pack_record(_INDEX_NAME, index_payload))
+        index_offset = self._offset + _record_header_size(_INDEX_NAME)
+        self._stream.write(_TRAILER.pack(index_offset, _INDEX_MAGIC))
+        self._stream.close()
+
+
+class _ContainerSource(ArchiveSource):
+    def __init__(self, path: Path):
+        self.path = path
+        try:
+            self._stream = open(path, "rb")
+        except OSError as exc:
+            raise StoreError(f"{path}: cannot open container archive: {exc}") from exc
+        if self._stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
+            self._stream.close()
+            raise StoreError(f"{path}: not a ULE container archive (bad magic)")
+        self._index = self._load_index()
+
+    # -------------------------------------------------------------- #
+    def _load_index(self) -> dict[str, tuple[int, int]]:
+        """The record index: from the trailer, or by scanning on damage."""
+        self._stream.seek(0, io.SEEK_END)
+        size = self._stream.tell()
+        if size >= len(CONTAINER_MAGIC) + _TRAILER.size:
+            self._stream.seek(size - _TRAILER.size)
+            offset, magic = _TRAILER.unpack(self._stream.read(_TRAILER.size))
+            if magic == _INDEX_MAGIC and offset < size - _TRAILER.size:
+                self._stream.seek(offset)
+                payload = self._stream.read(size - _TRAILER.size - offset)
+                try:
+                    entries = json.loads(payload.decode("utf-8"))
+                    return {name: (start, length) for name, start, length in entries}
+                except (ValueError, TypeError):
+                    pass  # corrupt index: fall through to the scan
+        return self._scan_index(size)
+
+    def _scan_index(self, size: int) -> dict[str, tuple[int, int]]:
+        """Rebuild the index by walking the self-describing record stream.
+
+        Tolerates a truncated tail: every complete record before the damage
+        is still served.
+        """
+        index: dict[str, tuple[int, int]] = {}
+        position = len(CONTAINER_MAGIC)
+        while position + _NAME_LEN.size <= size:
+            self._stream.seek(position)
+            (name_len,) = _NAME_LEN.unpack(self._stream.read(_NAME_LEN.size))
+            head = self._stream.read(name_len + _PAYLOAD_LEN.size)
+            if len(head) < name_len + _PAYLOAD_LEN.size:
+                break
+            name = head[:name_len].decode("utf-8", errors="replace")
+            (payload_len,) = _PAYLOAD_LEN.unpack(head[name_len:])
+            payload_start = position + _NAME_LEN.size + name_len + _PAYLOAD_LEN.size
+            if payload_start + payload_len > size:
+                break  # truncated final record
+            if name != _INDEX_NAME:
+                index[name] = (payload_start, payload_len)
+            position = payload_start + payload_len
+        if not index:
+            raise StoreError(f"{self.path}: container archive holds no readable records")
+        return index
+
+    def _read(self, name: str) -> bytes:
+        entry = self._index.get(name)
+        if entry is None:
+            raise StoreError(f"{self.path} has no record {name!r}")
+        offset, length = entry
+        self._stream.seek(offset)
+        payload = self._stream.read(length)
+        if len(payload) != length:
+            raise StoreError(f"{self.path}: record {name!r} is truncated")
+        return payload
+
+    # -------------------------------------------------------------- #
+    def manifest(self) -> ArchiveManifest:
+        return ArchiveManifest.from_json(self._read(MANIFEST_NAME).decode("utf-8"))
+
+    def get_text(self, name: str) -> str:
+        return self._read(name).decode("utf-8")
+
+    def get_frame(self, kind: str, index: int) -> np.ndarray:
+        name = _frame_name(kind, index)
+        return pgm_from_bytes(self._read(name), f"{self.path}:{name}")
+
+    def frame_count(self, kind: str) -> int:
+        prefix = f"{kind}_emblem_"
+        return sum(1 for name in self._index if name.startswith(prefix))
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+class ContainerBackend(StorageBackend):
+    """A single appendable archive file with an indexed record stream."""
+
+    name = "container"
+    description = "single-file archive: length-prefixed records + JSON index"
+
+    def create(self, target: "str | Path") -> ArchiveSink:
+        return _ContainerSink(Path(target))
+
+    def open(self, target: "str | Path") -> ArchiveSource:
+        return _ContainerSource(Path(target))
+
+
+# --------------------------------------------------------------------------- #
+# Memory backend — for tests and benchmarks
+# --------------------------------------------------------------------------- #
+#: All in-process memory targets, keyed by name (``mem:foo`` -> ``"foo"``).
+_MEMORY_TARGETS: dict[str, dict[str, bytes]] = {}
+
+
+def _memory_key(target: "str | Path") -> str:
+    key = str(target)
+    return key[4:] if key.startswith("mem:") else key
+
+
+class _MemorySink(ArchiveSink):
+    def __init__(self, records: dict[str, bytes]):
+        self._records = records
+
+    def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
+        self._records[_frame_name(kind, index)] = pgm_bytes(image)
+
+    def put_text(self, name: str, text: str) -> None:
+        self._records[name] = text.encode("utf-8")
+
+
+class _MemorySource(ArchiveSource):
+    def __init__(self, key: str, records: dict[str, bytes]):
+        self._key = key
+        self._records = records
+
+    def _read(self, name: str) -> bytes:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise StoreError(f"memory archive {self._key!r} has no record {name!r}") from None
+
+    def manifest(self) -> ArchiveManifest:
+        return ArchiveManifest.from_json(self._read(MANIFEST_NAME).decode("utf-8"))
+
+    def get_text(self, name: str) -> str:
+        return self._read(name).decode("utf-8")
+
+    def get_frame(self, kind: str, index: int) -> np.ndarray:
+        name = _frame_name(kind, index)
+        return pgm_from_bytes(self._read(name), f"mem:{self._key}:{name}")
+
+    def frame_count(self, kind: str) -> int:
+        prefix = f"{kind}_emblem_"
+        return sum(1 for name in self._records if name.startswith(prefix))
+
+
+class MemoryBackend(StorageBackend):
+    """In-process storage keyed by target name — tests and benchmarks."""
+
+    name = "memory"
+    description = "in-process dict store (targets are 'mem:<name>' keys)"
+
+    def create(self, target: "str | Path") -> ArchiveSink:
+        records: dict[str, bytes] = {}
+        _MEMORY_TARGETS[_memory_key(target)] = records
+        return _MemorySink(records)
+
+    def open(self, target: "str | Path") -> ArchiveSource:
+        key = _memory_key(target)
+        records = _MEMORY_TARGETS.get(key)
+        if records is None:
+            raise StoreError(f"no memory archive named {key!r} exists in this process")
+        return _MemorySource(key, records)
+
+    @staticmethod
+    def discard(target: "str | Path") -> None:
+        """Drop a memory target (no-op when absent)."""
+        _MEMORY_TARGETS.pop(_memory_key(target), None)

@@ -1,0 +1,93 @@
+"""Manifest v2: the versioned, self-describing on-media archive description.
+
+The paper's bootstrap layer insists that everything needed to restore an
+archive lives *on the medium*; this module applies the same discipline to the
+store layer.  A v2 manifest is a JSON object carrying:
+
+* ``format_version`` — the layout version (this module owns the number);
+* ``config`` — the writing session's :class:`~repro.api.ArchiveConfig` as
+  plain data, so a cold reader can rebuild the exact decode stack by name;
+* per-segment records with logical byte ranges (``offset``/``length``),
+  frame locations (``emblem_start``/``emblem_count``) and content hashes
+  (``crc32`` + ``sha256``), so any byte range can be located, decoded and
+  verified without decoding the rest of the archive.
+
+The historical **v1** layout — the same object minus ``format_version``,
+``config`` and the segment hashes — still loads through
+:func:`upgrade_manifest_fields`, which warns :class:`DeprecationWarning` and
+fills the missing fields with their absent-value defaults.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.errors import StoreError
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "manifest_version",
+    "upgrade_manifest_fields",
+]
+
+#: Current on-media manifest layout version.
+MANIFEST_FORMAT_VERSION = 2
+
+#: Keys every manifest version must carry to be loadable at all.
+_REQUIRED_KEYS = (
+    "profile_name",
+    "dbcoder_profile",
+    "archive_bytes",
+    "archive_crc32",
+    "data_emblem_count",
+    "system_emblem_count",
+)
+
+
+def manifest_version(fields: dict) -> int:
+    """The layout version of a parsed manifest object (v1 has no marker)."""
+    version = fields.get("format_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise StoreError(f"manifest carries a bad format_version: {version!r}")
+    return version
+
+
+def upgrade_manifest_fields(fields: dict) -> dict:
+    """Normalise a parsed manifest object to the v2 field set.
+
+    v1 objects upgrade in place behind a :class:`DeprecationWarning`:
+    ``format_version`` becomes 2, ``config`` stays ``None`` and segment
+    records keep ``sha256=None`` (their dataclass default), which downgrades
+    partial-restore verification to the CRC-32 check.  Objects written by a
+    *newer* layout raise :class:`~repro.errors.StoreError` instead of being
+    misread.
+
+    Raises
+    ------
+    StoreError
+        On a missing required key or an unsupported ``format_version``.
+    """
+    if not isinstance(fields, dict):
+        raise StoreError(f"manifest must be a JSON object, got {type(fields).__name__}")
+    missing = [key for key in _REQUIRED_KEYS if key not in fields]
+    if missing:
+        raise StoreError(f"manifest is missing required fields: {', '.join(missing)}")
+    version = manifest_version(fields)
+    if version > MANIFEST_FORMAT_VERSION:
+        raise StoreError(
+            f"manifest format_version {version} is newer than this library "
+            f"understands (max {MANIFEST_FORMAT_VERSION}); upgrade the library "
+            "to read this archive"
+        )
+    fields = dict(fields)
+    if version < MANIFEST_FORMAT_VERSION:
+        warnings.warn(
+            f"loading a v{version} archive manifest through the compatibility "
+            "shim; re-archive (or re-save) to upgrade it to the v2 "
+            "self-describing layout",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        fields["format_version"] = MANIFEST_FORMAT_VERSION
+        fields.setdefault("config", None)
+    return fields

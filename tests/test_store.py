@@ -1,0 +1,401 @@
+"""Tests for :mod:`repro.store`: manifest v2, storage backends, partial restore.
+
+Covers the manifest v2 <-> v1 deprecation shim, the three storage backends
+(directory / container / memory) round-tripping archives from the persisted
+bytes alone, random-access ``read_range`` / ``restore_segment`` equalling
+the corresponding slice of a full restore across media and codecs while
+decoding strictly fewer frames, container damage tolerance (index-less
+linear scan), and worker-side plugin discovery via ``REPRO_PLUGINS``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ArchiveConfig, open_archive, open_restore, registry
+from repro.core.archive import ArchiveManifest
+from repro.errors import ArchiveError, ConfigError, StoreError, UnknownNameError
+from repro.store import (
+    MANIFEST_FORMAT_VERSION,
+    MemoryBackend,
+    detect_store,
+    load_archive,
+    open_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def random_payload(size: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+
+def write_archive(target, payload: bytes, *, store=None, media="test", codec="portable",
+                  segment_size=2048) -> ArchiveConfig:
+    config = ArchiveConfig(media=media, codec=codec, segment_size=segment_size)
+    with open_archive(config, target=target, store=store) as writer:
+        writer.write(payload)
+    return config
+
+
+# --------------------------------------------------------------------------- #
+# Manifest v2 and the v1 shim
+# --------------------------------------------------------------------------- #
+class TestManifestV2:
+    def test_v2_manifest_is_self_describing(self, tmp_path):
+        payload = random_payload(5_000, seed=1)
+        config = write_archive(tmp_path / "arch", payload)
+        manifest = open_source(tmp_path / "arch").manifest()
+        assert manifest.format_version == MANIFEST_FORMAT_VERSION == 2
+        assert manifest.config == config.to_dict()
+        assert len(manifest.segments) == 3
+        for record in manifest.segments:
+            assert record.sha256 is not None and len(record.sha256) == 64
+        # The on-media JSON carries the version marker explicitly.
+        fields = json.loads((tmp_path / "arch" / "manifest.json").read_text())
+        assert fields["format_version"] == 2
+        assert fields["config"]["codec"] == "portable"
+
+    def test_v1_manifest_loads_through_the_shim(self, tmp_path):
+        payload = random_payload(5_000, seed=2)
+        write_archive(tmp_path / "arch", payload)
+        manifest_path = tmp_path / "arch" / "manifest.json"
+        fields = json.loads(manifest_path.read_text())
+        # Rewrite the manifest exactly as PR 2 wrote it: no version marker,
+        # no embedded config, no per-segment hashes.
+        del fields["format_version"], fields["config"]
+        for segment in fields["segments"]:
+            del segment["sha256"]
+        manifest_path.write_text(json.dumps(fields))
+
+        with pytest.warns(DeprecationWarning, match="v1 archive manifest"):
+            manifest = ArchiveManifest.from_json(manifest_path.read_text())
+        assert manifest.format_version == 2
+        assert manifest.config is None
+        assert all(record.sha256 is None for record in manifest.segments)
+
+        # The archive still restores, fully and partially (CRC-only verify).
+        with pytest.warns(DeprecationWarning):
+            reader = open_restore(tmp_path / "arch")
+        assert reader.read().payload == payload
+        with pytest.warns(DeprecationWarning):
+            reader = open_restore(tmp_path / "arch")
+        assert reader.read_range(2_100, 500) == payload[2_100:2_600]
+
+    def test_v2_roundtrips_exactly(self, tmp_path):
+        payload = random_payload(4_096, seed=3)
+        write_archive(tmp_path / "arch", payload)
+        manifest = open_source(tmp_path / "arch").manifest()
+        assert ArchiveManifest.from_json(manifest.to_json()) == manifest
+
+    def test_newer_format_version_is_rejected(self, tmp_path):
+        write_archive(tmp_path / "arch", b"x" * 100)
+        manifest_path = tmp_path / "arch" / "manifest.json"
+        fields = json.loads(manifest_path.read_text())
+        fields["format_version"] = 99
+        manifest_path.write_text(json.dumps(fields))
+        with pytest.raises(StoreError, match="newer"):
+            ArchiveManifest.from_json(manifest_path.read_text())
+
+
+# --------------------------------------------------------------------------- #
+# Storage backends
+# --------------------------------------------------------------------------- #
+class TestBackends:
+    def test_container_roundtrips_from_the_file_alone(self, tmp_path):
+        payload = random_payload(9_000, seed=4)
+        path = tmp_path / "backup.ule"
+        write_archive(path, payload, store="container")
+        assert path.is_file()
+        # A single flat file; restoration uses nothing but its bytes.
+        reader = open_restore(path)
+        result = reader.read()
+        assert result.payload == payload
+
+    def test_directory_store_matches_classic_layout(self, tmp_path):
+        payload = random_payload(4_000, seed=5)
+        write_archive(tmp_path / "arch", payload, store="directory")
+        names = {p.name for p in (tmp_path / "arch").iterdir()}
+        assert {"manifest.json", "bootstrap.txt", "config.json"} <= names
+        assert any(name.startswith("data_emblem_") for name in names)
+        # The classic whole-directory loader still reads it.
+        from repro.core.archive import MicrOlonysArchive
+
+        archive = MicrOlonysArchive.load(tmp_path / "arch")
+        assert open_restore(archive).read().payload == payload
+
+    def test_memory_backend(self):
+        payload = random_payload(4_000, seed=6)
+        try:
+            write_archive("mem:store-test", payload)
+            assert detect_store("mem:store-test") == "memory"
+            reader = open_restore("mem:store-test")
+            assert reader.read_range(1_000, 200) == payload[1_000:1_200]
+        finally:
+            MemoryBackend.discard("mem:store-test")
+        with pytest.raises(StoreError):
+            open_source("mem:store-test")
+
+    def test_detect_store(self, tmp_path):
+        write_archive(tmp_path / "d", b"x" * 100)
+        write_archive(tmp_path / "c.ule", b"x" * 100, store="container")
+        assert detect_store(tmp_path / "d") == "directory"
+        assert detect_store(tmp_path / "c.ule") == "container"
+        with pytest.raises(StoreError, match="does not exist"):
+            detect_store(tmp_path / "ghost")
+
+    def test_container_survives_a_lost_index(self, tmp_path):
+        """A truncated trailer degrades to a linear record scan."""
+        payload = random_payload(5_000, seed=7)
+        path = tmp_path / "backup.ule"
+        write_archive(path, payload, store="container")
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])  # chop the index trailer off
+        reader = open_restore(path)
+        assert reader.read().payload == payload
+
+    def test_container_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-an-archive"
+        path.write_bytes(b"P5\n1 1\n255\n\x00")
+        with pytest.raises(StoreError, match="bad magic"):
+            open_source(path, "container")
+
+    def test_stores_registry(self):
+        assert registry.stores.names() == ["container", "directory", "memory"]
+        assert registry.get_store("dir").name == "directory"
+        with pytest.raises(UnknownNameError, match="did you mean"):
+            registry.get_store("contaner")
+
+    def test_config_store_field_validates(self):
+        assert ArchiveConfig(store="file").store == "container"
+        with pytest.raises(ConfigError):
+            ArchiveConfig(store="cloud")
+
+    def test_load_archive_from_any_target(self, tmp_path):
+        payload = random_payload(3_000, seed=8)
+        write_archive(tmp_path / "c.ule", payload, store="container")
+        archive = load_archive(tmp_path / "c.ule")
+        assert archive.manifest.archive_bytes == len(payload)
+        assert len(archive.data_emblem_images) == archive.manifest.data_emblem_count
+        assert len(archive.system_emblem_images) == archive.manifest.system_emblem_count
+
+
+# --------------------------------------------------------------------------- #
+# Random-access partial restore
+# --------------------------------------------------------------------------- #
+class TestPartialRestore:
+    #: (offset, length) shapes: inside one segment, spanning a boundary,
+    #: empty, the whole payload, and a tail request clamped like a slice.
+    RANGES = [(100, 50), (2_000, 200), (0, 0), (0, 10**9), (5_900, 1_000), (8_000, 5)]
+
+    @pytest.mark.parametrize("media", ["test", "dna"])
+    @pytest.mark.parametrize("codec", ["store", "portable"])
+    def test_read_range_equals_full_restore_slice(self, tmp_path, media, codec):
+        payload = random_payload(6_000, seed=11)
+        target = tmp_path / f"{media}-{codec}.ule"
+        write_archive(target, payload, store="container", media=media, codec=codec)
+        full = open_restore(target).read().payload
+        assert full == payload
+        reader = open_restore(target)
+        for offset, length in self.RANGES:
+            assert reader.read_range(offset, length) == full[offset:offset + length], (
+                f"range [{offset}:{offset + length}) mismatch on {media}/{codec}"
+            )
+
+    def test_restore_segment_decodes_only_that_segment(self, tmp_path):
+        payload = random_payload(8_192, seed=12)
+        target = tmp_path / "arch"
+        write_archive(target, payload)
+        manifest = open_source(target).manifest()
+        assert len(manifest.segments) == 4
+
+        decoded = []
+        reader = open_restore(target, on_segment=decoded.append)
+        record = manifest.segments[2]
+        assert reader.restore_segment(2) == payload[record.offset:record.end]
+        # The counting hook saw exactly one decode: segment 2, nothing else.
+        assert [r.index for r in decoded] == [2]
+        assert reader.segments_decoded == 1
+        assert reader.frames_decoded == record.emblem_count
+
+    def test_partial_restore_decodes_strictly_fewer_frames(self, tmp_path):
+        """The acceptance criterion: partial < full, measured in frames."""
+        payload = random_payload(8_192, seed=13)
+        target = tmp_path / "arch.ule"
+        write_archive(target, payload, store="container")
+
+        full_result = open_restore(target).read()
+        full_frames = full_result.data_report.emblems_seen
+
+        reader = open_restore(target)
+        assert reader.read_range(3_000, 100) == payload[3_000:3_100]
+        assert 0 < reader.frames_decoded < full_frames
+
+        reader = open_restore(target)
+        reader.restore_segment(0)
+        assert 0 < reader.frames_decoded < full_frames
+
+    def test_read_range_parallel_executor_matches_serial(self, tmp_path):
+        payload = random_payload(8_192, seed=14)
+        target = tmp_path / "arch.ule"
+        write_archive(target, payload, store="container")
+        serial = open_restore(target, executor="serial").read_range(1_000, 6_000)
+        threaded = open_restore(target, executor="thread:2").read_range(1_000, 6_000)
+        assert serial == threaded == payload[1_000:7_000]
+
+    def test_read_range_rejects_negative_requests(self, tmp_path):
+        write_archive(tmp_path / "arch", b"x" * 4_000)
+        reader = open_restore(tmp_path / "arch")
+        with pytest.raises(ValueError):
+            reader.read_range(-1, 10)
+        with pytest.raises(ValueError):
+            reader.read_range(0, -10)
+
+    def test_restore_segment_out_of_range(self, tmp_path):
+        write_archive(tmp_path / "arch", b"x" * 4_000)
+        reader = open_restore(tmp_path / "arch")
+        with pytest.raises(ArchiveError, match="out of range"):
+            reader.restore_segment(99)
+
+    def test_corrupt_frame_fails_hash_check_only_when_touched(self, tmp_path):
+        """Damage in segment 3 is invisible to a read confined to segment 0."""
+        from repro.media.image import pgm_bytes, pgm_from_bytes
+
+        payload = random_payload(8_192, seed=15)
+        target = tmp_path / "arch"
+        write_archive(target, payload)
+        manifest = open_source(target).manifest()
+        victim = manifest.segments[3]
+        # Blank every frame of the last segment on the medium.
+        for index in range(victim.emblem_start, victim.emblem_start + victim.emblem_count):
+            frame_path = target / f"data_emblem_{index:04d}.pgm"
+            image = pgm_from_bytes(frame_path.read_bytes())
+            frame_path.write_bytes(pgm_bytes(np.full_like(image, 255)))
+
+        reader = open_restore(target)
+        assert reader.read_range(0, 2_048) == payload[:2_048]  # untouched segment: fine
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            open_restore(target).restore_segment(3)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side plugin discovery (REPRO_PLUGINS)
+# --------------------------------------------------------------------------- #
+class TestPluginDiscovery:
+    def test_load_plugins_warns_on_broken_module(self):
+        with pytest.warns(RuntimeWarning, match="failed to import"):
+            assert registry.load_plugins("no_such_module_xyzzy") == []
+
+    def test_custom_codec_resolves_inside_process_workers(self, tmp_path):
+        """A REPRO_PLUGINS codec encodes under a spawn-based process pool.
+
+        ``spawn`` start method forces workers to re-import everything, so
+        this fails without worker-side plugin discovery (under ``fork`` the
+        parent's registry would leak into workers and hide the bug).
+        """
+        (tmp_path / "repro_plug_test.py").write_text(textwrap.dedent("""
+            from repro import registry
+
+            def _flip(data: bytes) -> bytes:
+                return bytes(byte ^ 0xA5 for byte in data)
+
+            registry.register_codec("plug-flip", _flip, _flip, "plugin test codec",
+                                    overwrite=True)
+        """))
+        script = tmp_path / "driver.py"
+        script.write_text(textwrap.dedent("""
+            import multiprocessing
+            from repro import ArchiveConfig, open_archive, open_restore
+
+            if __name__ == "__main__":
+                multiprocessing.set_start_method("spawn", force=True)
+                payload = b"plugin payload " * 400
+                config = ArchiveConfig(media="test", codec="plug-flip",
+                                       segment_size=1024, executor="process:2")
+                with open_archive(config, target="mem:plug") as writer:
+                    writer.write(payload)
+                restored = open_restore("mem:plug", executor="serial").read().payload
+                assert restored == payload, "plugin codec round trip failed"
+                print("PLUGIN-OK")
+        """))
+        env = dict(os.environ)
+        env["REPRO_PLUGINS"] = "repro_plug_test"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(tmp_path)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True,
+            env=env, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PLUGIN-OK" in proc.stdout
+
+
+# --------------------------------------------------------------------------- #
+# CLI: store selection and partial restore
+# --------------------------------------------------------------------------- #
+class TestStoreCLI:
+    def _run(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+        )
+
+    def test_container_archive_inspect_read_range(self, tmp_path):
+        payload = b"0123456789abcdef" * 512
+        payload_path = tmp_path / "payload.bin"
+        payload_path.write_bytes(payload)
+        target = tmp_path / "backup.ule"
+
+        proc = self._run(
+            "archive", "-i", str(payload_path), "-o", str(target),
+            "--store", "container", "--media", "test", "--segment-size", "2048",
+            "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["store"] == "container"
+        assert summary["format_version"] == 2
+        assert target.is_file()
+
+        proc = self._run("inspect", str(target), "--json")
+        assert proc.returncode == 0, proc.stderr
+        inspected = json.loads(proc.stdout)
+        assert inspected["format_version"] == 2
+        assert inspected["config"]["segment_size"] == 2048
+        assert all(len(seg["sha256"]) == 64 for seg in inspected["segments"])
+
+        out = tmp_path / "slice.bin"
+        proc = self._run(
+            "restore", "-i", str(target), "-o", str(out),
+            "--offset", "3000", "--length", "1000", "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        partial = json.loads(proc.stdout)
+        assert out.read_bytes() == payload[3000:4000]
+        assert partial["segments_decoded"] < partial["segments_total"]
+
+    def test_mem_target_infers_the_memory_backend(self, tmp_path):
+        payload_path = tmp_path / "p.bin"
+        payload_path.write_bytes(b"x" * 256)
+        proc = self._run(
+            "archive", "-i", str(payload_path), "-o", "mem:cli-infer",
+            "--media", "test", "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["store"] == "memory"
+        assert not (REPO_ROOT / "mem:cli-infer").exists()
