@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-pipeline cli-smoke store-smoke hygiene golden
+.PHONY: test bench-smoke bench-pipeline bench-record bench-restore-latency \
+	cli-smoke store-smoke restore-smoke hygiene golden
 
 ## tier-1 test suite (the roadmap's verification command)
 test:
@@ -20,32 +21,50 @@ hygiene:
 	@echo "hygiene ok: no tracked *.pyc / __pycache__"
 
 ## store smoke test: archive -> inspect -> read_range on the container backend
+## (single shell + trap so .store-smoke is cleaned up even on failure)
 store-smoke:
-	rm -rf .store-smoke && mkdir .store-smoke
-	$(PYTHON) -c "open('.store-smoke/payload.bin','wb').write(b'ULE store smoke payload. '*400)"
+	@set -e; rm -rf .store-smoke; mkdir .store-smoke; \
+	trap 'rm -rf .store-smoke' EXIT; \
+	$(PYTHON) -c "open('.store-smoke/payload.bin','wb').write(b'ULE store smoke payload. '*400)"; \
 	$(PYTHON) -m repro archive -i .store-smoke/payload.bin -o .store-smoke/backup.ule \
-		--store container --media test --codec portable --segment-size 2048
+		--store container --media test --codec portable --segment-size 2048; \
 	$(PYTHON) -m repro inspect .store-smoke/backup.ule --json \
 		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
-		assert m['format_version']==2 and m['segments'], m"
+		assert m['format_version']==2 and m['segments'], m"; \
 	$(PYTHON) -m repro restore -i .store-smoke/backup.ule -o .store-smoke/slice.bin \
-		--offset 3000 --length 1000
+		--offset 3000 --length 1000; \
 	$(PYTHON) -c "want=(b'ULE store smoke payload. '*400)[3000:4000]; \
 	got=open('.store-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
-	rm -rf .store-smoke
 
 ## CLI smoke test: archive -> inspect -> restore a tiny payload bit-exactly
+## (single shell + trap so .cli-smoke is cleaned up even on failure)
 cli-smoke:
-	rm -rf .cli-smoke && mkdir .cli-smoke
-	$(PYTHON) -c "open('.cli-smoke/payload.bin','wb').write(b'ULE cli smoke payload. '*200)"
+	@set -e; rm -rf .cli-smoke; mkdir .cli-smoke; \
+	trap 'rm -rf .cli-smoke' EXIT; \
+	$(PYTHON) -c "open('.cli-smoke/payload.bin','wb').write(b'ULE cli smoke payload. '*200)"; \
 	$(PYTHON) -m repro archive -i .cli-smoke/payload.bin -o .cli-smoke/arch \
-		--media test --codec portable --segment-size 2048
-	$(PYTHON) -m repro inspect .cli-smoke/arch
+		--media test --codec portable --segment-size 2048; \
+	$(PYTHON) -m repro inspect .cli-smoke/arch; \
 	$(PYTHON) -m repro restore -i .cli-smoke/arch -o .cli-smoke/restored.bin \
-		--via-channel --seed 7
-	cmp .cli-smoke/payload.bin .cli-smoke/restored.bin
+		--via-channel --seed 7; \
+	cmp .cli-smoke/payload.bin .cli-smoke/restored.bin; \
 	$(PYTHON) -m repro profiles --json | $(PYTHON) -c "import json,sys; json.load(sys.stdin)"
-	rm -rf .cli-smoke
+
+## restore smoke: --via-channel through the streaming channel path, with
+## sub-segment parallel decode and readahead partial restore
+restore-smoke:
+	@set -e; rm -rf .restore-smoke; mkdir .restore-smoke; \
+	trap 'rm -rf .restore-smoke' EXIT; \
+	$(PYTHON) -c "open('.restore-smoke/payload.bin','wb').write(b'ULE restore smoke payload. '*300)"; \
+	$(PYTHON) -m repro archive -i .restore-smoke/payload.bin -o .restore-smoke/arch.ule \
+		--store container --media test --codec portable --segment-size 2048; \
+	$(PYTHON) -m repro restore -i .restore-smoke/arch.ule -o .restore-smoke/restored.bin \
+		--via-channel --seed 11 --executor thread:2 --decode-parallelism 2; \
+	cmp .restore-smoke/payload.bin .restore-smoke/restored.bin; \
+	$(PYTHON) -m repro restore -i .restore-smoke/arch.ule -o .restore-smoke/slice.bin \
+		--offset 1000 --length 2000 --readahead 2; \
+	$(PYTHON) -c "want=(b'ULE restore smoke payload. '*300)[1000:3000]; \
+	got=open('.restore-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
 
 ## quick pipeline benchmark used as a CI smoke check
 bench-smoke:
@@ -54,6 +73,17 @@ bench-smoke:
 ## full pipeline benchmark (one-shot vs streaming vs parallel, ~4 MiB payload)
 bench-pipeline:
 	$(PYTHON) benchmarks/bench_pipeline.py
+
+## restore-latency benchmark (sub-segment parallel decode + readahead)
+bench-restore-latency:
+	$(PYTHON) benchmarks/bench_restore_latency.py
+
+## record the benchmark trajectory: JSON measurements at the repo root,
+## uploaded as workflow artifacts by the CI bench-trajectory job
+bench-record:
+	$(PYTHON) benchmarks/bench_pipeline.py --smoke --json BENCH_pipeline.json
+	$(PYTHON) benchmarks/bench_store.py --json BENCH_store.json
+	$(PYTHON) benchmarks/bench_restore_latency.py --smoke --json BENCH_restore_latency.json
 
 ## regenerate the golden Bootstrap text after a deliberate decoder change
 golden:

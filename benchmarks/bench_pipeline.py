@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 import time
 import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
@@ -231,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--assert-speedup", action="store_true",
                         help="exit non-zero unless the best pipeline mode reaches "
                              ">= 2x the seed-baseline one-shot throughput")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON to PATH "
+                             "(the CI benchmark-trajectory artifact)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -254,11 +259,11 @@ def main(argv: list[str] | None = None) -> int:
     print("(py-heap peak: tracemalloc over the parent process; process-pool "
           "workers allocate in their own address spaces)")
 
-    ok, reconstructed, seconds = bench_segmented_restore(
+    ok, reconstructed, restore_seconds = bench_segmented_restore(
         payload[: min(payload_bytes, 2 * 1024 * 1024)], segment_size, args.codec
     )
     print(f"\nsegment-corrupted restore: bit-exact={ok}, "
-          f"outer-code groups reconstructed={reconstructed}, {seconds:.2f}s")
+          f"outer-code groups reconstructed={reconstructed}, {restore_seconds:.2f}s")
     if not ok:
         print("FAIL: corrupted-segment archive did not restore bit-exactly")
         return 1
@@ -273,6 +278,34 @@ def main(argv: list[str] | None = None) -> int:
           f"({parallel_mbps:.2f} vs {one_shot_mbps:.2f} MB/s)")
     print(f"best pipeline vs seed one-shot loops: {parallel_mbps / seed_mbps:.2f}x "
           f"({parallel_mbps:.2f} vs {seed_mbps:.2f} MB/s)")
+
+    if args.json:
+        report = {
+            "benchmark": "pipeline",
+            "smoke": bool(args.smoke),
+            "payload_bytes": payload_bytes,
+            "segment_size": segment_size,
+            "codec": args.codec,
+            "cpus_visible": os.cpu_count(),
+            "encode": {
+                mode: {
+                    "seconds": seconds,
+                    "mb_per_s": mbps,
+                    "py_heap_peak_bytes": peak,
+                }
+                for mode, (seconds, mbps, peak) in results.items()
+            },
+            "segmented_restore": {
+                "bit_exact": ok,
+                "groups_reconstructed": reconstructed,
+                "seconds": restore_seconds,
+            },
+            "speedup_vs_one_shot": speedup,
+            "speedup_vs_seed_loops": parallel_mbps / seed_mbps,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+
     if args.assert_speedup and parallel_mbps / seed_mbps < 2.0:
         print("FAIL: --assert-speedup requires >= 2.0x over the seed baseline")
         return 1

@@ -19,6 +19,7 @@ Run standalone (it is *not* collected by pytest)::
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import sys
 import tempfile
@@ -43,7 +44,7 @@ def timed(func):
     return result, time.perf_counter() - start
 
 
-def bench_write(payload: bytes, segment_size: int, workdir: Path) -> None:
+def bench_write(payload: bytes, segment_size: int, workdir: Path) -> dict:
     config = ArchiveConfig(media="test", codec="store", segment_size=segment_size)
     print(f"write: {len(payload) / 1e6:.2f} MB payload, segment_size={segment_size}")
 
@@ -54,6 +55,7 @@ def bench_write(payload: bytes, segment_size: int, workdir: Path) -> None:
     tracemalloc.stop()
     print(f"  collect=True (in-memory artefact)   peak {collected_peak / 1e6:8.1f} MB")
 
+    measurements: dict = {"collected_peak_bytes": collected_peak, "streaming": {}}
     targets = [
         ("directory", workdir / "arch-dir"),
         ("container", workdir / "arch.ule"),
@@ -70,9 +72,15 @@ def bench_write(payload: bytes, segment_size: int, workdir: Path) -> None:
         rate = len(payload) / 1e6 / elapsed
         print(f"  {store:<10} streaming (collect=False) peak {peak / 1e6:8.1f} MB  "
               f"{elapsed:6.2f} s  {rate:5.1f} MB/s")
+        measurements["streaming"][store] = {
+            "peak_bytes": peak,
+            "seconds": elapsed,
+            "mb_per_s": rate,
+        }
+    return measurements
 
 
-def bench_read(payload: bytes, workdir: Path, slice_bytes: int) -> None:
+def bench_read(payload: bytes, workdir: Path, slice_bytes: int) -> dict:
     target = workdir / "arch.ule"
     print(f"read: container archive, {slice_bytes}-byte random slices")
 
@@ -92,12 +100,23 @@ def bench_read(payload: bytes, workdir: Path, slice_bytes: int) -> None:
     frames = reader.frames_decoded / len(offsets)
     print(f"  read_range (avg)    {partial_time:6.2f} s  {frames:5.1f} frames decoded  "
           f"({full_time / max(partial_time, 1e-9):4.1f}x faster than full)")
+    return {
+        "full_restore_seconds": full_time,
+        "full_restore_frames": full_frames,
+        "slice_bytes": slice_bytes,
+        "read_range_avg_seconds": partial_time,
+        "read_range_avg_frames": frames,
+        "speedup_vs_full": full_time / max(partial_time, 1e-9),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (small payload, quick)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON to PATH "
+                             "(the CI benchmark-trajectory artifact)")
     args = parser.parse_args(argv)
 
     size = 64_000 if args.smoke else 1_000_000
@@ -107,11 +126,23 @@ def main(argv: list[str] | None = None) -> int:
 
     workdir = Path(tempfile.mkdtemp(prefix="bench-store-"))
     try:
-        bench_write(payload, segment_size, workdir)
-        bench_read(payload, workdir, slice_bytes)
+        write_results = bench_write(payload, segment_size, workdir)
+        read_results = bench_read(payload, workdir, slice_bytes)
     finally:
         MemoryBackend.discard("mem:bench-store")
         shutil.rmtree(workdir, ignore_errors=True)
+
+    if args.json:
+        report = {
+            "benchmark": "store",
+            "smoke": bool(args.smoke),
+            "payload_bytes": size,
+            "segment_size": segment_size,
+            "write": write_results,
+            "read": read_results,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -105,7 +105,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
 def _cmd_restore(args: argparse.Namespace) -> int:
     overrides = {}
-    for key in ("decode_mode", "executor", "distortion"):
+    for key in ("decode_mode", "executor", "distortion", "decode_parallelism", "readahead"):
         value = getattr(args, key, None)
         if value is not None:
             overrides[key] = value
@@ -299,9 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["python", "dynarisc", "nested"],
                          help="restoration fidelity (default: python)")
     restore.add_argument("--executor", help="executor spec for segmented decode")
+    restore.add_argument("--decode-parallelism", dest="decode_parallelism", type=int,
+                         help="sub-segment decode jobs per segment (default 1)")
+    restore.add_argument("--readahead", type=int,
+                         help="partial restore: segments of frames to prefetch "
+                              "from the backend while decoding (default 0)")
     restore.add_argument("--distortion", help="distortion profile for --via-channel")
     restore.add_argument("--via-channel", dest="via_channel", action="store_true",
-                         help="record/scan through the simulated medium first")
+                         help="record/scan through the simulated medium first "
+                              "(streams batch by batch through the executor)")
     restore.add_argument("--seed", type=int, help="scan seed for --via-channel")
     restore.add_argument("--json", action="store_true", help="machine-readable summary")
     restore.set_defaults(handler=_cmd_restore)

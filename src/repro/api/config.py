@@ -68,6 +68,18 @@ class ArchiveConfig:
     decode_mode:
         Restoration fidelity: ``"python"`` (reference decoders),
         ``"dynarisc"`` or ``"nested"`` (emulated decoders).
+    decode_parallelism:
+        Sub-segment restore parallelism: each segment's emblem-image
+        decoding is split into up to this many contiguous chunks mapped
+        through the executor, so even a single huge segment decodes in
+        parallel.  ``1`` (the default) keeps one decode job per segment.
+    readahead:
+        Partial-restore prefetch depth: during
+        :meth:`~repro.api.ArchiveReader.read_range` /
+        :meth:`~repro.api.ArchiveReader.restore_segment`, up to this many
+        segments' frames are fetched from the storage backend on background
+        threads while earlier segments decode.  ``0`` (the default) fetches
+        lazily inline.
     distortion:
         Optional distortion-profile name from
         :data:`repro.registry.distortions` overriding the channel's default
@@ -90,6 +102,8 @@ class ArchiveConfig:
     outer_code: bool = True
     segment_size: int | None = None
     decode_mode: str = "python"
+    decode_parallelism: int = 1
+    readahead: int = 0
     distortion: str | None = None
     scan_seed: int | None = None
     payload_kind: str = "binary"
@@ -130,6 +144,14 @@ class ArchiveConfig:
         if self.decode_mode not in DECODE_MODES:
             raise ConfigError(
                 f"decode_mode must be one of {DECODE_MODES}, got {self.decode_mode!r}"
+            )
+        if not isinstance(self.decode_parallelism, int) or self.decode_parallelism < 1:
+            raise ConfigError(
+                f"decode_parallelism must be an integer >= 1, got {self.decode_parallelism!r}"
+            )
+        if not isinstance(self.readahead, int) or self.readahead < 0:
+            raise ConfigError(
+                f"readahead must be an integer >= 0, got {self.readahead!r}"
             )
         if workers is None and ":" in self.executor:
             # "thread:" with an empty count normalises to the bare name.
@@ -234,4 +256,8 @@ class ArchiveConfig:
             parts.append(f"distortion={self.distortion}")
         if self.decode_mode != "python":
             parts.append(f"decode_mode={self.decode_mode}")
+        if self.decode_parallelism != 1:
+            parts.append(f"decode_parallelism={self.decode_parallelism}")
+        if self.readahead:
+            parts.append(f"readahead={self.readahead}")
         return " ".join(parts)

@@ -33,7 +33,14 @@ from repro.pipeline.pipeline import (
     RestorePipeline,
     build_system_artifacts,
 )
-from repro.store import BOOTSTRAP_NAME, ArchiveSource, load_archive, open_sink, open_source
+from repro.store import (
+    BOOTSTRAP_NAME,
+    ArchiveSource,
+    FramePrefetcher,
+    load_archive,
+    open_sink,
+    open_source,
+)
 
 __all__ = [
     "ArchiveWriter",
@@ -273,6 +280,7 @@ class ArchiveReader:
         *,
         source: ArchiveSource | None = None,
         on_segment: Callable[[SegmentRecord], None] | None = None,
+        via_channel: bool = False,
     ):
         if archive is None and source is None:
             raise ArchiveError("an ArchiveReader needs an archive artefact or a store source")
@@ -281,6 +289,10 @@ class ArchiveReader:
         self._manifest = archive.manifest if archive is not None else None
         self.config = config
         self.on_segment = on_segment
+        #: When true, :meth:`read` routes through the simulated record/scan
+        #: cycle (the streaming channel path) instead of reading the
+        #: artefact's pristine rasters directly.
+        self.via_channel = via_channel
         #: Partial-restore work counters (full ``read()`` reports its own
         #: statistics through the returned :class:`RestorationResult`).
         self.segments_decoded = 0
@@ -295,6 +307,7 @@ class ArchiveReader:
             profile=self._profile,
             decode_mode=config.decode_mode,
             executor=config.executor,
+            decode_parallelism=config.decode_parallelism,
         )
 
     # ------------------------------------------------------------------ #
@@ -328,14 +341,34 @@ class ArchiveReader:
 
     # ------------------------------------------------------------------ #
     def read(self) -> RestorationResult:
-        """Restore the whole payload from the archive artefact."""
+        """Restore the whole payload from the archive artefact.
+
+        Sessions opened with ``via_channel=True`` re-run the simulated
+        record/scan cycle (the streaming per-batch channel path) first.
+        """
+        if self.via_channel:
+            return self.read_via_channel()
         return self._engine.restore(self.archive)
 
-    def read_via_channel(self, seed: int | None = None) -> RestorationResult:
-        """Record on the configured medium, scan back, then restore."""
+    def read_via_channel(
+        self, seed: int | None = None, streaming: bool = True
+    ) -> RestorationResult:
+        """Record on the configured medium, scan back, then restore.
+
+        The channel simulation *streams*: each segment's frames are
+        recorded, scanned (per-frame seeded) and decoded as one job through
+        the configured executor, so step 7 parallelises and overlaps with
+        decoding instead of staging a whole-archive record/scan pass.
+        ``streaming=False`` selects the deprecated whole-frame pass.
+        """
         if seed is None:
             seed = self.config.scan_seed
-        return self._engine.restore_via_channel(self.archive, seed=seed)
+        return self._engine.restore_via_channel(
+            self.archive,
+            seed=seed,
+            streaming=streaming,
+            distortion=self.config.distortion,
+        )
 
     def read_from_scans(self, data_images, **kwargs) -> RestorationResult:
         """Restore from externally produced scans (engine pass-through)."""
@@ -349,25 +382,47 @@ class ArchiveReader:
     # Random-access restore
     # ------------------------------------------------------------------ #
     def _decode_records(self, records: list[SegmentRecord]) -> list[bytes]:
-        """Decode exactly ``records`` (in order), verifying every hash."""
+        """Decode exactly ``records`` (in order), verifying every hash.
+
+        With ``config.readahead`` > 0 and a store-backed session, up to that
+        many segments' frames are prefetched from the backend on background
+        threads while earlier segments decode — backend I/O overlaps MOCoder
+        decode instead of serialising in front of it.
+        """
         if self._partial_pipeline is None:
             from repro.pipeline.executors import get_executor
+            from repro.pipeline.pipeline import resolve_decode_executor
 
             # Passing an executor *instance* keeps the pool alive across
             # this session's partial reads (the pipeline only closes
             # executors it resolved from a name itself).
-            self._partial_executor = get_executor(self.config.executor)
+            self._partial_executor = get_executor(
+                resolve_decode_executor(
+                    self.config.executor, self.config.decode_parallelism
+                )
+            )
             self._partial_pipeline = RestorePipeline(
-                self._profile, executor=self._partial_executor
+                self._profile,
+                executor=self._partial_executor,
+                decode_parallelism=self.config.decode_parallelism,
             )
         pipeline = self._partial_pipeline
+        prefetcher = None
+        frames_for = self._frames
+        if self.config.readahead > 0 and self._archive is None:
+            prefetcher = FramePrefetcher(self._frames, records, self.config.readahead)
+            frames_for = prefetcher.frames_for
         parts: list[bytes] = []
-        for decoded in pipeline.iter_decode_selected(self.manifest, records, self._frames):
-            parts.append(decoded.payload)
-            self.segments_decoded += 1
-            self.frames_decoded += decoded.record.emblem_count
-            if self.on_segment is not None:
-                self.on_segment(decoded.record)
+        try:
+            for decoded in pipeline.iter_decode_selected(self.manifest, records, frames_for):
+                parts.append(decoded.payload)
+                self.segments_decoded += 1
+                self.frames_decoded += decoded.record.emblem_count
+                if self.on_segment is not None:
+                    self.on_segment(decoded.record)
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
         return parts
 
     def restore_segment(self, index: int) -> bytes:
@@ -494,9 +549,15 @@ def open_restore(
     *,
     store: str | None = None,
     on_segment: Callable[[SegmentRecord], None] | None = None,
+    via_channel: bool = False,
     **overrides,
 ) -> ArchiveReader:
     """Open a restoration session over an archive artefact or store target.
+
+    ``via_channel=True`` makes :meth:`ArchiveReader.read` re-run the
+    simulated record/scan cycle first, through the streaming per-batch
+    channel path (equivalent to calling
+    :meth:`~ArchiveReader.read_via_channel` explicitly).
 
     ``source`` may be an in-memory :class:`~repro.core.archive.
     MicrOlonysArchive`, an open :class:`~repro.store.ArchiveSource`, or a
@@ -536,7 +597,10 @@ def open_restore(
             )
     if overrides:
         config = config.replace(**overrides)
-    reader = ArchiveReader(archive, config, source=archive_source, on_segment=on_segment)
+    reader = ArchiveReader(
+        archive, config, source=archive_source, on_segment=on_segment,
+        via_channel=via_channel,
+    )
     reader._manifest = manifest
     return reader
 
@@ -587,31 +651,23 @@ def run_end_to_end(
         writer.write(payload)
     archive = writer.archive
 
-    # Step 7: the analog hop — record emblem rasters onto the medium, scan
-    # them back as (possibly degraded) images.
-    channel = config.channel()
-    data_frames = channel.record(archive.data_emblem_images)
-    system_frames = channel.record(archive.system_emblem_images)
-    data_scan = channel.scan(data_frames, seed=config.scan_seed)
-    system_scan = channel.scan(system_frames, seed=config.scan_seed)
-
+    # Step 7 + restoration: the analog hop now *streams* — each segment's
+    # frames are recorded onto the configured medium, scanned back (with
+    # batching-invariant per-frame seeding) and decoded as one job through
+    # the configured executor, instead of staging whole-archive record and
+    # scan passes.
     reader = open_restore(archive, config)
-    restoration = reader.read_from_scans(
-        data_scan.images,
-        system_images=system_scan.images,
-        bootstrap_text=archive.bootstrap_text,
-        payload_kind=archive.manifest.payload_kind,
-        manifest=archive.manifest,
-    )
+    restoration = reader.read_via_channel(seed=config.scan_seed)
     if restoration.payload != payload:
         raise RestorationError(
             "end-to-end restoration returned different bytes than were archived"
         )
+    manifest = archive.manifest
     return EndToEndResult(
         config=config,
         archive=archive,
         restoration=restoration,
-        frames_recorded=data_scan.frames_recorded + system_scan.frames_recorded,
-        channel_name=data_scan.channel_name,
+        frames_recorded=manifest.data_emblem_count + manifest.system_emblem_count,
+        channel_name=config.channel().name,
         notes=list(restoration.notes),
     )

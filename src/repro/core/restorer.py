@@ -39,7 +39,13 @@ from repro.dbms.dump import db_load
 from repro.dynarisc.emulator import DynaRiscEmulator
 from repro.mocoder.mocoder import DecodeReport, MOCoder
 from repro.nested import NestedDynaRiscMachine
-from repro.pipeline.pipeline import RestorePipeline, merge_reports
+from repro.pipeline.pipeline import (
+    ChannelSpec,
+    RestorePipeline,
+    _simulate_channel,
+    merge_reports,
+    resolve_decode_executor,
+)
 from repro.util.crc import crc32_of
 
 #: Valid values for ``decode_mode``.
@@ -81,8 +87,14 @@ class RestoreEngine:
     executor:
         Pipeline executor used for *segmented* archives — each segment's
         MOCoder decoding is independent, so ``"process"`` decodes segments
-        in parallel.  Single-segment (one-shot) archives always decode
-        inline.
+        in parallel — and for sub-segment chunk decoding when
+        ``decode_parallelism`` > 1.
+    decode_parallelism:
+        Sub-segment parallelism: each segment's (or a one-shot archive's)
+        emblem-image decoding is split into up to this many contiguous
+        chunks mapped through ``executor``, so a single huge segment no
+        longer serialises restore.  ``1`` keeps the historical
+        one-job-per-segment behaviour.
     """
 
     def __init__(
@@ -90,12 +102,14 @@ class RestoreEngine:
         profile: MediaProfile = TEST_PROFILE,
         decode_mode: str = "python",
         executor: str = "serial",
+        decode_parallelism: int = 1,
     ):
         if decode_mode not in DECODE_MODES:
             raise ValueError(f"decode_mode must be one of {DECODE_MODES}")
         self.profile = profile
         self.decode_mode = decode_mode
         self.executor = executor
+        self.decode_parallelism = max(1, int(decode_parallelism))
         self.mocoder = MOCoder(profile.spec)
 
     # ------------------------------------------------------------------ #
@@ -110,19 +124,78 @@ class RestoreEngine:
         )
 
     def restore_via_channel(
-        self, archive: MicrOlonysArchive, seed: int | None = None
+        self,
+        archive: MicrOlonysArchive,
+        seed: int | None = None,
+        streaming: bool = True,
+        distortion: str | None = None,
     ) -> RestorationResult:
-        """Record the archive on the profile's medium, scan it back, restore."""
-        channel = self.profile.channel()
-        data_scans = channel.roundtrip(archive.data_emblem_images, seed=seed)
-        system_scans = channel.roundtrip(archive.system_emblem_images, seed=seed)
-        return self.restore_from_scans(
-            data_images=data_scans,
-            system_images=system_scans,
+        """Record the archive on the profile's medium, scan it back, restore.
+
+        The default (``streaming=True``) runs step 7 the same way encode
+        streams: each segment's frames are recorded, scanned (with
+        batching-invariant per-frame seeding) and decoded as one executor
+        job, so channel simulation overlaps decoding and parallelises with
+        the configured executor instead of staging a whole-archive
+        record/scan pass.  ``distortion`` optionally names a registered
+        distortion profile override for the simulated scanner.
+
+        ``streaming=False`` is the deprecated whole-frame path: one RNG
+        threaded serially across every frame of the archive.  It restores
+        the same bytes, scan pixels differ.
+        """
+        if not streaming:
+            warnings.warn(
+                "restore_via_channel(streaming=False) re-runs the deprecated "
+                "whole-frame record/scan pass; the streaming per-batch channel "
+                "path is the default and parallelises with the executor",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        channel_spec = self._channel_spec(seed, distortion) if streaming else None
+        if channel_spec is None:
+            # Whole-frame pass: explicit opt-out, or a profile whose channel
+            # cannot be faithfully rebuilt by name inside executor workers
+            # (unregistered, or customised beyond what ``distortion`` names).
+            channel = self.profile.channel()
+            data_scans = channel.roundtrip(archive.data_emblem_images, seed=seed)
+            system_scans = channel.roundtrip(archive.system_emblem_images, seed=seed)
+            return self.restore_from_scans(
+                data_images=data_scans,
+                system_images=system_scans,
+                bootstrap_text=archive.bootstrap_text,
+                payload_kind=archive.manifest.payload_kind,
+                manifest=archive.manifest,
+            )
+        return self._restore(
+            data_images=archive.data_emblem_images,
+            system_images=archive.system_emblem_images,
             bootstrap_text=archive.bootstrap_text,
             payload_kind=archive.manifest.payload_kind,
             manifest=archive.manifest,
+            channel=channel_spec,
         )
+
+    def _channel_spec(self, seed: int | None, distortion: str | None) -> ChannelSpec | None:
+        """A picklable spec for this engine's channel, or ``None`` when the
+        profile cannot be faithfully rebuilt by name inside workers.
+
+        That is the case when the profile is not registered at all, or when
+        it carries a customised channel factory (e.g. a distortion override
+        baked in by ``ArchiveConfig.media_profile()``) that ``distortion``
+        does not name — streaming with the registry's default channel would
+        silently simulate a different medium, so those fall back to the
+        whole-frame pass, which uses ``profile.channel()`` directly.
+        """
+        from repro import registry  # local import: registry registers the built-ins
+
+        try:
+            registered = registry.get_media(self.profile.name)
+        except KeyError:
+            return None
+        if distortion is None and registered.channel_factory is not self.profile.channel_factory:
+            return None
+        return ChannelSpec(media=registered.name, distortion=distortion, seed=seed)
 
     # ------------------------------------------------------------------ #
     def restore_from_scans(
@@ -138,12 +211,33 @@ class RestoreEngine:
         When a ``manifest`` with more than one segment record is provided,
         step 5 runs per segment (independently, optionally in parallel via
         the configured ``executor``); otherwise the whole data stream is
-        decoded at once, exactly as before the pipeline existed.
+        decoded at once (still chunk-parallel when ``decode_parallelism``
+        > 1), exactly as before the pipeline existed.
 
         Raises
         ------
         RestorationError
             If the recovered stream fails any of its integrity checks.
+        """
+        return self._restore(
+            data_images, system_images, bootstrap_text, payload_kind, manifest, None
+        )
+
+    def _restore(
+        self,
+        data_images: list[np.ndarray],
+        system_images: list[np.ndarray] | None,
+        bootstrap_text: str | None,
+        payload_kind: str,
+        manifest: ArchiveManifest | None,
+        channel: ChannelSpec | None,
+    ) -> RestorationResult:
+        """Steps 1-6, optionally simulating the analog hop along the way.
+
+        With a :class:`~repro.pipeline.ChannelSpec`, the incoming images are
+        the *recorded-side* rasters: the system stream is recorded/scanned
+        here (lane 1 of the per-frame seed space) and the data stream is
+        recorded/scanned per batch inside the decode jobs (lane 0).
         """
         notes: list[str] = []
         emulator_steps = 0
@@ -155,6 +249,12 @@ class RestoreEngine:
                 f"bootstrap verified: {len(bootstrap.sections)} sections, "
                 f"{bootstrap.letter_count} letters, ~{bootstrap.page_count} pages"
             )
+
+        if channel is not None and system_images:
+            # The system stream is one short whole stream; simulate its hop
+            # inline — through the same ChannelSpec-built channel as the
+            # data jobs — on a seed lane disjoint from every data frame's.
+            system_images = _simulate_channel(system_images, channel, 0, lane=1)
 
         # Step 4: recover the archived DBCoder decoder from the system emblems.
         system_report = None
@@ -183,9 +283,13 @@ class RestoreEngine:
                 )
         if manifest is not None and len(manifest.segments) > 1:
             payload, data_report, emulator_steps = self._restore_segmented(
-                manifest, data_images, decoder_code, notes
+                manifest, data_images, decoder_code, notes, channel=channel
             )
         else:
+            if channel is not None:
+                # One-shot archive: a single batch, scanned with the same
+                # per-frame seed derivation the segmented jobs use.
+                data_images = _simulate_channel(data_images, channel, 0)
             payload, data_report, emulator_steps = self._restore_whole_stream(
                 data_images, decoder_code, notes, codec_name=codec_name
             )
@@ -216,8 +320,17 @@ class RestoreEngine:
         notes: list[str],
         codec_name: str | None = None,
     ) -> tuple[bytes, DecodeReport, int]:
-        """Steps 5a-5b over the whole data stream (one-shot archives)."""
-        container, data_report = self.mocoder.decode(data_images)
+        """Steps 5a-5b over the whole data stream (one-shot archives).
+
+        ``decode_parallelism`` > 1 splits the per-image emblem decoding into
+        chunks mapped through the configured executor — the one-shot (single
+        huge segment) case the sub-segment parallelism exists for.
+        """
+        container, data_report = self.mocoder.decode(
+            data_images,
+            parallelism=self.decode_parallelism,
+            executor=resolve_decode_executor(self.executor, self.decode_parallelism),
+        )
         if codec_name is not None:
             from repro import registry
 
@@ -261,9 +374,20 @@ class RestoreEngine:
         data_images: list[np.ndarray],
         decoder_code: bytes | None,
         notes: list[str],
+        channel: ChannelSpec | None = None,
     ) -> tuple[bytes, DecodeReport, int]:
-        """Steps 5a-5b per segment, via the restore pipeline."""
-        pipeline = RestorePipeline(self.profile, executor=self.executor)
+        """Steps 5a-5b per segment, via the restore pipeline.
+
+        With a ``channel``, each decode job records/scans its segment's
+        frames through the simulated medium first (streaming channel
+        simulation).
+        """
+        pipeline = RestorePipeline(
+            self.profile,
+            executor=self.executor,
+            channel=channel,
+            decode_parallelism=self.decode_parallelism,
+        )
         emulator_steps = 0
         if self.decode_mode == "python" or decoder_code is None:
             if self.decode_mode != "python":
@@ -275,6 +399,11 @@ class RestoreEngine:
                 f"{len(records)} segments decoded independently "
                 f"(executor: {self.executor})"
             )
+            if channel is not None:
+                notes.append(
+                    f"channel simulated per batch over {channel.media} "
+                    f"(streaming record/scan, seed={channel.seed})"
+                )
             return payload, data_report, emulator_steps
 
         # Emulated modes: the pipeline decodes each segment down to its

@@ -100,17 +100,47 @@ class MediaChannel:
     # ------------------------------------------------------------------ #
     # Scanning
     # ------------------------------------------------------------------ #
+    def _scan_one(self, frame: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Read one frame back as a degraded scan, drawing noise from ``rng``."""
+        scan = frame
+        if self.scan_scale != 1.0:
+            scan = ndimage.zoom(frame.astype(np.float64), self.scan_scale, order=1)
+            scan = np.clip(scan, 0, 255).astype(np.uint8)
+        return self.distortion.apply(scan, rng)
+
     def scan(self, frames: list[np.ndarray], seed: int | None = None) -> ScanOutcome:
-        """Read frames back as degraded scans."""
+        """Read frames back as degraded scans (one RNG threaded across frames).
+
+        This is the whole-archive path: every frame draws from the *same*
+        generator, so the outcome depends on scanning all frames in one call,
+        in order.  Streaming restores use :meth:`scan_frames`, whose
+        per-frame seed derivation is batching- and order-independent.
+        """
         rng = deterministic_rng(seed if seed is not None else self.distortion.seed)
-        scans = []
-        for frame in frames:
-            scan = frame
-            if self.scan_scale != 1.0:
-                scan = ndimage.zoom(frame.astype(np.float64), self.scan_scale, order=1)
-                scan = np.clip(scan, 0, 255).astype(np.uint8)
-            scan = self.distortion.apply(scan, rng)
-            scans.append(scan)
+        scans = [self._scan_one(frame, rng) for frame in frames]
+        return ScanOutcome(images=scans, channel_name=self.name, frames_recorded=len(frames))
+
+    def scan_frames(
+        self,
+        frames: list[np.ndarray],
+        seed: int | None = None,
+        start_index: int = 0,
+        lane: int = 0,
+    ) -> ScanOutcome:
+        """Read frames back with *per-frame* seeding (the streaming path).
+
+        Frame ``i`` of the batch draws from an independent RNG stream derived
+        from ``(seed, lane, start_index + i)``, so scanning an archive in any
+        batching — whole, per segment, per frame, serially or in parallel —
+        produces pixel-identical results for a given seed.  ``lane``
+        separates the data and system emblem streams of one archive so they
+        never share a frame's noise stream.
+        """
+        base = seed if seed is not None else self.distortion.seed
+        scans = [
+            self._scan_one(frame, deterministic_rng((base, lane, start_index + index)))
+            for index, frame in enumerate(frames)
+        ]
         return ScanOutcome(images=scans, channel_name=self.name, frames_recorded=len(frames))
 
     def roundtrip(self, images: list[np.ndarray], seed: int | None = None) -> list[np.ndarray]:

@@ -246,6 +246,19 @@ class DNAEmblemChannel(MediaChannel):
             pools.append(self.dna.synthesize(header + np.packbits(bits).tobytes()))
         return pools
 
+    def _scan_pool(self, index: int, pool: list[str], frame_seed: int | None) -> np.ndarray:
+        """Sequence one strand pool and reassemble its emblem raster."""
+        raw = self.dna.assemble(self.dna.sequence(pool, seed=frame_seed))
+        if len(raw) < self._SHAPE_HEADER_BYTES:
+            raise MediaError(f"frame {index}: reassembled pool is missing its shape header")
+        height = int.from_bytes(raw[0:4], "little")
+        width = int.from_bytes(raw[4:8], "little")
+        bits = np.unpackbits(
+            np.frombuffer(raw[self._SHAPE_HEADER_BYTES:], dtype=np.uint8),
+            count=height * width,
+        ).reshape(height, width)
+        return np.where(bits == 1, 0, 255).astype(np.uint8)
+
     def scan(self, frames: list[list[str]], seed: int | None = None) -> ScanOutcome:
         """Sequence each pool and reassemble the emblem rasters.
 
@@ -258,14 +271,30 @@ class DNAEmblemChannel(MediaChannel):
         images: list[np.ndarray] = []
         for index, pool in enumerate(frames):
             frame_seed = None if base_seed is None else base_seed + 9973 * index
-            raw = self.dna.assemble(self.dna.sequence(pool, seed=frame_seed))
-            if len(raw) < self._SHAPE_HEADER_BYTES:
-                raise MediaError(f"frame {index}: reassembled pool is missing its shape header")
-            height = int.from_bytes(raw[0:4], "little")
-            width = int.from_bytes(raw[4:8], "little")
-            bits = np.unpackbits(
-                np.frombuffer(raw[self._SHAPE_HEADER_BYTES:], dtype=np.uint8),
-                count=height * width,
-            ).reshape(height, width)
-            images.append(np.where(bits == 1, 0, 255).astype(np.uint8))
+            images.append(self._scan_pool(index, pool, frame_seed))
+        return ScanOutcome(images=images, channel_name=self.name, frames_recorded=len(frames))
+
+    def scan_frames(
+        self,
+        frames: list[list[str]],
+        seed: int | None = None,
+        start_index: int = 0,
+        lane: int = 0,
+    ) -> ScanOutcome:
+        """Per-frame-seeded sequencing: the streaming counterpart of :meth:`scan`.
+
+        The sequencing seed depends only on the frame's *global* index (and
+        lane), so batching and parallel scanning are outcome-invariant —
+        the same contract as :meth:`MediaChannel.scan_frames`.
+        """
+        base_seed = seed if seed is not None else self.dna.seed
+        images: list[np.ndarray] = []
+        for index, pool in enumerate(frames):
+            global_index = start_index + index
+            frame_seed = (
+                None
+                if base_seed is None
+                else base_seed + 9973 * global_index + 1_000_003 * lane
+            )
+            images.append(self._scan_pool(global_index, pool, frame_seed))
         return ScanOutcome(images=images, channel_name=self.name, frames_recorded=len(frames))

@@ -153,12 +153,51 @@ class MOCoder:
     # ------------------------------------------------------------------ #
     # Decoding
     # ------------------------------------------------------------------ #
-    def decode(self, images: list[np.ndarray]) -> tuple[bytes, DecodeReport]:
+    def decode_images(
+        self,
+        images: list[np.ndarray],
+        report: DecodeReport,
+        image_offset: int = 0,
+    ) -> dict[int, Emblem]:
+        """Decode scanned images to emblems, recording statistics in ``report``.
+
+        This is the per-image half of :meth:`decode` — every image is
+        independent, so callers may split an emblem stream into contiguous
+        chunks and run this over each chunk in parallel (``image_offset``
+        keeps failure messages numbered by the original scan position), then
+        merge the returned ``{emblem index: emblem}`` maps and finish with
+        :meth:`assemble`.
+        """
+        decoded: dict[int, Emblem] = {}
+        for image_index, image in enumerate(images):
+            try:
+                emblem, corrections = Emblem.from_image(self.spec, image)
+            except MOCoderError as error:
+                report.emblems_failed += 1
+                report.failures.append(f"emblem image {image_offset + image_index}: {error}")
+                continue
+            report.emblems_decoded += 1
+            report.rs_corrections += corrections
+            decoded[emblem.header.index] = emblem
+        return decoded
+
+    def decode(
+        self,
+        images: list[np.ndarray],
+        parallelism: int = 1,
+        executor: "str | object | None" = None,
+    ) -> tuple[bytes, DecodeReport]:
         """Recover the byte stream from scanned emblem images.
 
         Emblems may arrive in any order; missing or unreadable emblems are
         reconstructed from the outer code when no more than three emblems of
         any group of twenty are lost.
+
+        ``parallelism`` > 1 splits the per-image decoding (the RS-heavy hot
+        path) into that many contiguous chunks and maps them through
+        ``executor`` (an executor spec or instance; defaults to a thread pool
+        of ``parallelism`` workers) before the serial group reassembly —
+        byte-identical to the serial decode for any chunking.
 
         Raises
         ------
@@ -168,17 +207,57 @@ class MOCoder:
             If the reassembled stream fails its CRC-32 check.
         """
         report = DecodeReport(emblems_seen=len(images))
+        if parallelism > 1 and len(images) > 1:
+            decoded = self._decode_images_parallel(images, report, parallelism, executor)
+        else:
+            decoded = self.decode_images(images, report)
+        return self.assemble(decoded, report)
+
+    def _decode_images_parallel(
+        self,
+        images: list[np.ndarray],
+        report: DecodeReport,
+        parallelism: int,
+        executor: "str | object | None",
+    ) -> dict[int, Emblem]:
+        """Map :meth:`decode_images` over contiguous chunks via an executor."""
+        from repro.pipeline.executors import SegmentExecutor, get_executor
+
+        if executor is None:
+            executor = f"thread:{parallelism}"
+        resolved = get_executor(executor)
+        owns = not isinstance(executor, SegmentExecutor)
+        jobs = [
+            _ImageChunkJob(
+                spec=self.spec,
+                outer_code=self.outer_code_enabled,
+                image_offset=start,
+                images=images[start:end],
+            )
+            for start, end in chunk_bounds(len(images), parallelism)
+        ]
         decoded: dict[int, Emblem] = {}
-        for image_index, image in enumerate(images):
-            try:
-                emblem, corrections = Emblem.from_image(self.spec, image)
-            except MOCoderError as error:
-                report.emblems_failed += 1
-                report.failures.append(f"emblem image {image_index}: {error}")
-                continue
-            report.emblems_decoded += 1
-            report.rs_corrections += corrections
-            decoded[emblem.header.index] = emblem
+        try:
+            for chunk_decoded, chunk_report in resolved.map_ordered(
+                _decode_image_chunk_job, iter(jobs)
+            ):
+                decoded.update(chunk_decoded)
+                report.emblems_decoded += chunk_report.emblems_decoded
+                report.emblems_failed += chunk_report.emblems_failed
+                report.rs_corrections += chunk_report.rs_corrections
+                report.failures.extend(chunk_report.failures)
+        finally:
+            if owns:
+                resolved.close()
+        return decoded
+
+    def assemble(self, decoded: dict[int, Emblem], report: DecodeReport) -> tuple[bytes, DecodeReport]:
+        """Reassemble the byte stream from decoded emblems (the serial half).
+
+        ``decoded`` maps emblem index -> emblem, as produced by one or more
+        :meth:`decode_images` calls; ``report`` carries their merged
+        statistics and receives the reconstruction tallies.
+        """
         if not decoded:
             raise MissingEmblemError("no emblem could be decoded from the provided scans")
 
@@ -251,3 +330,41 @@ class MOCoder:
                 payload = slots[slot].payload if slot in slots else recovered[slot][:expected]
                 chunks.append(payload)
         return chunks
+
+
+# --------------------------------------------------------------------------- #
+# Sub-stream parallel decode plumbing (module-level so process pools pickle it)
+# --------------------------------------------------------------------------- #
+def chunk_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``count`` items into at most ``parts`` contiguous (start, end) runs.
+
+    Runs differ in length by at most one and never come back empty, so the
+    split is deterministic and every item lands in exactly one run.
+    """
+    parts = max(1, min(parts, count)) if count else 1
+    base, extra = divmod(count, parts)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        end = start + base + (1 if index < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+@dataclass(frozen=True)
+class _ImageChunkJob:
+    """One contiguous slice of a stream's scans, decodable independently."""
+
+    spec: EmblemSpec
+    outer_code: bool
+    image_offset: int
+    images: list
+
+
+def _decode_image_chunk_job(job: _ImageChunkJob) -> tuple[dict[int, Emblem], DecodeReport]:
+    """Decode one image chunk to emblems (runs inside an executor worker)."""
+    mocoder = MOCoder(job.spec, outer_code=job.outer_code)
+    report = DecodeReport(emblems_seen=len(job.images))
+    decoded = mocoder.decode_images(list(job.images), report, image_offset=job.image_offset)
+    return decoded, report

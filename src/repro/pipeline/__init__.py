@@ -18,21 +18,25 @@ from repro.pipeline.executors import (
 )
 from repro.pipeline.pipeline import (
     ArchivePipeline,
+    ChannelSpec,
     DecodedSegment,
     EncodedSegment,
     RestorePipeline,
     build_system_artifacts,
     merge_reports,
+    resolve_decode_executor,
 )
 from repro.pipeline.segmenter import DEFAULT_SEGMENT_SIZE, Segment, iter_segments, segment_count
 
 __all__ = [
     "ArchivePipeline",
+    "ChannelSpec",
     "RestorePipeline",
     "EncodedSegment",
     "DecodedSegment",
     "build_system_artifacts",
     "merge_reports",
+    "resolve_decode_executor",
     "SegmentExecutor",
     "SerialExecutor",
     "ThreadPoolSegmentExecutor",

@@ -37,7 +37,7 @@ from repro.dbcoder.dbcoder import Profile
 from repro.dynarisc.programs import get_program
 from repro.errors import RestorationError
 from repro.mocoder.emblem import EmblemKind, EmblemSpec
-from repro.mocoder.mocoder import DecodeReport, MOCoder
+from repro.mocoder.mocoder import DecodeReport, Emblem, MOCoder, chunk_bounds
 from repro.nested import dynarisc_emulator_image
 from repro.pipeline.executors import SegmentExecutor, get_executor
 from repro.pipeline.segmenter import (
@@ -49,11 +49,74 @@ from repro.util.crc import crc32_of
 
 __all__ = [
     "ArchivePipeline",
+    "ChannelSpec",
     "RestorePipeline",
     "EncodedSegment",
     "DecodedSegment",
     "build_system_artifacts",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Streaming channel simulation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Picklable description of the simulated analog hop (step 7).
+
+    Decode jobs that carry a ``ChannelSpec`` *record* their segment's emblem
+    rasters onto the named medium and *scan* them back (with per-frame
+    seeding, see :meth:`repro.media.channel.MediaChannel.scan_frames`) before
+    decoding — the channel simulation streams batch by batch through the
+    executor instead of staging a whole-archive record/scan pass.  Everything
+    is named through :mod:`repro.registry` so the spec pickles into
+    process-pool workers.
+    """
+
+    #: Media profile registry name (the channel factory).
+    media: str
+    #: Optional distortion-profile registry name overriding the channel default.
+    distortion: str | None = None
+    #: Base scan seed; per-frame streams derive from (seed, lane, frame index).
+    seed: int | None = None
+
+    def build_channel(self):
+        """Instantiate the named channel (the single construction point —
+        callers on the consumer thread and in executor workers alike must
+        build channels here so every lane simulates the same medium)."""
+        from repro import registry  # deferred: registry imports this package
+
+        channel = registry.get_media(self.media).channel()
+        if self.distortion is not None:
+            channel.distortion = registry.get_distortion(self.distortion)
+        return channel
+
+
+def _simulate_channel(
+    images: list, channel_spec: ChannelSpec, frame_start: int, lane: int = 0
+) -> list:
+    """Record ``images`` onto the simulated medium and scan them back."""
+    channel = channel_spec.build_channel()
+    frames = channel.record(list(images))
+    return channel.scan_frames(
+        frames, seed=channel_spec.seed, start_index=frame_start, lane=lane
+    ).images
+
+
+def resolve_decode_executor(
+    executor: "str | SegmentExecutor | None", decode_parallelism: int
+) -> "str | SegmentExecutor | None":
+    """The executor sub-segment decoding should actually run on.
+
+    ``decode_parallelism`` > 1 over the default ``"serial"`` executor would
+    be a silent no-op (chunks would still decode one after another), so the
+    combination upgrades to a thread pool sized to the parallelism.  Any
+    explicit executor choice — another name, a ``name:N`` spec, or an
+    instance — is respected as given.
+    """
+    if decode_parallelism > 1 and (executor is None or executor == "serial"):
+        return f"thread:{decode_parallelism}"
+    return executor
 
 
 # --------------------------------------------------------------------------- #
@@ -110,6 +173,9 @@ class _DecodeJob:
     #: Codec registry name from the archive manifest (``"PORTABLE"`` and
     #: friends resolve case-insensitively to the built-ins).
     codec: str = "portable"
+    #: When set, the job records/scans its images through the simulated
+    #: medium before decoding (streaming channel simulation).
+    channel: ChannelSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -120,31 +186,85 @@ class _DecodeResult:
     report: DecodeReport
 
 
+def _verify_segment_payload(record: SegmentRecord, payload: bytes) -> None:
+    """Check one restored segment against its manifest record."""
+    if len(payload) != record.length or crc32_of(payload) != record.crc32:
+        raise RestorationError(
+            f"segment {record.index}: restored bytes do not match the "
+            "manifest's segment length/CRC"
+        )
+    # v2 manifests additionally pin a SHA-256 over the segment payload.
+    if (
+        record.sha256 is not None
+        and hashlib.sha256(payload).hexdigest() != record.sha256
+    ):
+        raise RestorationError(
+            f"segment {record.index}: restored bytes do not match the "
+            "manifest's segment SHA-256 content hash"
+        )
+
+
 def _decode_segment_job(job: _DecodeJob) -> _DecodeResult:
     """Step 5 for one segment: scanned rasters -> container (-> payload)."""
     from repro import registry  # deferred: registry imports this package
 
+    images = list(job.images)
+    if job.channel is not None:
+        images = _simulate_channel(images, job.channel, job.record.emblem_start)
     mocoder = MOCoder(job.spec)
-    container, report = mocoder.decode(list(job.images))
+    container, report = mocoder.decode(images)
     payload = None
     if job.decode_payload:
         payload = registry.get_codec(job.codec).decode(container)
-        if len(payload) != job.record.length or crc32_of(payload) != job.record.crc32:
-            raise RestorationError(
-                f"segment {job.record.index}: restored bytes do not match the "
-                "manifest's segment length/CRC"
-            )
-        # v2 manifests additionally pin a SHA-256 over the segment payload.
-        if (
-            job.record.sha256 is not None
-            and hashlib.sha256(payload).hexdigest() != job.record.sha256
-        ):
-            raise RestorationError(
-                f"segment {job.record.index}: restored bytes do not match the "
-                "manifest's segment SHA-256 content hash"
-            )
+        _verify_segment_payload(job.record, payload)
     return _DecodeResult(
         record=job.record, payload=payload, container=container, report=report
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sub-segment decode jobs: one segment's scans split into contiguous chunks so
+# a single huge segment no longer serialises restore (decode_parallelism > 1).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _SegmentChunkJob:
+    spec: EmblemSpec
+    record: SegmentRecord
+    #: 0-based position of this chunk within its segment, and the total
+    #: chunk count — the consumer regroups on these (map_ordered keeps all
+    #: of one segment's chunks consecutive).
+    chunk_index: int
+    chunk_count: int
+    #: Index of ``images[0]`` within the segment's emblem run.
+    chunk_start: int
+    images: list
+    channel: ChannelSpec | None = None
+
+
+@dataclass(frozen=True)
+class _SegmentChunkResult:
+    record: SegmentRecord
+    chunk_index: int
+    chunk_count: int
+    emblems: list
+    report: DecodeReport
+
+
+def _decode_segment_chunk_job(job: _SegmentChunkJob) -> _SegmentChunkResult:
+    """Channel-simulate (optionally) and emblem-decode one chunk of scans."""
+    images = list(job.images)
+    frame_start = job.record.emblem_start + job.chunk_start
+    if job.channel is not None:
+        images = _simulate_channel(images, job.channel, frame_start)
+    mocoder = MOCoder(job.spec)
+    report = DecodeReport(emblems_seen=len(images))
+    decoded = mocoder.decode_images(images, report, image_offset=job.chunk_start)
+    return _SegmentChunkResult(
+        record=job.record,
+        chunk_index=job.chunk_index,
+        chunk_count=job.chunk_count,
+        emblems=list(decoded.values()),
+        report=report,
     )
 
 
@@ -376,25 +496,48 @@ class _CrcTally:
 # Restoration
 # --------------------------------------------------------------------------- #
 class RestorePipeline:
-    """Per-segment restoration: scanned emblem rasters -> payload bytes."""
+    """Per-segment restoration: scanned emblem rasters -> payload bytes.
+
+    Parameters
+    ----------
+    profile:
+        Media profile whose emblem spec the scans were produced with.
+    executor:
+        Executor spec or instance mapping the per-segment (or per-chunk)
+        decode jobs.
+    channel:
+        Optional :class:`ChannelSpec`.  When set, every decode job *records*
+        its emblem rasters onto the named medium and *scans* them back
+        (per-frame seeded) before decoding — streaming channel simulation,
+        batch by batch through the executor, replacing the historical
+        whole-archive record/scan pass.
+    decode_parallelism:
+        Sub-segment parallelism: when > 1, each segment's scans are split
+        into up to that many contiguous chunks decoded as independent
+        executor jobs (the serial group reassembly runs on the consuming
+        thread), so one huge segment no longer bounds restore latency.
+    """
 
     def __init__(
         self,
         profile: MediaProfile = TEST_PROFILE,
         executor: str | SegmentExecutor = "serial",
+        channel: ChannelSpec | None = None,
+        decode_parallelism: int = 1,
     ):
         self.profile = profile
-        self.executor = executor
-        self._owns_executor = not isinstance(executor, SegmentExecutor)
+        self.decode_parallelism = max(1, int(decode_parallelism))
+        self.executor = resolve_decode_executor(executor, self.decode_parallelism)
+        self.channel = channel
+        self._owns_executor = not isinstance(self.executor, SegmentExecutor)
 
     # ------------------------------------------------------------------ #
-    def _iter_jobs(
-        self,
-        manifest: ArchiveManifest,
-        data_images: list[np.ndarray],
-        decode_payload: bool,
-    ) -> Iterator[_DecodeJob]:
-        for record in manifest.segments:
+    def _frames_from_list(
+        self, data_images: list[np.ndarray]
+    ) -> "Callable[[SegmentRecord], list[np.ndarray]]":
+        """A frame provider slicing a fully materialised scan list."""
+
+        def frames_for(record: SegmentRecord) -> list[np.ndarray]:
             end = record.emblem_start + record.emblem_count
             if end > len(data_images):
                 raise RestorationError(
@@ -404,29 +547,131 @@ class RestorePipeline:
                     "restore needs one scan per recorded frame (damaged "
                     "frames may be blank, but not absent)"
                 )
-            yield _DecodeJob(
-                spec=self.profile.spec,
-                record=record,
-                images=data_images[record.emblem_start:end],
-                decode_payload=decode_payload,
-                codec=manifest.dbcoder_profile or "portable",
-            )
+            return data_images[record.emblem_start:end]
 
+        return frames_for
+
+    def _iter_results(
+        self,
+        manifest: ArchiveManifest,
+        records: Iterable[SegmentRecord],
+        frames_for: "Callable[[SegmentRecord], list[np.ndarray]]",
+        decode_payload: bool,
+    ) -> Iterator[_DecodeResult]:
+        """Decode ``records`` in order through the executor.
+
+        ``frames_for`` is called lazily (inside the executor's bounded
+        submission window) with one record at a time, so a storage-backed
+        caller only ever pulls the frames of the segments actually being
+        decoded.
+        """
+        codec = manifest.dbcoder_profile or "portable"
+        if self.decode_parallelism > 1:
+            yield from self._iter_results_chunked(codec, records, frames_for, decode_payload)
+            return
+        executor = get_executor(self.executor)
+
+        def jobs() -> Iterator[_DecodeJob]:
+            for record in records:
+                yield _DecodeJob(
+                    spec=self.profile.spec,
+                    record=record,
+                    images=frames_for(record),
+                    decode_payload=decode_payload,
+                    codec=codec,
+                    channel=self.channel,
+                )
+
+        try:
+            yield from executor.map_ordered(_decode_segment_job, jobs())
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    # ------------------------------------------------------------------ #
+    # Sub-segment (chunked) decode
+    # ------------------------------------------------------------------ #
+    def _chunk_jobs(
+        self,
+        records: Iterable[SegmentRecord],
+        frames_for: "Callable[[SegmentRecord], list[np.ndarray]]",
+    ) -> Iterator[_SegmentChunkJob]:
+        for record in records:
+            images = frames_for(record)
+            bounds = chunk_bounds(len(images), self.decode_parallelism)
+            for chunk_index, (start, end) in enumerate(bounds):
+                yield _SegmentChunkJob(
+                    spec=self.profile.spec,
+                    record=record,
+                    chunk_index=chunk_index,
+                    chunk_count=len(bounds),
+                    chunk_start=start,
+                    images=images[start:end],
+                    channel=self.channel,
+                )
+
+    def _finish_chunked_segment(
+        self, chunks: list[_SegmentChunkResult], codec: str, decode_payload: bool
+    ) -> _DecodeResult:
+        """Serial tail of one segment's chunked decode: assemble and verify."""
+        from repro import registry  # deferred: registry imports this package
+
+        record = chunks[0].record
+        decoded: dict[int, Emblem] = {}
+        for chunk in chunks:
+            for emblem in chunk.emblems:
+                decoded[emblem.header.index] = emblem
+        report = merge_reports(chunk.report for chunk in chunks)
+        mocoder = MOCoder(self.profile.spec)
+        container, report = mocoder.assemble(decoded, report)
+        payload = None
+        if decode_payload:
+            payload = registry.get_codec(codec).decode(container)
+            _verify_segment_payload(record, payload)
+        return _DecodeResult(
+            record=record, payload=payload, container=container, report=report
+        )
+
+    def _iter_results_chunked(
+        self,
+        codec: str,
+        records: Iterable[SegmentRecord],
+        frames_for: "Callable[[SegmentRecord], list[np.ndarray]]",
+        decode_payload: bool,
+    ) -> Iterator[_DecodeResult]:
+        """Chunked decode: ``decode_parallelism`` jobs per segment.
+
+        ``map_ordered`` preserves submission order, so all chunks of one
+        segment arrive consecutively; each segment finishes (group
+        reassembly, codec decode, hash verification) on the consuming thread
+        as soon as its last chunk lands, while later chunks keep decoding in
+        the executor.
+        """
+        executor = get_executor(self.executor)
+        pending: list[_SegmentChunkResult] = []
+        try:
+            for chunk in executor.map_ordered(
+                _decode_segment_chunk_job, self._chunk_jobs(records, frames_for)
+            ):
+                pending.append(chunk)
+                if len(pending) == chunk.chunk_count:
+                    yield self._finish_chunked_segment(pending, codec, decode_payload)
+                    pending = []
+        finally:
+            if self._owns_executor:
+                executor.close()
+
+    # ------------------------------------------------------------------ #
     def iter_decode(
         self, manifest: ArchiveManifest, data_images: list[np.ndarray]
     ) -> Iterator[DecodedSegment]:
         """Decode each segment independently, in payload order."""
-        executor = get_executor(self.executor)
-        try:
-            for result in executor.map_ordered(
-                _decode_segment_job, self._iter_jobs(manifest, data_images, True)
-            ):
-                yield DecodedSegment(
-                    record=result.record, payload=result.payload, report=result.report
-                )
-        finally:
-            if self._owns_executor:
-                executor.close()
+        for result in self._iter_results(
+            manifest, manifest.segments, self._frames_from_list(data_images), True
+        ):
+            yield DecodedSegment(
+                record=result.record, payload=result.payload, report=result.report
+            )
 
     def iter_decode_selected(
         self,
@@ -443,26 +688,10 @@ class RestorePipeline:
         one record at a time, so a storage-backed reader only ever pulls the
         frames of the segments actually being decoded.
         """
-        executor = get_executor(self.executor)
-
-        def jobs() -> Iterator[_DecodeJob]:
-            for record in records:
-                yield _DecodeJob(
-                    spec=self.profile.spec,
-                    record=record,
-                    images=frames_for(record),
-                    decode_payload=True,
-                    codec=manifest.dbcoder_profile or "portable",
-                )
-
-        try:
-            for result in executor.map_ordered(_decode_segment_job, jobs()):
-                yield DecodedSegment(
-                    record=result.record, payload=result.payload, report=result.report
-                )
-        finally:
-            if self._owns_executor:
-                executor.close()
+        for result in self._iter_results(manifest, records, frames_for, True):
+            yield DecodedSegment(
+                record=result.record, payload=result.payload, report=result.report
+            )
 
     def iter_decode_containers(
         self, manifest: ArchiveManifest, data_images: list[np.ndarray]
@@ -472,15 +701,10 @@ class RestorePipeline:
         Used by the emulated restoration modes, where the database-layout
         decoding runs under DynaRisc/VeRisc in the caller's control.
         """
-        executor = get_executor(self.executor)
-        try:
-            for result in executor.map_ordered(
-                _decode_segment_job, self._iter_jobs(manifest, data_images, False)
-            ):
-                yield result.record, result.container, result.report
-        finally:
-            if self._owns_executor:
-                executor.close()
+        for result in self._iter_results(
+            manifest, manifest.segments, self._frames_from_list(data_images), False
+        ):
+            yield result.record, result.container, result.report
 
     # ------------------------------------------------------------------ #
     def restore_payload(

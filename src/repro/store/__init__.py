@@ -34,10 +34,12 @@ from repro.store.backends import (
     StorageBackend,
 )
 from repro.store.manifest import MANIFEST_FORMAT_VERSION, upgrade_manifest_fields
+from repro.store.prefetch import FramePrefetcher
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
     "ArchiveSink",
+    "FramePrefetcher",
     "ArchiveSource",
     "StorageBackend",
     "DirectoryBackend",

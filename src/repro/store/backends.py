@@ -33,6 +33,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -276,6 +277,9 @@ class _ContainerSink(ArchiveSink):
 class _ContainerSource(ArchiveSource):
     def __init__(self, path: Path):
         self.path = path
+        # seek+read pairs must be atomic: prefetching restores fetch frames
+        # from worker threads concurrently over this one stream.
+        self._lock = threading.Lock()
         try:
             self._stream = open(path, "rb")
         except OSError as exc:
@@ -334,8 +338,9 @@ class _ContainerSource(ArchiveSource):
         if entry is None:
             raise StoreError(f"{self.path} has no record {name!r}")
         offset, length = entry
-        self._stream.seek(offset)
-        payload = self._stream.read(length)
+        with self._lock:
+            self._stream.seek(offset)
+            payload = self._stream.read(length)
         if len(payload) != length:
             raise StoreError(f"{self.path}: record {name!r} is truncated")
         return payload

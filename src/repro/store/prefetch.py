@@ -1,0 +1,110 @@
+"""Readahead for partial restore: overlap backend frame fetch with decode.
+
+:meth:`repro.api.ArchiveReader.read_range` pulls each covering segment's
+frames from the storage backend *lazily*, one record at a time, inside the
+decode executor's submission window — which serialises fetch behind decode
+when the backend is slow (spinning disk, network object store, a damaged
+container falling back to linear scans).  :class:`FramePrefetcher` wraps the
+reader's frame provider and keeps up to ``depth`` records' frames in flight
+on background threads, so the next segment's bytes are (usually) already in
+memory by the time the executor asks for them.
+
+The prefetcher is deliberately dumb about ordering: records must be consumed
+in the order they were given (which is how the restore pipeline consumes
+them); a record requested out of order falls back to a direct fetch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+RecordT = TypeVar("RecordT")
+FramesT = TypeVar("FramesT")
+
+#: Upper bound on prefetch worker threads, whatever the requested depth.
+_MAX_WORKERS = 8
+
+__all__ = ["FramePrefetcher"]
+
+
+class FramePrefetcher:
+    """Fetch up to ``depth`` records' frames ahead of the consumer.
+
+    Parameters
+    ----------
+    fetch:
+        The underlying frame provider (``record -> frames``); called on
+        worker threads, so it must be thread-safe for *distinct* records —
+        the store backends qualify (directory reads are independent files,
+        container reads go through one seek+read guarded per call).
+    records:
+        The records that will be consumed, in consumption order.
+    depth:
+        How many records may be in flight at once (> 0).
+
+    Use as a context manager, or call :meth:`close` — outstanding fetches
+    are cancelled/awaited so no worker outlives the restore session.
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[RecordT], FramesT],
+        records: Iterable[RecordT],
+        depth: int,
+    ):
+        if depth <= 0:
+            raise ValueError(f"prefetch depth must be positive, got {depth}")
+        self._fetch = fetch
+        self._records = deque(records)
+        self._depth = depth
+        self._pool = ThreadPoolExecutor(
+            max_workers=min(depth, _MAX_WORKERS),
+            thread_name_prefix="repro-prefetch",
+        )
+        #: (record, future) pairs in submission (= consumption) order.
+        self._inflight: deque[tuple[RecordT, Future]] = deque()
+        self._closed = False
+        self._fill()
+
+    # ------------------------------------------------------------------ #
+    def _fill(self) -> None:
+        while self._records and len(self._inflight) < self._depth:
+            record = self._records.popleft()
+            self._inflight.append((record, self._pool.submit(self._fetch, record)))
+
+    def frames_for(self, record: RecordT) -> FramesT:
+        """The frames of ``record`` — prefetched when consumed in order.
+
+        This is shaped exactly like the provider it wraps, so it drops into
+        :meth:`repro.pipeline.RestorePipeline.iter_decode_selected` as the
+        ``frames_for`` callback.
+        """
+        if self._closed:
+            return self._fetch(record)
+        if self._inflight and self._inflight[0][0] is record:
+            _, future = self._inflight.popleft()
+            self._fill()
+            return future.result()
+        # Out-of-order (or unknown) record: serve it directly rather than
+        # guessing at the consumer's new ordering.
+        return self._fetch(record)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Cancel pending fetches and release the worker threads (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, future in self._inflight:
+            future.cancel()
+        self._inflight.clear()
+        self._records.clear()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FramePrefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

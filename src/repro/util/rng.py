@@ -7,15 +7,25 @@ experiments are exactly reproducible run-to-run.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+#: Fixed default seed so "unseeded" still means reproducible.
+_DEFAULT_SEED = 0x1D50
 
-def deterministic_rng(seed: int | None) -> np.random.Generator:
+
+def deterministic_rng(seed: "int | Sequence[int | None] | None") -> np.random.Generator:
     """Return a numpy Generator seeded deterministically.
 
     ``None`` maps to a fixed default seed rather than entropy from the OS, so
-    that "unseeded" library calls are still reproducible.
+    that "unseeded" library calls are still reproducible.  A tuple/list seed
+    spawns an independent stream per distinct tuple (numpy's SeedSequence
+    entropy), which is how per-frame scan streams are derived from a base
+    seed without threading RNG state through the frames.
     """
     if seed is None:
-        seed = 0x1D50  # fixed default so "unseeded" still means reproducible
+        seed = _DEFAULT_SEED
+    elif isinstance(seed, (tuple, list)):
+        seed = [_DEFAULT_SEED if part is None else int(part) for part in seed]
     return np.random.default_rng(seed)
