@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-pipeline bench-record bench-restore-latency \
-	cli-smoke store-smoke restore-smoke hygiene golden
+	cli-smoke store-smoke restore-smoke append-smoke hygiene golden
 
 ## tier-1 test suite (the roadmap's verification command)
 test:
@@ -30,7 +30,7 @@ store-smoke:
 		--store container --media test --codec portable --segment-size 2048; \
 	$(PYTHON) -m repro inspect .store-smoke/backup.ule --json \
 		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
-		assert m['format_version']==2 and m['segments'], m"; \
+		assert m['format_version']==3 and m['segments'], m"; \
 	$(PYTHON) -m repro restore -i .store-smoke/backup.ule -o .store-smoke/slice.bin \
 		--offset 3000 --length 1000; \
 	$(PYTHON) -c "want=(b'ULE store smoke payload. '*400)[3000:4000]; \
@@ -65,6 +65,27 @@ restore-smoke:
 		--offset 1000 --length 2000 --readahead 2; \
 	$(PYTHON) -c "want=(b'ULE restore smoke payload. '*300)[1000:3000]; \
 	got=open('.restore-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
+
+## append smoke: archive -> append (incremental backup) -> verify (fsck) ->
+## partial restore spanning the generation boundary, all through the CLI
+append-smoke:
+	@set -e; rm -rf .append-smoke; mkdir .append-smoke; \
+	trap 'rm -rf .append-smoke' EXIT; \
+	$(PYTHON) -c "open('.append-smoke/a.bin','wb').write(b'ULE append smoke gen0. '*200)"; \
+	$(PYTHON) -c "open('.append-smoke/b.bin','wb').write(b'ULE append smoke gen1! '*150)"; \
+	$(PYTHON) -m repro archive -i .append-smoke/a.bin -o .append-smoke/backup.ule \
+		--store container --media test --codec portable --segment-size 2048; \
+	$(PYTHON) -m repro archive -i .append-smoke/b.bin -o .append-smoke/backup.ule \
+		--append --json \
+		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
+		assert m['generation']==1 and m['payload_bytes']==8050, m"; \
+	$(PYTHON) -m repro verify .append-smoke/backup.ule --json \
+		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
+		assert m['ok'] and m['active_generation']==1, m"; \
+	$(PYTHON) -m repro restore -i .append-smoke/backup.ule -o .append-smoke/slice.bin \
+		--offset 4100 --length 1000; \
+	$(PYTHON) -c "want=(b'ULE append smoke gen0. '*200+b'ULE append smoke gen1! '*150)[4100:5100]; \
+	got=open('.append-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
 
 ## quick pipeline benchmark used as a CI smoke check
 bench-smoke:

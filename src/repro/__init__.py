@@ -35,6 +35,7 @@ from repro.core import (
     Restorer,
     RestoreEngine,
     RestorationResult,
+    VerifyReport,
     MicrOlonysArchive,
     ArchiveManifest,
     MediaProfile,
@@ -86,6 +87,7 @@ __all__ = [
     "Restorer",
     "RestoreEngine",
     "RestorationResult",
+    "VerifyReport",
     "MicrOlonysArchive",
     "ArchiveManifest",
     "SegmentRecord",

@@ -11,11 +11,23 @@ Subcommands
     of payload size.  The resolved :class:`~repro.api.ArchiveConfig` is
     embedded in the v2 manifest *and* saved as ``config.json``, so a run is
     reproducible from the artefact alone.
+    With ``--append`` the run *extends* an existing archive instead of
+    creating one: new frames land after the old ones and a superseding
+    manifest one generation up makes the appended bytes addressable as a
+    seamless continuation of the payload (true incremental backup).
 ``restore``
     Restore a saved archive (directory or container file) back to the
     payload file, optionally re-running the simulated record/scan cycle
     first (``--via-channel``), or restoring just a byte range
     (``--offset``/``--length`` — only the covering segments are decoded).
+``verify``
+    fsck for archives: walk every manifest generation (lineage, segment
+    monotonicity), re-check each segment's CRC-32/SHA-256 content hashes by
+    decoding it independently (``--shallow`` stops at reading the frames),
+    and report superseded/orphaned records.  On a container file,
+    ``--repair`` truncates a torn tail append back to the last valid
+    trailer (or finishes the index when the appended generation actually
+    completed) before verifying.
 ``inspect``
     Summarise a saved archive's manifest — format version, embedded config,
     per-segment byte ranges, frame runs and content hashes — without
@@ -36,7 +48,7 @@ from repro import registry
 from repro.api.config import ArchiveConfig
 from repro.api.session import open_archive, open_restore
 from repro.errors import ReproError
-from repro.store import open_source
+from repro.store import detect_store, open_source, repair_container, scan_container
 
 #: Chunk size used when streaming the input file into the writer.
 _READ_CHUNK = 1 << 20
@@ -63,27 +75,45 @@ def _load_config(args: argparse.Namespace) -> ArchiveConfig:
 # Subcommands
 # --------------------------------------------------------------------------- #
 def _cmd_archive(args: argparse.Namespace) -> int:
-    config = _load_config(args)
     input_path = Path(args.input)
-    store = args.store or config.store
-    if store is None:
-        store = "memory" if str(args.output).startswith("mem:") else "directory"
+    if args.append:
+        # The existing target describes itself (its superseding manifest
+        # supplies the config); explicit flags override on top.
+        overrides = {}
+        for key in ("media", "codec", "executor", "segment_size", "payload_kind"):
+            value = getattr(args, key, None)
+            if value is not None:
+                overrides[key] = value
+        base_config = (
+            ArchiveConfig.from_json(Path(args.config).read_text()) if args.config else None
+        )
+        store = args.store or detect_store(args.output)
+        writer_session = open_archive(
+            base_config, target=args.output, store=args.store, append=True, **overrides
+        )
+    else:
+        config = _load_config(args)
+        store = args.store or config.store
+        if store is None:
+            store = "memory" if str(args.output).startswith("mem:") else "directory"
+        writer_session = open_archive(config, target=args.output, store=store)
     # Frames stream straight onto the store target as batches complete
     # (collect=False via target=...), so huge archives never accumulate
     # their emblem rasters in memory.
-    with open_archive(config, target=args.output, store=store) as writer, \
-            input_path.open("rb") as stream:
+    with writer_session as writer, input_path.open("rb") as stream:
         while True:
             chunk = stream.read(_READ_CHUNK)
             if not chunk:
                 break
             writer.write(chunk)
+    config = writer.config
     manifest = writer.archive.manifest
     summary = {
         "output": str(args.output),
         "store": registry.stores.resolve_name(store),
         "config": config.to_dict(),
         "format_version": manifest.format_version,
+        "generation": manifest.generation,
         "payload_bytes": manifest.archive_bytes,
         "segments": max(len(manifest.segments), 1),
         "data_emblems": manifest.data_emblem_count,
@@ -93,8 +123,10 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(f"archived {manifest.archive_bytes:,} bytes -> {args.output} "
-              f"({summary['store']} store, manifest v{manifest.format_version})")
+        verb = "appended; archive now holds" if args.append else "archived"
+        print(f"{verb} {manifest.archive_bytes:,} bytes -> {args.output} "
+              f"({summary['store']} store, manifest v{manifest.format_version}, "
+              f"generation {manifest.generation})")
         print(f"  {config.describe()}")
         print(f"  {summary['segments']} segments, "
               f"{manifest.data_emblem_count} data + "
@@ -184,6 +216,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     summary = {
         "directory": str(args.input),
         "format_version": manifest.format_version,
+        "generation": manifest.generation,
+        "parent": manifest.parent,
         "profile": manifest.profile_name,
         "codec": manifest.dbcoder_profile,
         "payload_kind": manifest.payload_kind,
@@ -198,9 +232,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
+        lineage = (
+            f", generation {manifest.generation}" if manifest.generation else ""
+        )
         print(f"{args.input}: {manifest.payload_kind} payload, "
               f"{manifest.archive_bytes:,} bytes on {manifest.profile_name} "
-              f"via {manifest.dbcoder_profile} (manifest v{manifest.format_version})")
+              f"via {manifest.dbcoder_profile} "
+              f"(manifest v{manifest.format_version}{lineage})")
         print(f"  {manifest.data_emblem_count} data + "
               f"{manifest.system_emblem_count} system emblems, "
               f"{max(len(manifest.segments), 1)} segments "
@@ -212,6 +250,66 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                   f"{segment.emblem_start + segment.emblem_count}) "
                   f"crc32={segment.crc32:08x} sha256={sha}")
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = registry.stores.resolve_name(args.store or detect_store(args.input))
+    repair_report = None
+    torn_tail = None
+    if store == "container":
+        # Only the single-file container can tear mid-append; diagnose (and
+        # optionally repair) its tail before walking the generations.  A cut
+        # exactly on a record boundary leaves zero dangling bytes but still
+        # no trailer at EOF, so the gate is intactness, not byte count.
+        scan = scan_container(args.input)
+        if args.repair:
+            repair_report = repair_container(args.input)
+        elif not scan.intact:
+            torn_tail = scan.torn_bytes
+    elif args.repair:
+        raise ReproError(
+            f"--repair only applies to container archives; {args.input} is a "
+            f"{store} target"
+        )
+    with open_restore(args.input, store=store) as reader:
+        report = reader.verify(deep=not args.shallow)
+    if torn_tail is not None:
+        report.errors.append(
+            f"container has a torn tail append ({torn_tail} dangling bytes "
+            "past the last complete record; no intact trailer at end of "
+            "file); run `verify --repair` to restore it"
+        )
+    summary = report.to_dict()
+    summary["target"] = str(args.input)
+    summary["store"] = store
+    if repair_report is not None:
+        summary["repair"] = repair_report
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        verdict = "ok" if report.ok else "PROBLEMS FOUND"
+        mode = "shallow" if args.shallow else "deep"
+        print(f"{args.input}: {verdict} ({store} store, {mode} check, "
+              f"active generation {report.active_generation})")
+        if repair_report is not None and repair_report["action"] != "intact":
+            print(f"  repaired: {repair_report['action']}, "
+                  f"{repair_report['bytes_removed']} bytes removed")
+        for info in report.generations:
+            line = (f"  generation {info.generation} [{info.status}] "
+                    f"{info.record_name}: {info.segments} segments, "
+                    f"{info.archive_bytes:,} bytes")
+            if info.parent:
+                line += f", parent {info.parent[:12]}"
+            print(line)
+        print(f"  checked {report.segments_checked} segments, "
+              f"{report.frames_checked} frames")
+        for name in report.orphaned:
+            print(f"  orphaned: {name}")
+        for message in report.errors:
+            print(f"  error: {message}")
+        for message in report.warnings:
+            print(f"  warning: {message}")
+    return 0 if report.ok else 1
 
 
 def _cmd_profiles(args: argparse.Namespace) -> int:
@@ -272,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     archive.add_argument("--output", "-o", required=True,
                          help="archive target: a directory, a container file, or mem:<name>")
     archive.add_argument("--store", help="storage backend: directory (default), container, memory")
+    archive.add_argument("--append", action="store_true",
+                         help="extend an existing archive at --output instead of "
+                              "creating one (writes a superseding manifest one "
+                              "generation up)")
     archive.add_argument("--config", help="ArchiveConfig JSON file (flags override it)")
     archive.add_argument("--media", help="media channel name (see 'profiles')")
     archive.add_argument("--codec", help="compression codec name")
@@ -317,6 +419,19 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--store", help="storage backend override (auto-detected by default)")
     inspect.add_argument("--json", action="store_true", help="machine-readable summary")
     inspect.set_defaults(handler=_cmd_inspect)
+
+    verify = sub.add_parser("verify", help="fsck a saved archive (walks every "
+                                           "manifest generation)")
+    verify.add_argument("input", help="archive target: directory, container file, or mem:<name>")
+    verify.add_argument("--store", help="storage backend override (auto-detected by default)")
+    verify.add_argument("--shallow", action="store_true",
+                        help="skip the per-segment hash re-decode; only read and "
+                             "parse every referenced frame")
+    verify.add_argument("--repair", action="store_true",
+                        help="container: truncate a torn tail append back to the "
+                             "last valid state before verifying")
+    verify.add_argument("--json", action="store_true", help="machine-readable report")
+    verify.set_defaults(handler=_cmd_verify)
 
     profiles = sub.add_parser("profiles", help="list registered media/codecs/executors")
     profiles.add_argument("--json", action="store_true", help="machine-readable listing")

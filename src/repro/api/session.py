@@ -14,6 +14,7 @@ point covered — in one call.
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import queue
 import threading
 import zlib
@@ -25,7 +26,7 @@ import numpy as np
 
 from repro.api.config import ArchiveConfig
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
-from repro.core.restorer import RestorationResult, RestoreEngine
+from repro.core.restorer import RestorationResult, RestoreEngine, VerifyReport
 from repro.errors import ArchiveError, RestorationError, StoreError
 from repro.pipeline.pipeline import (
     ArchivePipeline,
@@ -38,6 +39,8 @@ from repro.store import (
     ArchiveSource,
     FramePrefetcher,
     load_archive,
+    manifest_digest,
+    open_append_sink,
     open_sink,
     open_source,
 )
@@ -75,9 +78,18 @@ class ArchiveWriter:
     With a ``target`` the session also *persists* the archive through a
     :mod:`repro.store` backend: emblem frames stream onto the target as each
     batch completes, and ``close()`` writes the system emblems, the
-    Bootstrap, the session config and the v2 manifest alongside them —
+    Bootstrap, the session config and the v3 manifest alongside them —
     ``collect`` then defaults to ``False``, so huge archives stay
     memory-bounded on the way to disk.
+
+    With an ``append_base`` manifest (see ``open_archive(append=True)``)
+    the session *extends* an existing target instead of creating one: frame
+    numbering, segment indices and payload offsets resume where the base
+    manifest left off, the whole-archive CRC-32 chains through the appended
+    bytes, and ``close()`` writes a superseding manifest one generation up
+    whose ``parent`` digest pins the base — the new manifest's segment list
+    is cumulative, so readers address the whole multi-generation payload
+    exactly as if it had been archived in one session.
     """
 
     def __init__(
@@ -90,24 +102,43 @@ class ArchiveWriter:
         collect: bool | None = None,
         target: "str | Path | None" = None,
         store: str | None = None,
+        append_base: ArchiveManifest | None = None,
     ):
         self.config = config
         self.payload_kind = payload_kind if payload_kind is not None else config.payload_kind
         self.progress = progress
         self.on_batch = on_batch
         self.target = target
+        self._store = store
         #: With ``collect=False`` emblem images are dropped after the
         #: callbacks (and any store sink) run — the bounded-memory mode; the
         #: closed archive then carries the manifest, system emblems and
         #: Bootstrap but an empty data-image list.  Defaults to ``False``
         #: when a ``target`` persists the frames, ``True`` otherwise.
         self.collect = collect if collect is not None else target is None
-        self._sink = (
-            open_sink(target, store if store is not None else config.store)
-            if target is not None
-            else None
-        )
-        self._frames_written = 0
+        self._base = append_base
+        if append_base is not None:
+            if target is None:
+                raise ArchiveError("an append session needs a store target to extend")
+            if not append_base.segments:
+                raise ArchiveError(
+                    "this archive has no segment records (pre-pipeline layout); "
+                    "it cannot be appended to — re-archive it first"
+                )
+            self._sink = open_append_sink(target, store if store is not None else config.store)
+        else:
+            self._sink = (
+                open_sink(target, store if store is not None else config.store)
+                if target is not None
+                else None
+            )
+        #: Rebasing offsets: an append session resumes the frame, segment and
+        #: byte numbering of the superseded manifest, so the new manifest's
+        #: cumulative segment list stays monotone across generations.
+        self._base_frames = append_base.data_emblem_count if append_base else 0
+        self._base_segments = len(append_base.segments) if append_base else 0
+        self._base_bytes = append_base.archive_bytes if append_base else 0
+        self._frames_written = self._base_frames
         self.archive: MicrOlonysArchive | None = None
         self._profile = config.media_profile()
         self._pipeline = ArchivePipeline(
@@ -121,8 +152,11 @@ class ArchiveWriter:
         self._records: list[SegmentRecord] = []
         self._images: list[np.ndarray] = []
         self._error: BaseException | None = None
-        self._crc = 0
-        self._length = 0
+        # zlib.crc32 chains: crc32(a + b) == crc32(b, crc32(a)), so seeding
+        # with the base manifest's CRC makes the appended manifest's
+        # archive_crc32 exactly the CRC of the concatenated payload.
+        self._crc = append_base.archive_crc32 if append_base else 0
+        self._length = self._base_bytes
         self._closed = False
         self._thread = threading.Thread(
             target=self._encode_loop, name="repro-archive-writer", daemon=True
@@ -137,9 +171,21 @@ class ArchiveWriter:
                 return
             yield chunk
 
+    def _rebase(self, record: SegmentRecord) -> SegmentRecord:
+        """Renumber a pipeline-local record into the archive-wide sequence."""
+        if self._base is None:
+            return record
+        return dataclasses.replace(
+            record,
+            index=record.index + self._base_segments,
+            offset=record.offset + self._base_bytes,
+            emblem_start=record.emblem_start + self._base_frames,
+        )
+
     def _encode_loop(self) -> None:
         try:
             for batch in self._pipeline.iter_encode(self._chunks()):
+                batch.record = self._rebase(batch.record)
                 self._records.append(batch.record)
                 if self._sink is not None:
                     for image in batch.images:
@@ -166,7 +212,7 @@ class ArchiveWriter:
             error, self._error = self._error, None
             self._closed = True
             if self._sink is not None:
-                self._sink.close()
+                self._sink.abort()
             raise error
 
     # ------------------------------------------------------------------ #
@@ -199,30 +245,51 @@ class ArchiveWriter:
         if self._error is not None:
             error, self._error = self._error, None
             if self._sink is not None:
-                self._sink.close()
+                self._sink.abort()
             raise error
-        system_images, bootstrap_text = build_system_artifacts(
-            self._profile, outer_code=self.config.outer_code
-        )
+        base = self._base
+        if base is None:
+            system_images, bootstrap_text = build_system_artifacts(
+                self._profile, outer_code=self.config.outer_code
+            )
+            system_count = len(system_images)
+        else:
+            # The target already carries the system emblems and Bootstrap of
+            # generation 0; re-deriving them here would be wasted work and —
+            # worse — could stamp a count that disagrees with what is
+            # physically on the medium, so the superseding manifest inherits
+            # the base's count verbatim.
+            system_images = []
+            bootstrap_text = ""
+            system_count = base.system_emblem_count
+        segments = (base.segments if base else ()) + tuple(self._records)
         manifest = ArchiveManifest(
             profile_name=self._profile.name,
             dbcoder_profile=self._pipeline.codec.manifest_name,
             archive_bytes=self._length,
             archive_crc32=self._crc,
-            data_emblem_count=sum(record.emblem_count for record in self._records),
-            system_emblem_count=len(system_images),
+            data_emblem_count=sum(record.emblem_count for record in segments),
+            system_emblem_count=system_count,
             payload_kind=self.payload_kind,
             segment_size=self.config.segment_size,
-            segments=tuple(self._records),
+            segments=segments,
             config=self.config.to_dict(),
+            generation=base.generation + 1 if base else 0,
+            parent=manifest_digest(base) if base else None,
         )
         if self._sink is not None:
-            for index, image in enumerate(system_images):
-                self._sink.put_frame("system", index, image)
-            self._sink.put_text(BOOTSTRAP_NAME, bootstrap_text)
-            self._sink.put_text("config.json", self.config.to_json() + "\n")
+            if base is None:
+                for index, image in enumerate(system_images):
+                    self._sink.put_frame("system", index, image)
+                self._sink.put_text(BOOTSTRAP_NAME, bootstrap_text)
+                self._sink.put_text("config.json", self.config.to_json() + "\n")
             self._sink.put_manifest(manifest)
             self._sink.close()
+        if base is not None:
+            # Reflect the medium's Bootstrap in the returned artefact (the
+            # sink is closed, so the superseding layout is fully readable).
+            with open_source(self.target, self._store) as source:
+                bootstrap_text = source.get_text(BOOTSTRAP_NAME)
         self.archive = MicrOlonysArchive(
             manifest=manifest,
             data_emblem_images=self._images,
@@ -232,7 +299,11 @@ class ArchiveWriter:
         return self.archive
 
     def abort(self) -> None:
-        """Drop the session without assembling an archive."""
+        """Drop the session without assembling an archive.
+
+        An append session rolls its target back to the pre-append state
+        (no half-written generation is ever finalised onto the medium).
+        """
         if self._closed:
             return
         self._closed = True
@@ -240,7 +311,7 @@ class ArchiveWriter:
         self._thread.join()
         self._error = None
         if self._sink is not None:
-            self._sink.close()
+            self._sink.abort()
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "ArchiveWriter":
@@ -481,6 +552,25 @@ class ArchiveReader:
         return window[offset - base:end - base]
 
     # ------------------------------------------------------------------ #
+    def verify(self, *, deep: bool = True) -> VerifyReport:
+        """Integrity-check the archive on its store target (fsck).
+
+        Walks every manifest generation (lineage, segment monotonicity),
+        checks that every frame the superseding manifest references is
+        present and parseable, reports superseded and orphaned records, and
+        with ``deep=True`` (the default) re-decodes each segment
+        independently to re-check its CRC-32/SHA-256 content hashes —
+        without ever assembling the full payload.  See
+        :meth:`~repro.core.restorer.RestoreEngine.verify`.
+        """
+        if self._source is None:
+            raise ArchiveError(
+                "verify needs a store-backed session (a saved directory, "
+                "a container file, or a mem: target)"
+            )
+        return self._engine.verify(self._source, deep=deep)
+
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Release the store source and any partial-decode executor (idempotent)."""
         if self._partial_executor is not None:
@@ -506,6 +596,54 @@ def _resolve_config(config: ArchiveConfig | None, overrides: dict) -> ArchiveCon
     return config.replace(**overrides) if overrides else config
 
 
+def _resolve_append(
+    target: "str | Path",
+    store: str | None,
+    config: ArchiveConfig | None,
+    overrides: dict,
+) -> "tuple[ArchiveConfig, ArchiveManifest]":
+    """The session config and superseding base manifest of an append.
+
+    Without an explicit ``config`` the target describes itself, exactly as
+    in :func:`open_restore`; either way the resolved config must name the
+    same media profile, codec and outer-code choice the archive was written
+    with — an appended generation has to decode under the stack the
+    superseded generations already committed to the medium.
+    """
+    from repro import registry  # lazy: registry imports repro.store
+
+    with open_source(target, store) as source:
+        base = source.manifest()
+    if config is None:
+        if base.config is not None:
+            config = ArchiveConfig.from_dict(base.config)
+        else:
+            config = ArchiveConfig(
+                media=base.profile_name,
+                codec=base.dbcoder_profile,
+                payload_kind=base.payload_kind,
+                segment_size=base.segment_size,
+            )
+    if overrides:
+        config = config.replace(**overrides)
+    if config.media != registry.media.resolve_name(base.profile_name):
+        raise ArchiveError(
+            f"cannot append with media {config.media!r} to an archive written "
+            f"on {base.profile_name!r}; the emblem geometry must match"
+        )
+    if config.codec != registry.codecs.resolve_name(base.dbcoder_profile):
+        raise ArchiveError(
+            f"cannot append with codec {config.codec!r} to an archive written "
+            f"with {base.dbcoder_profile!r}"
+        )
+    if base.config is not None and bool(base.config.get("outer_code", True)) != config.outer_code:
+        raise ArchiveError(
+            "cannot append with a different outer_code setting than the "
+            "archive was written with"
+        )
+    return config, base
+
+
 def open_archive(
     config: ArchiveConfig | None = None,
     *,
@@ -515,6 +653,7 @@ def open_archive(
     collect: bool | None = None,
     target: "str | Path | None" = None,
     store: str | None = None,
+    append: bool = False,
     **overrides,
 ) -> ArchiveWriter:
     """Open a streaming archival session.
@@ -535,7 +674,28 @@ def open_archive(
     frames stream onto the target as they encode and ``collect`` defaults to
     ``False``, so ``open_archive(..., target="backup.ule", store="container")``
     writes an arbitrarily large archive in bounded memory.
+
+    ``append=True`` *extends* an existing target instead of creating one —
+    true incremental backup: the session resumes frame numbering and
+    payload offsets from the target's superseding manifest, streams the new
+    payload through the same pipeline, and closes by writing a manifest one
+    generation up (``parent``-pinned to the old one) whose cumulative
+    segment list makes :meth:`ArchiveReader.read_range` /
+    :meth:`~ArchiveReader.restore_segment` work transparently across the
+    generation boundary.  When no ``config`` is given the target describes
+    itself, exactly as in :func:`open_restore`; the media profile, codec and
+    outer-code choice must match the archive being extended.
     """
+    if append:
+        if target is None:
+            raise ArchiveError("open_archive(append=True) needs a target to extend")
+        config, base = _resolve_append(target, store, config, overrides)
+        if payload_kind is None:
+            payload_kind = base.payload_kind
+        return ArchiveWriter(
+            config, payload_kind=payload_kind, progress=progress, on_batch=on_batch,
+            collect=collect, target=target, store=store, append_base=base,
+        )
     config = _resolve_config(config, overrides)
     return ArchiveWriter(
         config, payload_kind=payload_kind, progress=progress, on_batch=on_batch,

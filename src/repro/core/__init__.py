@@ -27,10 +27,18 @@ from repro.core.profiles import (
 )
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.archiver import Archiver
-from repro.core.restorer import RestoreEngine, Restorer, RestorationResult
+from repro.core.restorer import (
+    GenerationInfo,
+    RestorationResult,
+    RestoreEngine,
+    Restorer,
+    VerifyReport,
+)
 
 __all__ = [
     "RestoreEngine",
+    "VerifyReport",
+    "GenerationInfo",
     "SegmentRecord",
     "MediaProfile",
     "PAPER_PROFILE",

@@ -61,15 +61,20 @@ class SegmentRecord:
 class ArchiveManifest:
     """Description of an archive, stored *on the medium* alongside the images.
 
-    Manifest **v2** is versioned and self-describing: it records its
+    Manifest **v3** is versioned and self-describing: it records its
     ``format_version``, embeds the originating
     :class:`~repro.api.ArchiveConfig` as plain data (``config``), and its
     segment records carry per-segment SHA-256 content hashes next to the
     frame offsets/counts and logical byte ranges — everything a cold reader
     needs to locate, decode and verify one segment without touching the
-    rest.  The v1 layout (no ``format_version`` key, no hashes, no embedded
-    config) still loads through a deprecation shim in
-    :mod:`repro.store.manifest`.
+    rest.  It additionally carries the incremental-append lineage:
+    ``generation`` counts the append sessions that produced it and
+    ``parent`` pins the SHA-256 digest of the manifest it supersedes; the
+    segment list is always *cumulative* (monotonically renumbered across
+    every generation), so the newest valid manifest fully describes the
+    archive.  The v1 layout (no ``format_version`` key, no hashes, no
+    embedded config) and v2 layout (no lineage) still load through a
+    deprecation shim in :mod:`repro.store.manifest`.
     """
 
     profile_name: str
@@ -86,13 +91,19 @@ class ArchiveManifest:
     #: with an empty tuple and restore through the whole-stream path.
     segments: tuple[SegmentRecord, ...] = ()
     #: On-media layout version; see :data:`repro.store.manifest.MANIFEST_FORMAT_VERSION`.
-    format_version: int = 2
+    format_version: int = 3
     #: The :meth:`repro.api.ArchiveConfig.to_dict` of the writing session,
     #: when the archive was written through the facade; ``None`` otherwise.
     config: dict | None = None
+    #: Incremental-append lineage: how many append sessions preceded this
+    #: manifest (0 for a fresh archive) ...
+    generation: int = 0
+    #: ... and the SHA-256 hex digest of the superseded (parent) manifest's
+    #: canonical JSON, ``None`` for generation 0.
+    parent: str | None = None
 
     def to_json(self) -> str:
-        """Serialise the manifest as JSON text (always the v2 layout)."""
+        """Serialise the manifest as JSON text (always the v3 layout)."""
         fields = {
             key: value for key, value in self.__dict__.items() if key != "segments"
         }

@@ -25,6 +25,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (store builds on core)
+    from repro.store import ArchiveSource
 
 import numpy as np
 
@@ -50,6 +54,73 @@ from repro.util.crc import crc32_of
 
 #: Valid values for ``decode_mode``.
 DECODE_MODES = ("python", "dynarisc", "nested")
+
+
+@dataclass
+class GenerationInfo:
+    """One manifest generation found on a store target during verify."""
+
+    generation: int
+    record_name: str
+    #: ``"active"`` (the superseding manifest), ``"superseded"`` (a valid
+    #: older generation kept for lineage/fallback) or ``"damaged"``.
+    status: str
+    segments: int = 0
+    archive_bytes: int = 0
+    digest: str | None = None
+    parent: str | None = None
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class VerifyReport:
+    """What :meth:`RestoreEngine.verify` found on one archive target.
+
+    ``errors`` are integrity violations (a missing/corrupt frame, a failed
+    segment hash, a broken lineage); ``warnings`` are survivable oddities;
+    ``orphaned`` lists records the superseding manifest does not reference
+    (typically the complete frames of a torn append) and ``superseded`` the
+    older generations' manifest records, which are *expected* residents of
+    an appendable archive.
+    """
+
+    deep: bool = True
+    generations: list[GenerationInfo] = field(default_factory=list)
+    segments_checked: int = 0
+    frames_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    orphaned: list[str] = field(default_factory=list)
+    superseded: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no integrity violation was found."""
+        return not self.errors
+
+    @property
+    def active_generation(self) -> int | None:
+        """The superseding manifest's generation, when one was readable."""
+        for info in self.generations:
+            if info.status == "active":
+                return info.generation
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "deep": self.deep,
+            "active_generation": self.active_generation,
+            "generations": [info.to_dict() for info in self.generations],
+            "segments_checked": self.segments_checked,
+            "frames_checked": self.frames_checked,
+            "errors": list(self.errors),
+            "warnings": list(self.warnings),
+            "orphaned": list(self.orphaned),
+            "superseded": list(self.superseded),
+        }
 
 
 @dataclass
@@ -256,11 +327,18 @@ class RestoreEngine:
             # data jobs — on a seed lane disjoint from every data frame's.
             system_images = _simulate_channel(system_images, channel, 0, lane=1)
 
-        # Step 4: recover the archived DBCoder decoder from the system emblems.
+        # Step 4: recover the archived DBCoder decoder from the system
+        # emblems.  ``decode_parallelism`` applies here exactly as it does to
+        # the data stream: the per-image RS-heavy decoding splits into chunks
+        # mapped through the configured executor (byte-identical to serial).
         system_report = None
         decoder_code: bytes | None = None
         if system_images:
-            decoder_code, system_report = self.mocoder.decode(system_images)
+            decoder_code, system_report = self.mocoder.decode(
+                system_images,
+                parallelism=self.decode_parallelism,
+                executor=resolve_decode_executor(self.executor, self.decode_parallelism),
+            )
             notes.append(
                 f"system emblems decoded: {system_report.emblems_decoded} of "
                 f"{system_report.emblems_seen} scans, "
@@ -435,6 +513,196 @@ class RestoreEngine:
             f"({emulator_steps} emulated steps)"
         )
         return payload, merge_reports(reports), emulator_steps
+
+    # ------------------------------------------------------------------ #
+    # fsck: multi-generation archive verification
+    # ------------------------------------------------------------------ #
+    def verify(self, source: "ArchiveSource", *, deep: bool = True) -> VerifyReport:
+        """Integrity-check an archive on its store target (fsck).
+
+        Walks **every manifest generation** on the target: each one must
+        parse, carry the generation its record name claims, pin its parent's
+        digest, and extend its parent's segment list; the superseding
+        (newest valid) manifest must additionally be internally monotone —
+        contiguous segment indices, byte offsets and frame runs summing to
+        its archive totals.  Records the superseding manifest does not
+        reference are reported as ``orphaned`` (the footprint of a torn
+        append), older manifests as ``superseded``.
+
+        With ``deep=True`` (the default) every segment is then re-decoded
+        *independently* — fetched, MOCoder-decoded and re-checked against
+        its manifest CRC-32/SHA-256 through the engine's executor — and the
+        system-emblem stream is decoded too, all without ever assembling the
+        full payload or loading a database; ``deep=False`` stops at reading
+        and parsing every referenced frame raster.
+
+        Verification never raises on damage — every finding lands in the
+        returned :class:`VerifyReport` (``report.ok`` summarises) — only on
+        a target that is not an archive at all.
+        """
+        from repro.errors import ReproError
+        from repro.store import (  # lazy: store builds on core
+            BOOTSTRAP_NAME,
+            frame_record_name,
+            manifest_digest,
+            manifest_generation_of,
+        )
+
+        report = VerifyReport(deep=deep)
+        names = source.names()
+
+        # --- every generation's manifest: parse + lineage ---------------- #
+        manifests: dict[int, tuple[str, ArchiveManifest]] = {}
+        candidates = sorted(
+            (generation, name)
+            for name in names
+            if (generation := manifest_generation_of(name)) is not None
+        )
+        for generation, name in candidates:
+            try:
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always", DeprecationWarning)
+                    manifest = ArchiveManifest.from_json(source.get_text(name))
+                for entry in caught:
+                    report.warnings.append(f"{name}: {entry.message}")
+            except (ReproError, ValueError) as exc:
+                report.errors.append(f"{name}: unreadable manifest: {exc}")
+                report.generations.append(GenerationInfo(generation, name, "damaged"))
+                continue
+            if manifest.generation != generation:
+                report.errors.append(
+                    f"{name}: record name claims generation {generation} but the "
+                    f"manifest says {manifest.generation}"
+                )
+            manifests[generation] = (name, manifest)
+        if not manifests:
+            report.errors.append("no readable manifest on the target")
+            return report
+        active_generation = max(manifests)
+        for generation in sorted(manifests):
+            name, manifest = manifests[generation]
+            status = "active" if generation == active_generation else "superseded"
+            report.generations.append(
+                GenerationInfo(
+                    generation=generation,
+                    record_name=name,
+                    status=status,
+                    segments=len(manifest.segments),
+                    archive_bytes=manifest.archive_bytes,
+                    digest=manifest_digest(manifest),
+                    parent=manifest.parent,
+                )
+            )
+            if status == "superseded":
+                report.superseded.append(name)
+            if generation == 0:
+                if manifest.parent is not None:
+                    report.errors.append(
+                        f"{name}: generation 0 must not carry a parent digest"
+                    )
+                continue
+            parent_entry = manifests.get(generation - 1)
+            if parent_entry is None:
+                report.errors.append(
+                    f"{name}: parent generation {generation - 1} manifest is "
+                    "missing or unreadable"
+                )
+                continue
+            parent_name, parent_manifest = parent_entry
+            if manifest.parent != manifest_digest(parent_manifest):
+                report.errors.append(
+                    f"{name}: parent digest does not match {parent_name}"
+                )
+            if manifest.segments[: len(parent_manifest.segments)] != parent_manifest.segments:
+                report.errors.append(
+                    f"{name}: segment list does not extend {parent_name}'s"
+                )
+
+        # --- the superseding manifest must be internally monotone --------- #
+        active_name, active = manifests[active_generation]
+        offset = frame = 0
+        for position, record in enumerate(active.segments):
+            if record.index != position:
+                report.errors.append(
+                    f"{active_name}: segment {position} carries index {record.index}"
+                )
+            if record.offset != offset or record.emblem_start != frame:
+                report.errors.append(
+                    f"{active_name}: segment {record.index} breaks byte/frame "
+                    "contiguity"
+                )
+            offset += record.length
+            frame += record.emblem_count
+        if active.segments and (
+            active.archive_bytes != offset or active.data_emblem_count != frame
+        ):
+            report.errors.append(
+                f"{active_name}: segment totals ({offset} bytes, {frame} frames) "
+                f"do not match the manifest's archive totals "
+                f"({active.archive_bytes} bytes, {active.data_emblem_count} frames)"
+            )
+
+        # --- orphaned records: present but unreferenced ------------------- #
+        expected = {name for _, name in candidates}
+        expected.update({BOOTSTRAP_NAME, "config.json"})
+        expected.update(
+            frame_record_name("data", index) for index in range(active.data_emblem_count)
+        )
+        expected.update(
+            frame_record_name("system", index)
+            for index in range(active.system_emblem_count)
+        )
+        # Orphans (present but unreferenced — the footprint of a torn
+        # append) are reported once, through this dedicated field.
+        report.orphaned = sorted(set(names) - expected)
+        try:
+            source.get_text(BOOTSTRAP_NAME)
+        except ReproError as exc:
+            report.errors.append(f"{BOOTSTRAP_NAME}: {exc}")
+
+        # --- frames: presence/parse (shallow) or full re-decode (deep) ---- #
+        if not deep:
+            for kind, count in (
+                ("data", active.data_emblem_count),
+                ("system", active.system_emblem_count),
+            ):
+                for index in range(count):
+                    try:
+                        source.get_frame(kind, index)
+                        report.frames_checked += 1
+                    except ReproError as exc:
+                        report.errors.append(f"{kind} frame {index}: {exc}")
+            return report
+
+        pipeline = RestorePipeline(
+            self.profile,
+            executor=self.executor,
+            decode_parallelism=self.decode_parallelism,
+        )
+
+        def frames_for(record) -> list[np.ndarray]:
+            return source.get_frames("data", record.emblem_start, record.emblem_count)
+
+        for record in active.segments:
+            try:
+                for _ in pipeline.iter_decode_selected(active, [record], frames_for):
+                    pass
+                report.segments_checked += 1
+                report.frames_checked += record.emblem_count
+            except ReproError as exc:
+                report.errors.append(f"segment {record.index}: {exc}")
+        if active.system_emblem_count:
+            try:
+                system_images = source.get_frames("system", 0, active.system_emblem_count)
+                self.mocoder.decode(
+                    system_images,
+                    parallelism=self.decode_parallelism,
+                    executor=resolve_decode_executor(self.executor, self.decode_parallelism),
+                )
+                report.frames_checked += active.system_emblem_count
+            except ReproError as exc:
+                report.errors.append(f"system emblems: {exc}")
+        return report
 
     def _require_portable(self, profile: Profile) -> None:
         if profile != Profile.PORTABLE:

@@ -3,24 +3,30 @@
 Three parts, mirroring the tentpole it implements:
 
 * :mod:`repro.store.manifest` — the versioned, self-describing **manifest
-  v2** (format version, embedded :class:`~repro.api.ArchiveConfig`,
-  per-segment content hashes) plus the v1 deprecation shim;
+  v3** (format version, embedded :class:`~repro.api.ArchiveConfig`,
+  per-segment content hashes, and the ``generation``/``parent`` append
+  lineage) plus the v1/v2 deprecation shims;
 * :mod:`repro.store.backends` — pluggable **storage backends**
   (``directory`` / ``container`` / ``memory``), registered in
   :data:`repro.registry.stores`, each exposing a streaming
-  :class:`~repro.store.backends.ArchiveSink` and a random-access
-  :class:`~repro.store.backends.ArchiveSource`;
+  :class:`~repro.store.backends.ArchiveSink` (creatable fresh or reopened
+  for append) and a random-access
+  :class:`~repro.store.backends.ArchiveSource` that always serves the
+  *superseding* (newest valid) manifest;
 * the helpers below — backend resolution (:func:`open_sink` /
-  :func:`open_source`, with :func:`detect_store` sniffing the layout of an
-  existing target) and :func:`load_archive` for materialising a full
-  :class:`~repro.core.archive.MicrOlonysArchive` from any source.
+  :func:`open_append_sink` / :func:`open_source`, with :func:`detect_store`
+  sniffing the layout of an existing target), :func:`manifest_digest` (the
+  parent-pinning hash of the append lineage) and :func:`load_archive` for
+  materialising a full :class:`~repro.core.archive.MicrOlonysArchive` from
+  any source.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
-from repro.core.archive import MicrOlonysArchive
+from repro.core.archive import ArchiveManifest, MicrOlonysArchive
 from repro.errors import StoreError
 from repro.store.backends import (
     BOOTSTRAP_NAME,
@@ -29,11 +35,20 @@ from repro.store.backends import (
     ArchiveSink,
     ArchiveSource,
     ContainerBackend,
+    ContainerScan,
     DirectoryBackend,
     MemoryBackend,
     StorageBackend,
+    frame_record_name,
+    repair_container,
+    scan_container,
 )
-from repro.store.manifest import MANIFEST_FORMAT_VERSION, upgrade_manifest_fields
+from repro.store.manifest import (
+    MANIFEST_FORMAT_VERSION,
+    manifest_generation_of,
+    manifest_record_name,
+    upgrade_manifest_fields,
+)
 from repro.store.prefetch import FramePrefetcher
 
 __all__ = [
@@ -45,10 +60,18 @@ __all__ = [
     "DirectoryBackend",
     "ContainerBackend",
     "MemoryBackend",
+    "ContainerScan",
     "detect_store",
     "open_sink",
+    "open_append_sink",
     "open_source",
+    "frame_record_name",
     "load_archive",
+    "manifest_digest",
+    "manifest_generation_of",
+    "manifest_record_name",
+    "repair_container",
+    "scan_container",
     "upgrade_manifest_fields",
 ]
 
@@ -89,16 +112,37 @@ def open_sink(target: "str | Path", store: str | None = None) -> ArchiveSink:
     return _backend(store).create(target)
 
 
+def open_append_sink(target: "str | Path", store: str | None = None) -> ArchiveSink:
+    """Reopen an *existing* archive target for an incremental append session.
+
+    Unlike :func:`open_sink` the target must already exist, so the backend
+    defaults to :func:`detect_store`'s sniff of its current layout.
+    """
+    return _backend(store if store is not None else detect_store(target)).append(target)
+
+
 def open_source(target: "str | Path", store: str | None = None) -> ArchiveSource:
     """Open an existing archive target for reading (layout auto-detected)."""
     return _backend(store if store is not None else detect_store(target)).open(target)
 
 
+def manifest_digest(manifest: ArchiveManifest) -> str:
+    """The SHA-256 hex digest pinning ``manifest`` in the append lineage.
+
+    Hashed over the canonical (sorted-keys) JSON serialisation, so the
+    digest survives storage round-trips and v1/v2 shim upgrades alike: a
+    generation's ``parent`` field must equal this digest of the manifest it
+    supersedes.
+    """
+    return hashlib.sha256(manifest.to_json().encode("utf-8")).hexdigest()
+
+
 def load_archive(source: "ArchiveSource | str | Path", store: str | None = None) -> MicrOlonysArchive:
     """Materialise a full in-memory archive artefact from any source.
 
-    This reads *every* frame — it is the compatibility path for whole-archive
-    restoration; partial restore goes through the source directly.
+    This reads *every* frame the superseding manifest describes — it is the
+    compatibility path for whole-archive restoration; partial restore goes
+    through the source directly.
     """
     opened = not isinstance(source, ArchiveSource)
     if opened:
@@ -107,8 +151,10 @@ def load_archive(source: "ArchiveSource | str | Path", store: str | None = None)
         manifest = source.manifest()
         return MicrOlonysArchive(
             manifest=manifest,
-            data_emblem_images=list(source.iter_frames("data")),
-            system_emblem_images=list(source.iter_frames("system")),
+            data_emblem_images=source.get_frames("data", 0, manifest.data_emblem_count),
+            system_emblem_images=source.get_frames(
+                "system", 0, manifest.system_emblem_count
+            ),
             bootstrap_text=source.get_text(BOOTSTRAP_NAME),
         )
     finally:

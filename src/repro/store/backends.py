@@ -6,23 +6,35 @@ session handles:
 * :class:`ArchiveSink` — the write side: frames are appended one at a time
   (``put_frame``), text artefacts (Bootstrap, config) and the manifest are
   written alongside them, so a streaming writer never holds more than the
-  executor window in memory;
+  executor window in memory.  :meth:`StorageBackend.append` reopens an
+  existing target for an *incremental* write session: new records land after
+  the existing ones and a new, higher-generation manifest supersedes the old
+  one (which stays on the medium for lineage and fallback);
 * :class:`ArchiveSource` — the read side: the manifest and any *single*
   frame are retrievable without reading the rest of the archive, which is
   what makes :meth:`repro.api.ArchiveReader.read_range` random-access.
+  :meth:`ArchiveSource.manifest` always returns the **superseding**
+  manifest — the newest generation that parses — falling back generation by
+  generation when an append was torn.
 
 Three backends ship registered in :data:`repro.registry.stores`:
 
 ``directory``
     One PGM file per frame plus ``manifest.json`` / ``bootstrap.txt`` — the
     historical :meth:`~repro.core.archive.MicrOlonysArchive.save` layout,
-    now written with a v2 manifest.
+    now written with a v3 manifest (appends add
+    ``manifest_gen_NNNN.json`` files next to it).
 ``container``
     A single appendable archive file: a magic header, a stream of
     self-describing length-prefixed records (frames as PGM bytes), and a
-    JSON record index behind a fixed-size trailer.  Random access goes
-    through the index; a truncated trailer degrades to a linear scan of the
-    record stream, so a damaged file is still readable record by record.
+    JSON record index behind a fixed-size trailer.  Appends write new
+    records *after* the old trailer, then a merged index and a new trailer,
+    so every complete generation keeps its own intact (index, trailer) pair.
+    Random access goes through the newest trailer's index; a truncated tail
+    degrades to a linear scan of the record stream, so a damaged file is
+    still readable record by record, and :func:`repair_container` truncates
+    a torn tail append back to the last valid trailer (finishing the index
+    instead when the appended generation actually completed).
 ``memory``
     An in-process dict keyed by target name (``mem:<name>``), for tests and
     benchmarks.
@@ -34,6 +46,7 @@ import io
 import json
 import struct
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -42,6 +55,7 @@ import numpy as np
 from repro.core.archive import ArchiveManifest
 from repro.errors import StoreError
 from repro.media.image import pgm_bytes, pgm_from_bytes
+from repro.store.manifest import manifest_generation_of, manifest_record_name
 
 __all__ = [
     "ArchiveSink",
@@ -50,6 +64,10 @@ __all__ = [
     "DirectoryBackend",
     "ContainerBackend",
     "MemoryBackend",
+    "ContainerScan",
+    "scan_container",
+    "repair_container",
+    "frame_record_name",
     "CONTAINER_MAGIC",
 ]
 
@@ -68,11 +86,27 @@ def _frame_name(kind: str, index: int) -> str:
     return f"{kind}_emblem_{index:04d}.pgm"
 
 
+def frame_record_name(kind: str, index: int) -> str:
+    """Public record/file name of one emblem frame (fsck and tooling)."""
+    return _frame_name(kind, index)
+
+
+def _superseding_manifest_names(names: "Iterator[str] | list[str]") -> list[str]:
+    """Manifest record names, newest generation first."""
+    candidates = [
+        (generation, name)
+        for name in names
+        if (generation := manifest_generation_of(name)) is not None
+    ]
+    return [name for _, name in sorted(candidates, reverse=True)]
+
+
 # --------------------------------------------------------------------------- #
 # Session handles
 # --------------------------------------------------------------------------- #
 class ArchiveSink:
-    """Write handle for one archive target (returned by ``backend.create``)."""
+    """Write handle for one archive target (returned by ``backend.create``
+    for a fresh archive, ``backend.append`` for an incremental session)."""
 
     def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
         """Persist one emblem raster (``kind`` is ``"data"`` or ``"system"``)."""
@@ -83,11 +117,22 @@ class ArchiveSink:
         raise NotImplementedError
 
     def put_manifest(self, manifest: ArchiveManifest) -> None:
-        """Persist the archive manifest (v2 JSON)."""
-        self.put_text(MANIFEST_NAME, manifest.to_json() + "\n")
+        """Persist the archive manifest (v3 JSON) under its generation's
+        record name — appended generations never overwrite their parent."""
+        self.put_text(manifest_record_name(manifest.generation), manifest.to_json() + "\n")
 
     def close(self) -> None:
         """Finalise the target (idempotent)."""
+
+    def abort(self) -> None:
+        """Drop the session, rolling back as far as the layout allows.
+
+        A failed session must never *finalise* a half-written generation;
+        backends that can, restore the target to its pre-session state
+        (the container appending sink truncates back to where it started).
+        The default just closes.
+        """
+        self.close()
 
     def __enter__(self) -> "ArchiveSink":
         return self
@@ -104,7 +149,24 @@ class ArchiveSource:
     """
 
     def manifest(self) -> ArchiveManifest:
-        """The archive manifest (v1 loads through the deprecation shim)."""
+        """The *superseding* archive manifest: the newest generation that
+        parses (v1/v2 load through the deprecation shim).
+
+        A torn append leaves a newer manifest record unreadable (or absent)
+        — the reader then falls back to the last complete generation, so an
+        interrupted ``append`` never takes down the archive it extended.
+        """
+        errors: list[str] = []
+        for name in _superseding_manifest_names(self.names()):
+            try:
+                return ArchiveManifest.from_json(self.get_text(name))
+            except (StoreError, ValueError) as exc:
+                errors.append(f"{name}: {exc}")
+        detail = f" ({'; '.join(errors)})" if errors else ""
+        raise StoreError(f"{self._describe()} holds no readable manifest{detail}")
+
+    def names(self) -> list[str]:
+        """Every record/artefact name present on the target."""
         raise NotImplementedError
 
     def get_text(self, name: str) -> str:
@@ -114,7 +176,8 @@ class ArchiveSource:
         raise NotImplementedError
 
     def frame_count(self, kind: str) -> int:
-        raise NotImplementedError
+        prefix = f"{kind}_emblem_"
+        return sum(1 for name in self.names() if name.startswith(prefix))
 
     def get_frames(self, kind: str, start: int, count: int) -> list[np.ndarray]:
         """A contiguous run of frames (the unit partial restore fetches)."""
@@ -123,6 +186,10 @@ class ArchiveSource:
     def iter_frames(self, kind: str) -> Iterator[np.ndarray]:
         for index in range(self.frame_count(kind)):
             yield self.get_frame(kind, index)
+
+    def _describe(self) -> str:
+        """Human name of the target, for error messages."""
+        return type(self).__name__
 
     def close(self) -> None:
         """Release the target (idempotent)."""
@@ -142,6 +209,11 @@ class StorageBackend:
 
     def create(self, target: "str | Path") -> ArchiveSink:
         """Open ``target`` for writing a fresh archive."""
+        raise NotImplementedError
+
+    def append(self, target: "str | Path") -> ArchiveSink:
+        """Reopen an *existing* archive at ``target`` for an incremental
+        append session (new frames plus a superseding manifest)."""
         raise NotImplementedError
 
     def open(self, target: "str | Path") -> ArchiveSource:
@@ -170,8 +242,8 @@ class _DirectorySource(ArchiveSource):
         if not (directory / MANIFEST_NAME).exists():
             raise StoreError(f"{directory} does not contain an archive manifest")
 
-    def manifest(self) -> ArchiveManifest:
-        return ArchiveManifest.from_json((self.directory / MANIFEST_NAME).read_text())
+    def names(self) -> list[str]:
+        return sorted(path.name for path in self.directory.iterdir() if path.is_file())
 
     def get_text(self, name: str) -> str:
         path = self.directory / name
@@ -189,6 +261,9 @@ class _DirectorySource(ArchiveSource):
         prefix = f"{kind}_emblem_"
         return sum(1 for _ in self.directory.glob(f"{prefix}*.pgm"))
 
+    def _describe(self) -> str:
+        return str(self.directory)
+
 
 class DirectoryBackend(StorageBackend):
     """PGM files on disk — the historical directory layout."""
@@ -198,6 +273,15 @@ class DirectoryBackend(StorageBackend):
 
     def create(self, target: "str | Path") -> ArchiveSink:
         return _DirectorySink(Path(target))
+
+    def append(self, target: "str | Path") -> ArchiveSink:
+        directory = Path(target)
+        if not (directory / MANIFEST_NAME).exists():
+            raise StoreError(
+                f"{directory} does not contain an archive manifest; "
+                "append needs an existing archive to extend"
+            )
+        return _DirectorySink(directory)
 
     def open(self, target: "str | Path") -> ArchiveSource:
         return _DirectorySource(Path(target))
@@ -234,16 +318,210 @@ def _record_header_size(name: str) -> int:
     return _NAME_LEN.size + len(name.encode("utf-8")) + _PAYLOAD_LEN.size
 
 
+@dataclass
+class ContainerScan:
+    """What a linear walk of a container's record stream found.
+
+    The walk understands both unit kinds that legally appear after the file
+    magic — length-prefixed records and 16-byte (index offset, magic)
+    trailer blocks — so it parses multi-generation containers, where each
+    append leaves the previous generation's index and trailer in place.
+    """
+
+    #: Total file size in bytes.
+    size: int
+    #: Every complete record: ``(name, payload_offset, payload_length)``, in
+    #: stream order (duplicate names legal; the *last* occurrence wins).
+    records: list[tuple[str, int, int]] = field(default_factory=list)
+    #: End offset of every complete, well-formed trailer block.
+    trailer_ends: list[int] = field(default_factory=list)
+    #: One past the last byte of the last complete unit; anything beyond it
+    #: is a torn tail.
+    end_of_valid: int = 0
+
+    @property
+    def torn_bytes(self) -> int:
+        """Unparseable bytes dangling past the last complete unit."""
+        return self.size - self.end_of_valid
+
+    @property
+    def intact(self) -> bool:
+        """True when the file ends exactly on a complete trailer."""
+        return (
+            self.torn_bytes == 0
+            and bool(self.trailer_ends)
+            and self.trailer_ends[-1] == self.size
+        )
+
+    def index(self) -> dict[str, tuple[int, int]]:
+        """Record index from the scan (last duplicate wins, as on append)."""
+        return {
+            name: (offset, length)
+            for name, offset, length in self.records
+            if name != _INDEX_NAME
+        }
+
+
+def _scan_stream(stream, size: int) -> ContainerScan:
+    """Walk an open container stream (see :func:`scan_container`)."""
+    scan = ContainerScan(size=size)
+    position = len(CONTAINER_MAGIC)
+    while position + _NAME_LEN.size <= size:
+        stream.seek(position)
+        head = stream.read(min(_TRAILER.size, size - position))
+        # A trailer block: 8-byte index offset + index magic.  The magic in
+        # bytes 8..16 cannot collide with a record, whose bytes there would
+        # be UTF-8 name text (all record names are ASCII file names).
+        if len(head) == _TRAILER.size and head[8:] == _INDEX_MAGIC:
+            offset = _TRAILER.unpack(head)[0]
+            if len(CONTAINER_MAGIC) <= offset <= position:
+                position += _TRAILER.size
+                scan.trailer_ends.append(position)
+                scan.end_of_valid = position
+                continue
+        (name_len,) = _NAME_LEN.unpack(head[: _NAME_LEN.size])
+        stream.seek(position + _NAME_LEN.size)
+        body = stream.read(name_len + _PAYLOAD_LEN.size)
+        if len(body) < name_len + _PAYLOAD_LEN.size:
+            break
+        name = body[:name_len].decode("utf-8", errors="replace")
+        (payload_len,) = _PAYLOAD_LEN.unpack(body[name_len:])
+        payload_start = position + _record_header_size(name)
+        if payload_start + payload_len > size:
+            break  # truncated final record
+        scan.records.append((name, payload_start, payload_len))
+        position = payload_start + payload_len
+        scan.end_of_valid = position
+    return scan
+
+
+def scan_container(path: "str | Path") -> ContainerScan:
+    """Linearly walk ``path``'s record stream, tolerating a torn tail.
+
+    Used by the damaged-index read fallback, by append-session recovery, and
+    by :func:`repair_container`; every complete record before any damage is
+    reported.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as stream:
+            if stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
+                raise StoreError(f"{path}: not a ULE container archive (bad magic)")
+            stream.seek(0, io.SEEK_END)
+            return _scan_stream(stream, stream.tell())
+    except OSError as exc:
+        raise StoreError(f"{path}: cannot open container archive: {exc}") from exc
+
+
+def repair_container(path: "str | Path") -> dict:
+    """Truncate a torn tail append back to a loadable state, in place.
+
+    Two cases, decided by what the linear scan finds past the last valid
+    trailer:
+
+    * the appended generation's *manifest record* made it to the medium
+      (only the new index/trailer are damaged or missing): the append
+      effectively completed, so the repair keeps every complete record,
+      truncates the dangling bytes, and finishes the job by writing a merged
+      index and a fresh trailer;
+    * otherwise the append died mid-records: the repair truncates back to
+      the last valid trailer, dropping the partial generation — the archive
+      returns to exactly its previous complete state.
+
+    Returns a report dict: ``action`` (``"intact"`` / ``"completed-index"``
+    / ``"truncated"``), ``bytes_removed``, ``size_before``, ``size_after``.
+
+    Raises
+    ------
+    StoreError
+        When the file is not a container, or holds no valid trailer *and* no
+        complete manifest record (nothing loadable to repair back to).
+    """
+    path = Path(path)
+    scan = scan_container(path)
+    size_before = scan.size
+    if scan.intact:
+        return {
+            "action": "intact",
+            "bytes_removed": 0,
+            "size_before": size_before,
+            "size_after": size_before,
+        }
+    last_trailer_end = scan.trailer_ends[-1] if scan.trailer_ends else 0
+    manifest_after_trailer = any(
+        offset >= last_trailer_end and manifest_generation_of(name) is not None
+        for name, offset, _length in scan.records
+    )
+    try:
+        with open(path, "r+b") as stream:
+            if manifest_after_trailer:
+                # The generation's records all landed; finish its index.
+                stream.truncate(scan.end_of_valid)
+                stream.seek(scan.end_of_valid)
+                index_payload = json.dumps(
+                    [[name, offset, length] for name, (offset, length) in scan.index().items()]
+                ).encode("utf-8")
+                stream.write(_pack_record(_INDEX_NAME, index_payload))
+                index_offset = scan.end_of_valid + _record_header_size(_INDEX_NAME)
+                stream.write(_TRAILER.pack(index_offset, _INDEX_MAGIC))
+                size_after = stream.tell()
+                return {
+                    "action": "completed-index",
+                    "bytes_removed": size_before - scan.end_of_valid,
+                    "size_before": size_before,
+                    "size_after": size_after,
+                }
+            if not last_trailer_end:
+                raise StoreError(
+                    f"{path}: no valid trailer and no complete manifest record; "
+                    "the container cannot be repaired to a loadable state"
+                )
+            stream.truncate(last_trailer_end)
+            return {
+                "action": "truncated",
+                "bytes_removed": size_before - last_trailer_end,
+                "size_before": size_before,
+                "size_after": last_trailer_end,
+            }
+    except OSError as exc:
+        raise StoreError(f"{path}: cannot repair container archive: {exc}") from exc
+
+
 class _ContainerSink(ArchiveSink):
-    def __init__(self, path: Path):
+    """Write side of the container backend.
+
+    A fresh sink starts a new file; ``appending=True`` reopens an existing
+    container, inherits its record index, and appends new records after the
+    old trailer — close() then writes a *merged* index (old + new entries)
+    and a new trailer, so the previous generation's (index, trailer) pair
+    stays untouched on the medium as the fallback state.
+    """
+
+    def __init__(self, path: Path, appending: bool = False):
         self.path = path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        self._stream = open(path, "wb")
-        self._stream.write(CONTAINER_MAGIC)
-        self._offset = len(CONTAINER_MAGIC)
-        #: name -> (payload offset, payload length), in append order.
         self._index: dict[str, tuple[int, int]] = {}
         self._closed = False
+        #: Pre-session file size; abort() truncates back to it (append only).
+        self._rollback_size: int | None = None
+        if appending:
+            scan = scan_container(path)
+            if not scan.intact:
+                raise StoreError(
+                    f"{path}: container has a torn tail append "
+                    f"({scan.torn_bytes} dangling bytes past the last "
+                    "complete record; no intact trailer at end of file); run "
+                    "`python -m repro verify --repair` before appending"
+                )
+            self._index = scan.index()
+            self._stream = open(path, "r+b")
+            self._stream.seek(scan.size)
+            self._offset = scan.size
+            self._rollback_size = scan.size
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(path, "wb")
+            self._stream.write(CONTAINER_MAGIC)
+            self._offset = len(CONTAINER_MAGIC)
 
     def _append(self, name: str, payload: bytes) -> None:
         if self._closed:
@@ -273,6 +551,23 @@ class _ContainerSink(ArchiveSink):
         self._stream.write(_TRAILER.pack(index_offset, _INDEX_MAGIC))
         self._stream.close()
 
+    def abort(self) -> None:
+        """Roll a failed session back instead of finalising it.
+
+        An appending sink truncates the file to its pre-session size, so the
+        previous generation's intact (index, trailer) pair is the end of the
+        file again — the archive is exactly what it was before the append
+        started, and a retried append sees no half-written records.  A fresh
+        sink just closes without writing an index (the target never held a
+        complete archive to roll back to).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._rollback_size is not None:
+            self._stream.truncate(self._rollback_size)
+        self._stream.close()
+
 
 class _ContainerSource(ArchiveSource):
     def __init__(self, path: Path):
@@ -291,7 +586,7 @@ class _ContainerSource(ArchiveSource):
 
     # -------------------------------------------------------------- #
     def _load_index(self) -> dict[str, tuple[int, int]]:
-        """The record index: from the trailer, or by scanning on damage."""
+        """The record index: from the newest trailer, or by scanning on damage."""
         self._stream.seek(0, io.SEEK_END)
         size = self._stream.tell()
         if size >= len(CONTAINER_MAGIC) + _TRAILER.size:
@@ -305,30 +600,7 @@ class _ContainerSource(ArchiveSource):
                     return {name: (start, length) for name, start, length in entries}
                 except (ValueError, TypeError):
                     pass  # corrupt index: fall through to the scan
-        return self._scan_index(size)
-
-    def _scan_index(self, size: int) -> dict[str, tuple[int, int]]:
-        """Rebuild the index by walking the self-describing record stream.
-
-        Tolerates a truncated tail: every complete record before the damage
-        is still served.
-        """
-        index: dict[str, tuple[int, int]] = {}
-        position = len(CONTAINER_MAGIC)
-        while position + _NAME_LEN.size <= size:
-            self._stream.seek(position)
-            (name_len,) = _NAME_LEN.unpack(self._stream.read(_NAME_LEN.size))
-            head = self._stream.read(name_len + _PAYLOAD_LEN.size)
-            if len(head) < name_len + _PAYLOAD_LEN.size:
-                break
-            name = head[:name_len].decode("utf-8", errors="replace")
-            (payload_len,) = _PAYLOAD_LEN.unpack(head[name_len:])
-            payload_start = position + _NAME_LEN.size + name_len + _PAYLOAD_LEN.size
-            if payload_start + payload_len > size:
-                break  # truncated final record
-            if name != _INDEX_NAME:
-                index[name] = (payload_start, payload_len)
-            position = payload_start + payload_len
+        index = _scan_stream(self._stream, size).index()
         if not index:
             raise StoreError(f"{self.path}: container archive holds no readable records")
         return index
@@ -346,8 +618,8 @@ class _ContainerSource(ArchiveSource):
         return payload
 
     # -------------------------------------------------------------- #
-    def manifest(self) -> ArchiveManifest:
-        return ArchiveManifest.from_json(self._read(MANIFEST_NAME).decode("utf-8"))
+    def names(self) -> list[str]:
+        return sorted(self._index)
 
     def get_text(self, name: str) -> str:
         return self._read(name).decode("utf-8")
@@ -359,6 +631,9 @@ class _ContainerSource(ArchiveSource):
     def frame_count(self, kind: str) -> int:
         prefix = f"{kind}_emblem_"
         return sum(1 for name in self._index if name.startswith(prefix))
+
+    def _describe(self) -> str:
+        return str(self.path)
 
     def close(self) -> None:
         self._stream.close()
@@ -372,6 +647,15 @@ class ContainerBackend(StorageBackend):
 
     def create(self, target: "str | Path") -> ArchiveSink:
         return _ContainerSink(Path(target))
+
+    def append(self, target: "str | Path") -> ArchiveSink:
+        path = Path(target)
+        if not path.is_file():
+            raise StoreError(
+                f"{path} is not an existing container archive; "
+                "append needs an existing archive to extend"
+            )
+        return _ContainerSink(path, appending=True)
 
     def open(self, target: "str | Path") -> ArchiveSource:
         return _ContainerSource(Path(target))
@@ -411,8 +695,8 @@ class _MemorySource(ArchiveSource):
         except KeyError:
             raise StoreError(f"memory archive {self._key!r} has no record {name!r}") from None
 
-    def manifest(self) -> ArchiveManifest:
-        return ArchiveManifest.from_json(self._read(MANIFEST_NAME).decode("utf-8"))
+    def names(self) -> list[str]:
+        return sorted(self._records)
 
     def get_text(self, name: str) -> str:
         return self._read(name).decode("utf-8")
@@ -425,6 +709,9 @@ class _MemorySource(ArchiveSource):
         prefix = f"{kind}_emblem_"
         return sum(1 for name in self._records if name.startswith(prefix))
 
+    def _describe(self) -> str:
+        return f"mem:{self._key}"
+
 
 class MemoryBackend(StorageBackend):
     """In-process storage keyed by target name — tests and benchmarks."""
@@ -435,6 +722,16 @@ class MemoryBackend(StorageBackend):
     def create(self, target: "str | Path") -> ArchiveSink:
         records: dict[str, bytes] = {}
         _MEMORY_TARGETS[_memory_key(target)] = records
+        return _MemorySink(records)
+
+    def append(self, target: "str | Path") -> ArchiveSink:
+        key = _memory_key(target)
+        records = _MEMORY_TARGETS.get(key)
+        if records is None:
+            raise StoreError(
+                f"no memory archive named {key!r} exists in this process; "
+                "append needs an existing archive to extend"
+            )
         return _MemorySink(records)
 
     def open(self, target: "str | Path") -> ArchiveSource:

@@ -1,8 +1,8 @@
-"""Manifest v2: the versioned, self-describing on-media archive description.
+"""Manifest v3: the versioned, self-describing on-media archive description.
 
 The paper's bootstrap layer insists that everything needed to restore an
 archive lives *on the medium*; this module applies the same discipline to the
-store layer.  A v2 manifest is a JSON object carrying:
+store layer.  A v3 manifest is a JSON object carrying:
 
 * ``format_version`` — the layout version (this module owns the number);
 * ``config`` — the writing session's :class:`~repro.api.ArchiveConfig` as
@@ -10,16 +10,24 @@ store layer.  A v2 manifest is a JSON object carrying:
 * per-segment records with logical byte ranges (``offset``/``length``),
   frame locations (``emblem_start``/``emblem_count``) and content hashes
   (``crc32`` + ``sha256``), so any byte range can be located, decoded and
-  verified without decoding the rest of the archive.
+  verified without decoding the rest of the archive;
+* ``generation`` and ``parent`` — the incremental-append lineage.  Every
+  append session writes a *new* manifest one generation up, carrying the
+  SHA-256 digest of its parent manifest and the full, monotonically
+  renumbered segment list (old segments plus the appended ones), under a
+  generation-numbered record name.  The **newest valid manifest supersedes
+  all older ones**: a reader only ever consults the superseding manifest,
+  and a torn append simply falls back to the previous generation.
 
-The historical **v1** layout — the same object minus ``format_version``,
-``config`` and the segment hashes — still loads through
+The historical **v1** layout (no ``format_version``, ``config`` or segment
+hashes) and **v2** layout (no ``generation``/``parent``) still load through
 :func:`upgrade_manifest_fields`, which warns :class:`DeprecationWarning` and
 fills the missing fields with their absent-value defaults.
 """
 
 from __future__ import annotations
 
+import re
 import warnings
 
 from repro.errors import StoreError
@@ -27,11 +35,13 @@ from repro.errors import StoreError
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
     "manifest_version",
+    "manifest_record_name",
+    "manifest_generation_of",
     "upgrade_manifest_fields",
 ]
 
 #: Current on-media manifest layout version.
-MANIFEST_FORMAT_VERSION = 2
+MANIFEST_FORMAT_VERSION = 3
 
 #: Keys every manifest version must carry to be loadable at all.
 _REQUIRED_KEYS = (
@@ -43,6 +53,29 @@ _REQUIRED_KEYS = (
     "system_emblem_count",
 )
 
+#: Record/file name of a manifest: generation 0 keeps the historical
+#: ``manifest.json`` so v1/v2 readers and tools still find it; appended
+#: generations live under generation-numbered names next to it.
+_MANIFEST_RECORD = re.compile(r"^manifest(?:_gen_(\d{4,}))?\.json$")
+
+
+def manifest_record_name(generation: int) -> str:
+    """The store record/file name holding the manifest of ``generation``."""
+    if generation < 0:
+        raise StoreError(f"manifest generation must be >= 0, got {generation}")
+    if generation == 0:
+        return "manifest.json"
+    return f"manifest_gen_{generation:04d}.json"
+
+
+def manifest_generation_of(name: str) -> int | None:
+    """The generation a manifest record name claims, or ``None`` for
+    non-manifest records."""
+    match = _MANIFEST_RECORD.match(name)
+    if match is None:
+        return None
+    return int(match.group(1)) if match.group(1) else 0
+
 
 def manifest_version(fields: dict) -> int:
     """The layout version of a parsed manifest object (v1 has no marker)."""
@@ -53,14 +86,15 @@ def manifest_version(fields: dict) -> int:
 
 
 def upgrade_manifest_fields(fields: dict) -> dict:
-    """Normalise a parsed manifest object to the v2 field set.
+    """Normalise a parsed manifest object to the v3 field set.
 
-    v1 objects upgrade in place behind a :class:`DeprecationWarning`:
-    ``format_version`` becomes 2, ``config`` stays ``None`` and segment
-    records keep ``sha256=None`` (their dataclass default), which downgrades
-    partial-restore verification to the CRC-32 check.  Objects written by a
-    *newer* layout raise :class:`~repro.errors.StoreError` instead of being
-    misread.
+    v1 and v2 objects upgrade in place behind a :class:`DeprecationWarning`:
+    ``format_version`` becomes 3, v1's ``config`` stays ``None`` and its
+    segment records keep ``sha256=None`` (their dataclass default, which
+    downgrades partial-restore verification to the CRC-32 check), and both
+    gain ``generation=0`` / ``parent=None`` — a pre-append archive is its
+    own generation 0.  Objects written by a *newer* layout raise
+    :class:`~repro.errors.StoreError` instead of being misread.
 
     Raises
     ------
@@ -83,11 +117,13 @@ def upgrade_manifest_fields(fields: dict) -> dict:
     if version < MANIFEST_FORMAT_VERSION:
         warnings.warn(
             f"loading a v{version} archive manifest through the compatibility "
-            "shim; re-archive (or re-save) to upgrade it to the v2 "
-            "self-describing layout",
+            "shim; re-archive (or re-save) to upgrade it to the v3 "
+            "appendable layout",
             DeprecationWarning,
             stacklevel=3,
         )
         fields["format_version"] = MANIFEST_FORMAT_VERSION
         fields.setdefault("config", None)
+        fields.setdefault("generation", 0)
+        fields.setdefault("parent", None)
     return fields

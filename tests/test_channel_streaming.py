@@ -10,8 +10,12 @@ contract:
 * the streaming per-batch record/scan path restores bit-identically to the
   deprecated whole-frame pass across media × executors,
 * ``decode_parallelism`` > 1 restores bit-identically to the serial decode,
-  for segmented and one-shot (single huge segment) archives alike,
+  for segmented and one-shot (single huge segment) archives alike — for the
+  *system-emblem* stream too, which decodes through the same chunked path,
 * ``readahead`` prefetching returns the same bytes as lazy fetching.
+
+Archives are built through the shared ``make_payload`` / ``build_archive``
+factory fixtures in ``conftest.py``.
 """
 
 from __future__ import annotations
@@ -27,17 +31,6 @@ from repro.core.restorer import RestoreEngine
 from repro.media.distortions import OFFICE_SCAN
 from repro.media.paper import PaperChannel
 from repro.store import FramePrefetcher, MemoryBackend
-
-
-def _payload(size: int, seed: int = 20210104) -> bytes:
-    rng = np.random.default_rng(seed)
-    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
-
-
-def _archive(config: ArchiveConfig, payload: bytes):
-    with open_archive(config) as writer:
-        writer.write(payload)
-    return writer.archive
 
 
 # --------------------------------------------------------------------------- #
@@ -88,13 +81,14 @@ class TestScanFramesInvariance:
 class TestStreamingChannelEquivalence:
     @pytest.mark.parametrize("media", ["test", "dna"])
     @pytest.mark.parametrize("executor", ["serial", "thread:2"])
-    def test_streaming_matches_whole_frame(self, media: str, executor: str) -> None:
-        payload = _payload(4000)
+    def test_streaming_matches_whole_frame(self, media: str, executor: str,
+                                           make_payload, build_archive) -> None:
+        payload = make_payload(4000)
         config = ArchiveConfig(
             media=media, codec="portable", segment_size=1024,
             executor=executor, scan_seed=13,
         )
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         engine = RestoreEngine(config.media_profile(), executor=executor)
         streamed = engine.restore_via_channel(archive, seed=13)
         with warnings.catch_warnings():
@@ -104,11 +98,12 @@ class TestStreamingChannelEquivalence:
         assert any("per batch" in note for note in streamed.notes)
 
     @pytest.mark.parametrize("seed", [0, 7, 20210104])
-    def test_streaming_is_executor_invariant(self, seed: int) -> None:
+    def test_streaming_is_executor_invariant(self, seed: int, make_payload,
+                                             build_archive) -> None:
         """Per-frame seeding makes the streamed restore executor-independent."""
-        payload = _payload(3000, seed=seed + 1)
+        payload = make_payload(3000, seed=seed + 1)
         config = ArchiveConfig(media="test", segment_size=512, scan_seed=seed)
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         results = [
             RestoreEngine(config.media_profile(), executor=executor)
             .restore_via_channel(archive, seed=seed)
@@ -116,8 +111,8 @@ class TestStreamingChannelEquivalence:
         ]
         assert all(result.payload == payload for result in results)
 
-    def test_run_end_to_end_streams_the_channel(self) -> None:
-        payload = _payload(2500)
+    def test_run_end_to_end_streams_the_channel(self, make_payload) -> None:
+        payload = make_payload(2500)
         result = run_end_to_end(
             ArchiveConfig(media="test", segment_size=512, scan_seed=21), payload
         )
@@ -128,25 +123,27 @@ class TestStreamingChannelEquivalence:
             + result.archive.manifest.system_emblem_count
         )
 
-    def test_open_restore_via_channel_session(self) -> None:
-        payload = _payload(2000)
+    def test_open_restore_via_channel_session(self, make_payload, build_archive) -> None:
+        payload = make_payload(2000)
         config = ArchiveConfig(media="test", segment_size=512, scan_seed=3)
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         with open_restore(archive, config, via_channel=True) as reader:
             assert reader.read().payload == payload
 
-    def test_distortion_override_streams_when_named(self) -> None:
+    def test_distortion_override_streams_when_named(self, make_payload,
+                                                    build_archive) -> None:
         """A named distortion override rides the ChannelSpec into the jobs."""
-        payload = _payload(2500)
+        payload = make_payload(2500)
         config = ArchiveConfig(
             media="test", segment_size=512, distortion="pristine", scan_seed=9
         )
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         result = open_restore(archive, config).read_via_channel(seed=9)
         assert result.payload == payload
         assert any("per batch" in note for note in result.notes)
 
-    def test_unnamed_channel_customisation_falls_back_whole_frame(self) -> None:
+    def test_unnamed_channel_customisation_falls_back_whole_frame(
+            self, make_payload, build_archive) -> None:
         """A profile whose channel can't be rebuilt by name must not stream
         with the registry default — it degrades to the whole-frame pass."""
         config = ArchiveConfig(media="test", segment_size=512, scan_seed=9)
@@ -156,8 +153,8 @@ class TestStreamingChannelEquivalence:
         assert engine._channel_spec(seed=9, distortion=None) is None
         # Named, it streams; unregistered profiles also fall back.
         assert engine._channel_spec(seed=9, distortion="pristine") is not None
-        payload = _payload(1500)
-        archive = _archive(config, payload)
+        payload = make_payload(1500)
+        archive = build_archive(config, payload)
         result = engine.restore_via_channel(archive, seed=9)
         assert result.payload == payload
         assert not any("per batch" in note for note in result.notes)
@@ -168,11 +165,12 @@ class TestStreamingChannelEquivalence:
 # --------------------------------------------------------------------------- #
 class TestDecodeParallelism:
     @pytest.mark.parametrize("executor", ["serial", "thread:3"])
-    def test_one_shot_archive_matches_serial(self, executor: str) -> None:
+    def test_one_shot_archive_matches_serial(self, executor: str, make_payload,
+                                             build_archive) -> None:
         """A single huge segment decodes chunk-parallel to the same bytes."""
-        payload = _payload(9000)
+        payload = make_payload(9000)
         config = ArchiveConfig(media="test", segment_size=None)
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         assert len(archive.manifest.segments) == 1
         serial = RestoreEngine(config.media_profile()).restore(archive)
         chunked = RestoreEngine(
@@ -182,28 +180,56 @@ class TestDecodeParallelism:
         assert chunked.data_report.emblems_decoded == serial.data_report.emblems_decoded
         assert chunked.data_report.emblems_seen == serial.data_report.emblems_seen
 
-    def test_segmented_archive_matches_serial(self) -> None:
-        payload = _payload(8000)
+    def test_segmented_archive_matches_serial(self, make_payload, build_archive) -> None:
+        payload = make_payload(8000)
         config = ArchiveConfig(media="test", segment_size=2048)
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         serial = open_restore(archive, config).read()
         parallel = open_restore(
             archive, config, executor="thread:2", decode_parallelism=2
         ).read()
         assert parallel.payload == serial.payload == payload
 
-    def test_streaming_channel_with_decode_parallelism(self) -> None:
+    def test_system_emblem_stream_chunked_matches_serial(self, make_payload,
+                                                         build_archive) -> None:
+        """The system-emblem stream decodes through the same chunked path.
+
+        The ROADMAP follow-up: ``decode_parallelism`` now applies to step
+        4's system stream as well, so its RS-heavy per-image decoding maps
+        through the executor — and must stay byte-identical to the serial
+        decode, statistics included.  ``decode_mode="dynarisc"`` forces the
+        decoded system stream to actually *run* as the archived decoder, so
+        a corrupted chunked decode cannot slip through unnoticed.
+        """
+        payload = make_payload(3000)
+        config = ArchiveConfig(media="test", segment_size=1024)
+        archive = build_archive(config, payload)
+        serial = RestoreEngine(config.media_profile(), decode_mode="dynarisc").restore(archive)
+        chunked = RestoreEngine(
+            config.media_profile(), decode_mode="dynarisc",
+            executor="thread:3", decode_parallelism=3,
+        ).restore(archive)
+        assert chunked.payload == serial.payload == payload
+        assert serial.system_report is not None and chunked.system_report is not None
+        assert chunked.system_report.emblems_seen == serial.system_report.emblems_seen
+        assert chunked.system_report.emblems_decoded == serial.system_report.emblems_decoded
+        assert chunked.system_report.rs_corrections == serial.system_report.rs_corrections
+        assert chunked.emulator_steps == serial.emulator_steps > 0
+
+    def test_streaming_channel_with_decode_parallelism(self, make_payload,
+                                                       build_archive) -> None:
         """Both tentpole halves composed: per-batch channel + chunked decode."""
-        payload = _payload(6000)
+        payload = make_payload(6000)
         config = ArchiveConfig(
             media="test", segment_size=1500, executor="thread:2",
             decode_parallelism=2, scan_seed=17,
         )
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         result = open_restore(archive, config).read_via_channel(seed=17)
         assert result.payload == payload
 
-    def test_serial_executor_upgrades_for_chunked_decode(self) -> None:
+    def test_serial_executor_upgrades_for_chunked_decode(self, make_payload,
+                                                         build_archive) -> None:
         """decode_parallelism > 1 over the default serial executor must not
         be a silent no-op: chunk decoding upgrades to a thread pool."""
         from repro.pipeline import RestorePipeline, resolve_decode_executor
@@ -213,9 +239,9 @@ class TestDecodeParallelism:
         assert resolve_decode_executor("process:2", 4) == "process:2"
         pipeline = RestorePipeline(decode_parallelism=3)
         assert pipeline.executor == "thread:3"
-        payload = _payload(5000)
+        payload = make_payload(5000)
         config = ArchiveConfig(media="test", segment_size=None)
-        archive = _archive(config, payload)
+        archive = build_archive(config, payload)
         upgraded = RestoreEngine(config.media_profile(), decode_parallelism=3)
         assert upgraded.restore(archive).payload == payload
 
@@ -234,8 +260,8 @@ class TestDecodeParallelism:
 # readahead: prefetched partial restore == lazy partial restore
 # --------------------------------------------------------------------------- #
 class TestReadahead:
-    def test_read_range_matches_lazy(self) -> None:
-        payload = _payload(16000)
+    def test_read_range_matches_lazy(self, make_payload) -> None:
+        payload = make_payload(16000)
         config = ArchiveConfig(media="test", codec="store", segment_size=2048)
         target = "mem:readahead-equivalence"
         try:

@@ -1,11 +1,15 @@
-"""Tests for :mod:`repro.store`: manifest v2, storage backends, partial restore.
+"""Tests for :mod:`repro.store`: manifest v3, storage backends, partial restore.
 
-Covers the manifest v2 <-> v1 deprecation shim, the three storage backends
-(directory / container / memory) round-tripping archives from the persisted
-bytes alone, random-access ``read_range`` / ``restore_segment`` equalling
-the corresponding slice of a full restore across media and codecs while
-decoding strictly fewer frames, container damage tolerance (index-less
+Covers the manifest v3 <-> v1/v2 deprecation shims, the three storage
+backends (directory / container / memory) round-tripping archives from the
+persisted bytes alone, random-access ``read_range`` / ``restore_segment``
+equalling the corresponding slice of a full restore across media and codecs
+while decoding strictly fewer frames, container damage tolerance (index-less
 linear scan), and worker-side plugin discovery via ``REPRO_PLUGINS``.
+
+Archive-building goes through the shared ``make_payload`` / ``write_archive``
+factory fixtures in ``conftest.py``; the incremental-append and verify/fsck
+suites live in ``tests/test_append.py``.
 """
 
 import json
@@ -18,7 +22,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import ArchiveConfig, open_archive, open_restore, registry
+from repro import ArchiveConfig, open_restore, registry
 from repro.core.archive import ArchiveManifest
 from repro.errors import ArchiveError, ConfigError, StoreError, UnknownNameError
 from repro.store import (
@@ -32,53 +36,45 @@ from repro.store import (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def random_payload(size: int, seed: int) -> bytes:
-    rng = np.random.default_rng(seed)
-    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
-
-
-def write_archive(target, payload: bytes, *, store=None, media="test", codec="portable",
-                  segment_size=2048) -> ArchiveConfig:
-    config = ArchiveConfig(media=media, codec=codec, segment_size=segment_size)
-    with open_archive(config, target=target, store=store) as writer:
-        writer.write(payload)
-    return config
-
-
 # --------------------------------------------------------------------------- #
-# Manifest v2 and the v1 shim
+# Manifest v3 and the v1/v2 shims
 # --------------------------------------------------------------------------- #
-class TestManifestV2:
-    def test_v2_manifest_is_self_describing(self, tmp_path):
-        payload = random_payload(5_000, seed=1)
+class TestManifestVersions:
+    def test_v3_manifest_is_self_describing(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(5_000, seed=1)
         config = write_archive(tmp_path / "arch", payload)
         manifest = open_source(tmp_path / "arch").manifest()
-        assert manifest.format_version == MANIFEST_FORMAT_VERSION == 2
+        assert manifest.format_version == MANIFEST_FORMAT_VERSION == 3
         assert manifest.config == config.to_dict()
+        assert manifest.generation == 0
+        assert manifest.parent is None
         assert len(manifest.segments) == 3
         for record in manifest.segments:
             assert record.sha256 is not None and len(record.sha256) == 64
         # The on-media JSON carries the version marker explicitly.
         fields = json.loads((tmp_path / "arch" / "manifest.json").read_text())
-        assert fields["format_version"] == 2
+        assert fields["format_version"] == 3
+        assert fields["generation"] == 0
         assert fields["config"]["codec"] == "portable"
 
-    def test_v1_manifest_loads_through_the_shim(self, tmp_path):
-        payload = random_payload(5_000, seed=2)
+    def test_v1_manifest_loads_through_the_shim(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(5_000, seed=2)
         write_archive(tmp_path / "arch", payload)
         manifest_path = tmp_path / "arch" / "manifest.json"
         fields = json.loads(manifest_path.read_text())
         # Rewrite the manifest exactly as PR 2 wrote it: no version marker,
-        # no embedded config, no per-segment hashes.
+        # no embedded config, no per-segment hashes, no lineage.
         del fields["format_version"], fields["config"]
+        del fields["generation"], fields["parent"]
         for segment in fields["segments"]:
             del segment["sha256"]
         manifest_path.write_text(json.dumps(fields))
 
         with pytest.warns(DeprecationWarning, match="v1 archive manifest"):
             manifest = ArchiveManifest.from_json(manifest_path.read_text())
-        assert manifest.format_version == 2
+        assert manifest.format_version == 3
         assert manifest.config is None
+        assert manifest.generation == 0 and manifest.parent is None
         assert all(record.sha256 is None for record in manifest.segments)
 
         # The archive still restores, fully and partially (CRC-only verify).
@@ -89,13 +85,41 @@ class TestManifestV2:
             reader = open_restore(tmp_path / "arch")
         assert reader.read_range(2_100, 500) == payload[2_100:2_600]
 
-    def test_v2_roundtrips_exactly(self, tmp_path):
-        payload = random_payload(4_096, seed=3)
+    def test_v2_manifest_loads_through_the_shim(self, tmp_path, make_payload, write_archive):
+        """v2 (PR 3's layout: versioned + hashes, no lineage) round-trips."""
+        payload = make_payload(5_000, seed=21)
+        write_archive(tmp_path / "arch", payload)
+        manifest_path = tmp_path / "arch" / "manifest.json"
+        fields = json.loads(manifest_path.read_text())
+        # Rewrite exactly as PR 3 wrote it: v2 marker, no generation/parent.
+        fields["format_version"] = 2
+        del fields["generation"], fields["parent"]
+        manifest_path.write_text(json.dumps(fields))
+
+        with pytest.warns(DeprecationWarning, match="v2 archive manifest"):
+            manifest = ArchiveManifest.from_json(manifest_path.read_text())
+        assert manifest.format_version == 3
+        assert manifest.generation == 0 and manifest.parent is None
+        # The hashes were already there; nothing downgrades.
+        assert all(record.sha256 is not None for record in manifest.segments)
+        # Shim round-trip: the upgraded manifest re-serialises as v3 and
+        # reloads identically (no second warning — it is v3 now).
+        assert ArchiveManifest.from_json(manifest.to_json()) == manifest
+
+        with pytest.warns(DeprecationWarning):
+            reader = open_restore(tmp_path / "arch")
+        assert reader.read().payload == payload
+        with pytest.warns(DeprecationWarning):
+            reader = open_restore(tmp_path / "arch")
+        assert reader.read_range(2_100, 500) == payload[2_100:2_600]
+
+    def test_v3_roundtrips_exactly(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(4_096, seed=3)
         write_archive(tmp_path / "arch", payload)
         manifest = open_source(tmp_path / "arch").manifest()
         assert ArchiveManifest.from_json(manifest.to_json()) == manifest
 
-    def test_newer_format_version_is_rejected(self, tmp_path):
+    def test_newer_format_version_is_rejected(self, tmp_path, write_archive):
         write_archive(tmp_path / "arch", b"x" * 100)
         manifest_path = tmp_path / "arch" / "manifest.json"
         fields = json.loads(manifest_path.read_text())
@@ -109,8 +133,8 @@ class TestManifestV2:
 # Storage backends
 # --------------------------------------------------------------------------- #
 class TestBackends:
-    def test_container_roundtrips_from_the_file_alone(self, tmp_path):
-        payload = random_payload(9_000, seed=4)
+    def test_container_roundtrips_from_the_file_alone(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(9_000, seed=4)
         path = tmp_path / "backup.ule"
         write_archive(path, payload, store="container")
         assert path.is_file()
@@ -119,8 +143,8 @@ class TestBackends:
         result = reader.read()
         assert result.payload == payload
 
-    def test_directory_store_matches_classic_layout(self, tmp_path):
-        payload = random_payload(4_000, seed=5)
+    def test_directory_store_matches_classic_layout(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(4_000, seed=5)
         write_archive(tmp_path / "arch", payload, store="directory")
         names = {p.name for p in (tmp_path / "arch").iterdir()}
         assert {"manifest.json", "bootstrap.txt", "config.json"} <= names
@@ -131,8 +155,8 @@ class TestBackends:
         archive = MicrOlonysArchive.load(tmp_path / "arch")
         assert open_restore(archive).read().payload == payload
 
-    def test_memory_backend(self):
-        payload = random_payload(4_000, seed=6)
+    def test_memory_backend(self, make_payload, write_archive):
+        payload = make_payload(4_000, seed=6)
         try:
             write_archive("mem:store-test", payload)
             assert detect_store("mem:store-test") == "memory"
@@ -143,7 +167,7 @@ class TestBackends:
         with pytest.raises(StoreError):
             open_source("mem:store-test")
 
-    def test_detect_store(self, tmp_path):
+    def test_detect_store(self, tmp_path, write_archive):
         write_archive(tmp_path / "d", b"x" * 100)
         write_archive(tmp_path / "c.ule", b"x" * 100, store="container")
         assert detect_store(tmp_path / "d") == "directory"
@@ -151,9 +175,9 @@ class TestBackends:
         with pytest.raises(StoreError, match="does not exist"):
             detect_store(tmp_path / "ghost")
 
-    def test_container_survives_a_lost_index(self, tmp_path):
+    def test_container_survives_a_lost_index(self, tmp_path, make_payload, write_archive):
         """A truncated trailer degrades to a linear record scan."""
-        payload = random_payload(5_000, seed=7)
+        payload = make_payload(5_000, seed=7)
         path = tmp_path / "backup.ule"
         write_archive(path, payload, store="container")
         data = path.read_bytes()
@@ -178,8 +202,8 @@ class TestBackends:
         with pytest.raises(ConfigError):
             ArchiveConfig(store="cloud")
 
-    def test_load_archive_from_any_target(self, tmp_path):
-        payload = random_payload(3_000, seed=8)
+    def test_load_archive_from_any_target(self, tmp_path, make_payload, write_archive):
+        payload = make_payload(3_000, seed=8)
         write_archive(tmp_path / "c.ule", payload, store="container")
         archive = load_archive(tmp_path / "c.ule")
         assert archive.manifest.archive_bytes == len(payload)
@@ -197,8 +221,9 @@ class TestPartialRestore:
 
     @pytest.mark.parametrize("media", ["test", "dna"])
     @pytest.mark.parametrize("codec", ["store", "portable"])
-    def test_read_range_equals_full_restore_slice(self, tmp_path, media, codec):
-        payload = random_payload(6_000, seed=11)
+    def test_read_range_equals_full_restore_slice(self, tmp_path, media, codec,
+                                                  make_payload, write_archive):
+        payload = make_payload(6_000, seed=11)
         target = tmp_path / f"{media}-{codec}.ule"
         write_archive(target, payload, store="container", media=media, codec=codec)
         full = open_restore(target).read().payload
@@ -209,8 +234,9 @@ class TestPartialRestore:
                 f"range [{offset}:{offset + length}) mismatch on {media}/{codec}"
             )
 
-    def test_restore_segment_decodes_only_that_segment(self, tmp_path):
-        payload = random_payload(8_192, seed=12)
+    def test_restore_segment_decodes_only_that_segment(self, tmp_path, make_payload,
+                                                       write_archive):
+        payload = make_payload(8_192, seed=12)
         target = tmp_path / "arch"
         write_archive(target, payload)
         manifest = open_source(target).manifest()
@@ -225,9 +251,10 @@ class TestPartialRestore:
         assert reader.segments_decoded == 1
         assert reader.frames_decoded == record.emblem_count
 
-    def test_partial_restore_decodes_strictly_fewer_frames(self, tmp_path):
+    def test_partial_restore_decodes_strictly_fewer_frames(self, tmp_path, make_payload,
+                                                           write_archive):
         """The acceptance criterion: partial < full, measured in frames."""
-        payload = random_payload(8_192, seed=13)
+        payload = make_payload(8_192, seed=13)
         target = tmp_path / "arch.ule"
         write_archive(target, payload, store="container")
 
@@ -242,15 +269,16 @@ class TestPartialRestore:
         reader.restore_segment(0)
         assert 0 < reader.frames_decoded < full_frames
 
-    def test_read_range_parallel_executor_matches_serial(self, tmp_path):
-        payload = random_payload(8_192, seed=14)
+    def test_read_range_parallel_executor_matches_serial(self, tmp_path, make_payload,
+                                                         write_archive):
+        payload = make_payload(8_192, seed=14)
         target = tmp_path / "arch.ule"
         write_archive(target, payload, store="container")
         serial = open_restore(target, executor="serial").read_range(1_000, 6_000)
         threaded = open_restore(target, executor="thread:2").read_range(1_000, 6_000)
         assert serial == threaded == payload[1_000:7_000]
 
-    def test_read_range_rejects_negative_requests(self, tmp_path):
+    def test_read_range_rejects_negative_requests(self, tmp_path, write_archive):
         write_archive(tmp_path / "arch", b"x" * 4_000)
         reader = open_restore(tmp_path / "arch")
         with pytest.raises(ValueError):
@@ -258,17 +286,18 @@ class TestPartialRestore:
         with pytest.raises(ValueError):
             reader.read_range(0, -10)
 
-    def test_restore_segment_out_of_range(self, tmp_path):
+    def test_restore_segment_out_of_range(self, tmp_path, write_archive):
         write_archive(tmp_path / "arch", b"x" * 4_000)
         reader = open_restore(tmp_path / "arch")
         with pytest.raises(ArchiveError, match="out of range"):
             reader.restore_segment(99)
 
-    def test_corrupt_frame_fails_hash_check_only_when_touched(self, tmp_path):
+    def test_corrupt_frame_fails_hash_check_only_when_touched(self, tmp_path, make_payload,
+                                                              write_archive):
         """Damage in segment 3 is invisible to a read confined to segment 0."""
         from repro.media.image import pgm_bytes, pgm_from_bytes
 
-        payload = random_payload(8_192, seed=15)
+        payload = make_payload(8_192, seed=15)
         target = tmp_path / "arch"
         write_archive(target, payload)
         manifest = open_source(target).manifest()
@@ -369,13 +398,14 @@ class TestStoreCLI:
         assert proc.returncode == 0, proc.stderr
         summary = json.loads(proc.stdout)
         assert summary["store"] == "container"
-        assert summary["format_version"] == 2
+        assert summary["format_version"] == 3
+        assert summary["generation"] == 0
         assert target.is_file()
 
         proc = self._run("inspect", str(target), "--json")
         assert proc.returncode == 0, proc.stderr
         inspected = json.loads(proc.stdout)
-        assert inspected["format_version"] == 2
+        assert inspected["format_version"] == 3
         assert inspected["config"]["segment_size"] == 2048
         assert all(len(seg["sha256"]) == 64 for seg in inspected["segments"])
 
