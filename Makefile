@@ -5,8 +5,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-pipeline bench-record bench-restore-latency \
-	cli-smoke store-smoke restore-smoke append-smoke hygiene golden
+.PHONY: test bench-smoke bench-pipeline bench-record bench-check \
+	bench-restore-latency cli-smoke store-smoke restore-smoke append-smoke \
+	hygiene golden
+
+# Where bench-record writes its BENCH_*.json.  The default (repo root) is the
+# committed baseline; CI records into a scratch dir and compares against it.
+BENCH_DIR ?= .
 
 ## tier-1 test suite (the roadmap's verification command)
 test:
@@ -99,12 +104,19 @@ bench-pipeline:
 bench-restore-latency:
 	$(PYTHON) benchmarks/bench_restore_latency.py
 
-## record the benchmark trajectory: JSON measurements at the repo root,
-## uploaded as workflow artifacts by the CI bench-trajectory job
+## record the benchmark trajectory: JSON measurements into BENCH_DIR
+## (default: the repo root, i.e. the committed baseline files)
 bench-record:
-	$(PYTHON) benchmarks/bench_pipeline.py --smoke --json BENCH_pipeline.json
-	$(PYTHON) benchmarks/bench_store.py --json BENCH_store.json
-	$(PYTHON) benchmarks/bench_restore_latency.py --smoke --json BENCH_restore_latency.json
+	$(PYTHON) benchmarks/bench_pipeline.py --smoke --json $(BENCH_DIR)/BENCH_pipeline.json
+	$(PYTHON) benchmarks/bench_store.py --json $(BENCH_DIR)/BENCH_store.json
+	$(PYTHON) benchmarks/bench_restore_latency.py --smoke --json $(BENCH_DIR)/BENCH_restore_latency.json
+
+## regression gate: re-record into a scratch dir, fail on a > 30% throughput
+## drop vs the committed BENCH_*.json (see benchmarks/check_regression.py)
+bench-check:
+	@rm -rf .bench-fresh; mkdir .bench-fresh
+	$(MAKE) bench-record BENCH_DIR=.bench-fresh
+	$(PYTHON) benchmarks/check_regression.py --fresh-dir .bench-fresh
 
 ## regenerate the golden Bootstrap text after a deliberate decoder change
 golden:

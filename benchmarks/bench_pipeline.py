@@ -81,6 +81,7 @@ def seed_hot_loops():
     *measure* the optimisation instead of asserting it.
     """
     from repro.mocoder import emblem as emblem_mod
+    from repro.mocoder import mocoder as mocoder_mod
     from repro.mocoder.emblem import Emblem, WHITE, BLACK
     from repro.mocoder.reed_solomon import ReedSolomonCode
 
@@ -108,14 +109,19 @@ def seed_hot_loops():
         cells[1::2] = second_half
         return cells
 
+    def per_emblem_batch(emblems):  # the seed had no batched renderer
+        return np.stack([emblem.to_image() for emblem in emblems])
+
     saved = (
         Emblem.to_image,
         emblem_mod.manchester_encode_fast,
+        mocoder_mod.render_emblem_batch,
         ReedSolomonCode.encode_blocks,
         ReedSolomonCode.syndromes_blocks,
     )
     Emblem.to_image = kron_to_image
     emblem_mod.manchester_encode_fast = cumsum_manchester
+    mocoder_mod.render_emblem_batch = per_emblem_batch
     ReedSolomonCode.encode_blocks = ReedSolomonCode._encode_blocks_reference
     ReedSolomonCode.syndromes_blocks = ReedSolomonCode._syndromes_blocks_reference
     try:
@@ -124,9 +130,15 @@ def seed_hot_loops():
         (
             Emblem.to_image,
             emblem_mod.manchester_encode_fast,
+            mocoder_mod.render_emblem_batch,
             ReedSolomonCode.encode_blocks,
             ReedSolomonCode.syndromes_blocks,
         ) = saved
+
+
+#: Timed passes per mode; the best is reported (single-run numbers flap by
+#: 2-3x on busy single-CPU CI runners, which would trip the regression gate).
+_TIMING_RUNS = 2
 
 
 def _timed(fn):
@@ -135,11 +147,13 @@ def _timed(fn):
     Timing and memory are measured in *separate* runs: tracemalloc's
     overhead grows with the amount of live traced memory, which would
     penalise the memory-hungry modes' timings and overstate the streaming
-    speedup.
+    speedup.  Timing is best-of-``_TIMING_RUNS`` to damp scheduler noise.
     """
-    start = time.perf_counter()
-    result = fn()
-    elapsed = time.perf_counter() - start
+    elapsed = float("inf")
+    for _ in range(_TIMING_RUNS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - start)
     tracemalloc.start()
     fn()
     _, peak = tracemalloc.get_traced_memory()
@@ -161,9 +175,11 @@ def bench_encode(payload: bytes, segment_size: int, codec: str,
         return writer.archive.manifest.data_emblem_count
 
     with seed_hot_loops():
-        start = time.perf_counter()
-        one_shot()
-        seconds = time.perf_counter() - start
+        seconds = float("inf")
+        for _ in range(_TIMING_RUNS):
+            start = time.perf_counter()
+            one_shot()
+            seconds = min(seconds, time.perf_counter() - start)
     results["one-shot (seed loops)"] = (seconds, mb / seconds, None)
 
     count, seconds, peak = _timed(one_shot)

@@ -1,0 +1,124 @@
+"""Benchmark regression gate: fresh ``make bench-record`` vs committed baseline.
+
+The repo commits one baseline JSON per benchmark at the root
+(``BENCH_pipeline.json``, ``BENCH_store.json``, ``BENCH_restore_latency.json``).
+CI re-records the same benchmarks into a scratch directory and runs this
+checker, which walks every numeric ``mb_per_s`` field in the baselines and
+fails if the freshly measured value dropped below ``tolerance`` times the
+committed one (default 0.7, i.e. a > 30 % throughput regression).
+
+Throughput fields only: latency/seconds fields vary with machine speed in
+the *opposite* direction, and heap-peak fields belong to a different gate.
+
+Updating the baseline after a deliberate change::
+
+    make bench-record          # rewrites the BENCH_*.json at the repo root
+    git add BENCH_*.json       # commit the new trajectory point
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh-dir .bench-fresh
+    python benchmarks/check_regression.py --fresh-dir .bench-fresh --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Baseline files the gate covers; all must exist in both directories.
+BENCH_FILES = (
+    "BENCH_pipeline.json",
+    "BENCH_store.json",
+    "BENCH_restore_latency.json",
+)
+
+#: Field name that marks a gated throughput measurement.
+GATED_FIELD = "mb_per_s"
+
+
+def collect_throughputs(node, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric ``mb_per_s`` field in ``node``."""
+    found: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if key == GATED_FIELD and isinstance(value, (int, float)):
+                found[path] = float(value)
+            else:
+                found.update(collect_throughputs(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(collect_throughputs(value, f"{prefix}[{index}]"))
+    return found
+
+
+def check_file(baseline_path: Path, fresh_path: Path, tolerance: float) -> list[str]:
+    """Return a list of failure messages for one baseline/fresh pair."""
+    if not baseline_path.is_file():
+        return [f"{baseline_path}: committed baseline is missing "
+                f"(run 'make bench-record' and commit the result)"]
+    if not fresh_path.is_file():
+        return [f"{fresh_path}: fresh measurement is missing "
+                f"(did 'make bench-record BENCH_DIR=...' run?)"]
+    baseline = collect_throughputs(json.loads(baseline_path.read_text()))
+    fresh = collect_throughputs(json.loads(fresh_path.read_text()))
+    failures: list[str] = []
+    print(f"{baseline_path.name}:")
+    if not baseline:
+        # Latency-only reports (e.g. restore latency) carry seconds and
+        # speedup ratios, not throughput — presence/parse is all we gate.
+        print(f"  (no '{GATED_FIELD}' fields — parse-checked only)")
+        return failures
+    for path, base_value in baseline.items():
+        fresh_value = fresh.get(path)
+        if fresh_value is None:
+            failures.append(f"{fresh_path.name}: field '{path}' present in the "
+                            f"baseline but missing from the fresh run")
+            continue
+        ratio = fresh_value / base_value if base_value else float("inf")
+        verdict = "ok" if fresh_value >= base_value * tolerance else "REGRESSION"
+        print(f"  {verdict:<10} {path:<50} {base_value:8.2f} -> {fresh_value:8.2f} "
+              f"({ratio:5.2f}x)")
+        if verdict != "ok":
+            failures.append(
+                f"{fresh_path.name}: '{path}' regressed to {fresh_value:.2f} MB/s "
+                f"({ratio:.2f}x of the {base_value:.2f} MB/s baseline; "
+                f"floor is {tolerance:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default=".", metavar="DIR",
+                        help="directory holding the committed BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--fresh-dir", required=True, metavar="DIR",
+                        help="directory holding the freshly recorded BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.7,
+                        help="minimum fresh/baseline throughput ratio "
+                             "(default 0.7 = fail on a > 30%% drop)")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for name in BENCH_FILES:
+        failures.extend(
+            check_file(Path(args.baseline_dir) / name,
+                       Path(args.fresh_dir) / name, args.tolerance)
+        )
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for message in failures:
+            print(f"  - {message}")
+        print("\nIf the change is a deliberate trade-off, refresh the baseline "
+              "with 'make bench-record' and commit the new BENCH_*.json.")
+        return 1
+    print("\nbenchmark regression gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,7 @@ from pathlib import Path
 from repro import registry
 from repro.api.config import ArchiveConfig
 from repro.api.session import open_archive, open_restore
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreError
 from repro.store import detect_store, open_source, repair_container, scan_container
 
 #: Chunk size used when streaming the input file into the writer.
@@ -213,8 +213,14 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 saved_config = json.loads(source.get_text("config.json"))
             except (ReproError, ValueError):
                 saved_config = None
+    # Container sources flag an index rebuilt by linear scan (damaged or
+    # missing trailer); other backends have no trailer index to lose.
+    index_status = (
+        "recovered-by-scan" if getattr(source, "recovered_by_scan", False) else "ok"
+    )
     summary = {
         "directory": str(args.input),
+        "index": index_status,
         "format_version": manifest.format_version,
         "generation": manifest.generation,
         "parent": manifest.parent,
@@ -243,6 +249,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
               f"{manifest.system_emblem_count} system emblems, "
               f"{max(len(manifest.segments), 1)} segments "
               f"(segment_size={manifest.segment_size or 'one-shot'})")
+        if index_status != "ok":
+            print(f"  index: {index_status}")
         for segment in manifest.segments:
             sha = segment.sha256[:12] if segment.sha256 else "-"
             print(f"  segment {segment.index}: bytes [{segment.offset}:{segment.end}) "
@@ -267,7 +275,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         elif not scan.intact:
             torn_tail = scan.torn_bytes
     elif args.repair:
-        raise ReproError(
+        # A store-level misuse, not a generic CLI error: the target's backend
+        # simply has no repairable record stream.
+        raise StoreError(
             f"--repair only applies to container archives; {args.input} is a "
             f"{store} target"
         )

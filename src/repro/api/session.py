@@ -188,9 +188,11 @@ class ArchiveWriter:
                 batch.record = self._rebase(batch.record)
                 self._records.append(batch.record)
                 if self._sink is not None:
-                    for image in batch.images:
-                        self._sink.put_frame("data", self._frames_written, image)
-                        self._frames_written += 1
+                    # One batched call per segment: the container sink turns
+                    # this into a single coalesced write instead of one
+                    # stream write per frame.
+                    self._sink.put_frames("data", self._frames_written, batch.images)
+                    self._frames_written += len(batch.images)
                 if self.collect:
                     self._images.extend(batch.images)
                 if self.on_batch is not None:
@@ -279,8 +281,7 @@ class ArchiveWriter:
         )
         if self._sink is not None:
             if base is None:
-                for index, image in enumerate(system_images):
-                    self._sink.put_frame("system", index, image)
+                self._sink.put_frames("system", 0, system_images)
                 self._sink.put_text(BOOTSTRAP_NAME, bootstrap_text)
                 self._sink.put_text("config.json", self.config.to_json() + "\n")
             self._sink.put_manifest(manifest)

@@ -25,6 +25,8 @@ Python and the DynaRisc decoders handle by copying byte-by-byte.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import DecompressionError
 
 #: Sliding-window size (offsets must fit in 12 bits).
@@ -68,13 +70,112 @@ def _find_longest_match(data: bytes, pos: int, limit: int) -> tuple[int, int]:
     return best_offset, best_length
 
 
+#: Minimum remaining candidates before the matcher switches from scalar to
+#: numpy-batched rejection; below this the array call costs more than it
+#: saves.
+_BATCH_MIN = 16
+
+
+def _build_chains(data: bytes) -> list[int]:
+    """Hash chains for every position, built in one vectorised pass.
+
+    ``chains[pos]`` is the nearest earlier position whose 3-byte prefix
+    equals the one at ``pos`` (or -1).  A stable argsort over the packed
+    prefix keys groups equal keys in position order, so each element's
+    predecessor within its group is exactly the chain link the incremental
+    dict-based filing of the reference compressor would produce — the whole
+    ``head``/``prev`` bookkeeping collapses into three array ops.
+    """
+    n = len(data)
+    if n < MIN_MATCH:
+        return []
+    arr = np.frombuffer(data, dtype=np.uint8)
+    keys = (
+        arr[:-2].astype(np.int32)
+        | (arr[1:-1].astype(np.int32) << 8)
+        | (arr[2:].astype(np.int32) << 16)
+    )
+    order = np.argsort(keys, kind="stable")
+    chains = np.full(n - 2, -1, dtype=np.int64)
+    same = keys[order[1:]] == keys[order[:-1]]
+    chains[order[1:][same]] = order[:-1][same]
+    return chains.tolist()
+
+
+def _scan_tail(
+    data: bytes,
+    data_arr: np.ndarray,
+    chains: list[int],
+    pos: int,
+    limit: int,
+    chain: int,
+    candidate: int,
+    window_start: int,
+    best_offset: int,
+    best_length: int,
+) -> tuple[int, int]:
+    """Finish a chain walk with numpy-batched candidate rejection.
+
+    Entered from the scalar walk after a streak of rejections (so a current
+    best exists and many more rejections are likely).  Gathers the
+    rejection byte ``data[candidate + best_length]`` across every remaining
+    candidate in one indexed read and jumps from survivor to survivor; the
+    gather is redone only when ``best_length`` grows (at most ``MAX_MATCH``
+    times).  Examines exactly the candidates the scalar walk would have,
+    in the same order — bit-identical results, without the per-candidate
+    Python compare on the rejected ones.
+    """
+    tail: list[int] = []
+    while candidate >= 0 and candidate >= window_start and len(tail) < chain:
+        tail.append(candidate)
+        candidate = chains[candidate]
+    count = len(tail)
+    if not count:
+        return best_offset, best_length
+    tail_arr = np.asarray(tail, dtype=np.intp)
+    hits: np.ndarray | None = None
+    hits_pos = 0
+    hits_length = -1  # best_length the current gather is valid for
+    index = 0
+    while index < count:
+        if hits_length != best_length:
+            hits = index + np.nonzero(
+                data_arr[tail_arr[index:] + best_length] == data[pos + best_length]
+            )[0]
+            hits_pos = 0
+            hits_length = best_length
+        if hits_pos >= len(hits):
+            break
+        index = int(hits[hits_pos])
+        hits_pos += 1
+        surviving = tail[index]
+        index += 1
+        length = 0
+        while length < limit and data[surviving + length] == data[pos + length]:
+            length += 1
+        if length > best_length:
+            best_length = length
+            best_offset = pos - surviving
+            if length == limit:
+                break
+    return best_offset, best_length
+
+
 def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) -> bytes:
     """Compress ``data`` with LZSS parsing over hash chains.
 
-    Every position is filed under its 3-byte prefix; matching walks the
-    chain of previous occurrences newest-first (so ties keep the smallest
-    offset, like the reference matcher), stopping early when the maximum
-    encodable length is reached or ``max_chain`` candidates were tried.
+    The chains over 3-byte prefixes are built up front in one vectorised
+    pass (:func:`_build_chains`); matching walks each chain newest-first
+    (so ties keep the smallest offset, like the reference matcher),
+    stopping early when the maximum encodable length is reached or
+    ``max_chain`` candidates were tried.  Long chains batch the one-byte
+    candidate rejection test through numpy, skipping straight to the next
+    viable candidate.  Output is bit-identical to
+    :func:`_lzss_compress_reference`, which keeps the incremental
+    dict-filed scan as ground truth.
+
+    ``max_chain=0`` disables matching entirely — every byte is emitted as a
+    literal, in both the greedy and the lazy parse.
 
     With ``lazy`` (the default) the parse adds one token of lookahead: when
     a match is found at ``pos``, the matcher also probes ``pos + 1``, and if
@@ -86,6 +187,132 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) ->
     test pins.  The stream format is unchanged either way.
 
     Empty input compresses to an empty stream.
+    """
+    data = bytes(data)
+    n = len(data)
+    if n == 0:
+        return b""
+
+    out = bytearray()
+    flags = 0
+    flag_count = 0
+    group = bytearray()
+    chains = _build_chains(data)
+    data_arr = np.frombuffer(data, dtype=np.uint8)
+
+    def find_match(pos: int, limit: int, floor: int = 0, chain: int | None = None) -> tuple[int, int]:
+        """Longest chain match at ``pos``.
+
+        ``floor`` sets a length the match must strictly beat; the lazy probe
+        passes the current match's length, so most candidates die on the
+        single-byte rejection test instead of a full comparison.  ``chain``
+        caps the candidates walked (the probe uses a quarter budget, as
+        deflate does).  Returns ``(0, floor)`` when nothing beats the floor.
+        """
+        best_offset = 0
+        best_length = floor
+        candidate = chains[pos]
+        window_start = pos - (WINDOW_SIZE - 1)
+        if chain is None:
+            chain = max_chain
+        misses = 0
+        while candidate >= 0 and candidate >= window_start and chain > 0:
+            chain -= 1
+            # A longer match must extend past the current best; one byte
+            # rejects most candidates without a full comparison.
+            if not best_length or data[candidate + best_length] == data[pos + best_length]:
+                length = 0
+                while length < limit and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_length:
+                    best_length = length
+                    best_offset = pos - candidate
+                    if length == limit:
+                        break
+                misses = 0
+            else:
+                misses += 1
+                if misses >= _BATCH_MIN and chain >= _BATCH_MIN:
+                    # A long rejection streak with plenty of budget left:
+                    # hand the remaining chain to the batched tail scan,
+                    # which gathers the rejection byte over all remaining
+                    # candidates at once and jumps survivor to survivor.
+                    return _scan_tail(
+                        data, data_arr, chains, pos, limit, chain,
+                        chains[candidate], window_start,
+                        best_offset, best_length,
+                    )
+            candidate = chains[candidate]
+        return best_offset, best_length
+
+    def flush_group() -> None:
+        nonlocal flags, flag_count, group
+        if flag_count:
+            out.append(flags)
+            out.extend(group)
+            flags = 0
+            flag_count = 0
+            group = bytearray()
+
+    pos = 0
+    carried: tuple[int, int] | None = None  # match pre-computed by a lazy probe
+    while pos < n:
+        limit = min(MAX_MATCH, n - pos)
+        if carried is not None:
+            best_offset, best_length = carried
+            carried = None
+        elif limit >= MIN_MATCH:
+            best_offset, best_length = find_match(pos, limit)
+        else:
+            best_offset, best_length = 0, 0
+
+        if lazy and MIN_MATCH <= best_length < limit:
+            # One-token lookahead: if pos+1 matches strictly longer, demote
+            # this position to a literal and keep the longer match.  A zero
+            # max_chain stays zero here too, so literal-only mode holds for
+            # the probe as well as the main scan.
+            next_limit = min(MAX_MATCH, n - pos - 1)
+            if next_limit > best_length:
+                next_offset, next_length = find_match(
+                    pos + 1,
+                    next_limit,
+                    floor=best_length,
+                    chain=max(1, max_chain // 4) if max_chain else 0,
+                )
+                if next_offset:
+                    flags |= 1 << flag_count
+                    group.append(data[pos])
+                    carried = (next_offset, next_length)
+                    pos += 1
+                    flag_count += 1
+                    if flag_count == 8:
+                        flush_group()
+                    continue
+
+        if best_length >= MIN_MATCH:
+            group.append(best_offset & 0xFF)
+            group.append(((best_offset >> 8) << 4) | (best_length - MIN_MATCH))
+            pos += best_length
+        else:
+            flags |= 1 << flag_count
+            group.append(data[pos])
+            pos += 1
+        flag_count += 1
+        if flag_count == 8:
+            flush_group()
+    flush_group()
+    return bytes(out)
+
+
+def _lzss_compress_reference(
+    data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True
+) -> bytes:
+    """The incremental dict-filed compressor (pre-vectorisation).
+
+    Files each position under its 3-byte prefix as the scan advances, the
+    classic ``head``/``prev`` hash-chain bookkeeping.  Kept as the ground
+    truth the vectorised :func:`lzss_compress` must match byte for byte,
+    and as the baseline its benchmark is measured against.
     """
     data = bytes(data)
     n = len(data)
@@ -116,14 +343,6 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) ->
             filed = end
 
     def find_match(pos: int, limit: int, floor: int = 0, chain: int | None = None) -> tuple[int, int]:
-        """Longest chain match at ``pos`` (positions < pos must be filed).
-
-        ``floor`` sets a length the match must strictly beat; the lazy probe
-        passes the current match's length, so most candidates die on the
-        single-byte rejection test instead of a full comparison.  ``chain``
-        caps the candidates walked (the probe uses a quarter budget, as
-        deflate does).  Returns ``(0, floor)`` when nothing beats the floor.
-        """
         best_offset = 0
         best_length = floor
         key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
@@ -133,8 +352,6 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) ->
             chain = max_chain
         while candidate >= 0 and candidate >= window_start and chain > 0:
             chain -= 1
-            # A longer match must extend past the current best; one byte
-            # rejects most candidates without a full comparison.
             if not best_length or data[candidate + best_length] == data[pos + best_length]:
                 length = 0
                 while length < limit and data[candidate + length] == data[pos + length]:
@@ -157,7 +374,7 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) ->
             group = bytearray()
 
     pos = 0
-    carried: tuple[int, int] | None = None  # match pre-computed by a lazy probe
+    carried: tuple[int, int] | None = None
     while pos < n:
         limit = min(MAX_MATCH, n - pos)
         if carried is not None:
@@ -170,13 +387,14 @@ def lzss_compress(data: bytes, max_chain: int = MAX_CHAIN, lazy: bool = True) ->
             best_offset, best_length = 0, 0
 
         if lazy and MIN_MATCH <= best_length < limit:
-            # One-token lookahead: if pos+1 matches strictly longer, demote
-            # this position to a literal and keep the longer match.
             next_limit = min(MAX_MATCH, n - pos - 1)
             if next_limit > best_length:
                 file_through(pos + 1)
                 next_offset, next_length = find_match(
-                    pos + 1, next_limit, floor=best_length, chain=max(1, max_chain // 4)
+                    pos + 1,
+                    next_limit,
+                    floor=best_length,
+                    chain=max(1, max_chain // 4) if max_chain else 0,
                 )
                 if next_offset:
                     flags |= 1 << flag_count

@@ -16,15 +16,32 @@ import numpy as np
 from repro.errors import MediaError
 
 
-def pgm_bytes(image: np.ndarray) -> bytes:
-    """Serialise a grayscale image as binary PGM (P5) bytes."""
+def pgm_parts(image: np.ndarray) -> tuple[bytes, memoryview]:
+    """Serialise a grayscale image as ``(PGM header, raster memoryview)``.
+
+    The raster part is a zero-copy view of the array's buffer whenever the
+    input is already contiguous uint8 (every emblem raster is), so batched
+    sinks can hand it straight to ``write()`` without materialising
+    ``header + pixels`` as a fresh bytes object per frame.  The view is only
+    valid while the array is alive and unmodified — write it out before
+    letting go of the image.
+    """
     image = np.asarray(image)
     if image.ndim != 2:
         raise MediaError(f"PGM images are single-channel; got shape {image.shape}")
-    image = np.clip(image, 0, 255).astype(np.uint8)
+    if image.dtype != np.uint8:
+        image = np.clip(image, 0, 255).astype(np.uint8)
+    image = np.ascontiguousarray(image)
     height, width = image.shape
     header = f"P5\n{width} {height}\n255\n".encode("ascii")
-    return header + image.tobytes()
+    # A flat view keeps downstream consumers simple (len() == byte count).
+    return header, image.reshape(-1).data
+
+
+def pgm_bytes(image: np.ndarray) -> bytes:
+    """Serialise a grayscale image as binary PGM (P5) bytes."""
+    header, raster = pgm_parts(image)
+    return header + bytes(raster)
 
 
 def write_pgm(path: str | Path, image: np.ndarray) -> None:

@@ -59,6 +59,36 @@ def manchester_encode_fast(bits: np.ndarray, initial_level: int = 0) -> np.ndarr
     return cells
 
 
+def manchester_encode_rows(bits: np.ndarray, initial_level: int = 0) -> np.ndarray:
+    """Row-batched :func:`manchester_encode_fast`: (rows, bits) -> (rows, 2*bits).
+
+    Each row is an independent cell stream starting from ``initial_level``;
+    row ``r`` equals ``manchester_encode_fast(bits[r], initial_level)``
+    exactly.  Instead of scanning the full-length toggle stream, this runs
+    the (sequential) prefix scan over the *bit* stream only — half the
+    elements — and derives both half-cells from it: with ``S(i)`` the number
+    of ones among ``bits[0..i]``, the second half-cell of bit ``i`` is
+    ``S(i) & 1`` and the first is its complement XOR ``bits[i]``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a (rows, bits) array, got shape {bits.shape}")
+    rows, width = bits.shape
+    if width == 0:
+        return np.zeros((rows, 0), dtype=np.uint8)
+    # Inclusive prefix parity of the bit stream; uint8 overflow keeps mod 2.
+    parity = np.add.accumulate(bits, axis=1, dtype=np.uint8)
+    parity &= 1
+    cells = np.empty((rows, 2 * width), dtype=np.uint8)
+    cells[:, 1::2] = parity
+    np.bitwise_xor(parity, bits, out=parity)
+    parity ^= 1
+    cells[:, 0::2] = parity
+    if initial_level:
+        cells ^= 1
+    return cells
+
+
 def manchester_decode(cells: np.ndarray) -> np.ndarray:
     """Decode a binarised cell array (0/1) back into bits.
 

@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import MissingEmblemError, MOCoderError, RestorationError
-from repro.mocoder.emblem import Emblem, EmblemKind, EmblemSpec, build_emblem
+from repro.mocoder.emblem import (
+    Emblem,
+    EmblemKind,
+    EmblemSpec,
+    build_emblem,
+    render_emblem_batch,
+)
 from repro.mocoder.outer_code import GROUP_DATA, GROUP_PARITY, GROUP_SIZE, OuterCode
 from repro.util.crc import crc32_of
 
@@ -39,9 +45,20 @@ class EncodedStream:
         """Number of outer-code parity emblems."""
         return len(self.emblems) - self.data_emblem_count
 
+    def images_array(self) -> np.ndarray:
+        """Render every emblem in one batched pass; shape (count, H, W).
+
+        All emblems of a stream share one spec, so the whole stream renders
+        as a single vectorised :func:`~repro.mocoder.emblem.
+        render_emblem_batch` call; each ``result[i]`` is bit-identical to
+        ``self.emblems[i].to_image()``.  The batch array doubles as a
+        zero-copy handoff: slicing it yields views, not pickled copies.
+        """
+        return render_emblem_batch(self.emblems)
+
     def images(self) -> list[np.ndarray]:
-        """Render every emblem to a raster image."""
-        return [emblem.to_image() for emblem in self.emblems]
+        """Render every emblem to a raster image (views into one batch)."""
+        return list(self.images_array())
 
 
 @dataclass

@@ -19,8 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MissingEmblemError
-from repro.mocoder.galois import gf_inverse, gf_mul, gf_mul_array
-from repro.mocoder.reed_solomon import ReedSolomonCode
+from repro.mocoder.galois import gf_inverse, gf_mul_array
+from repro.mocoder.reed_solomon import get_code
 
 #: Number of data emblems per group.
 GROUP_DATA = 17
@@ -51,7 +51,10 @@ class OuterCode:
         self.data_shards = data_shards
         self.parity_shards = parity_shards
         self.total_shards = data_shards + parity_shards
-        self._rs = ReedSolomonCode(self.total_shards, data_shards)
+        # The shared cache matters here: a MOCoder (and therefore an
+        # OuterCode) is constructed per segment job, and building the code's
+        # parity matrix costs a k x k reference encode.
+        self._rs = get_code(self.total_shards, data_shards)
         # Systematic generator matrix: row r of the parity matrix holds the
         # contribution of data shard r to each parity shard.
         identity = np.eye(data_shards, dtype=np.int32)
@@ -76,19 +79,16 @@ class OuterCode:
                 f"got {len(data_payloads)}"
             )
         length = max(len(payload) for payload in data_payloads)
-        matrix = np.zeros((self.data_shards, length), dtype=np.int32)
+        matrix = np.zeros((self.data_shards, length), dtype=np.uint8)
         for row, payload in enumerate(data_payloads):
             if payload:
                 matrix[row, : len(payload)] = np.frombuffer(bytes(payload), dtype=np.uint8)
-        parity = np.zeros((self.parity_shards, length), dtype=np.int32)
-        for parity_index in range(self.parity_shards):
-            accumulator = np.zeros(length, dtype=np.int32)
-            for data_index in range(self.data_shards):
-                coefficient = int(self._parity_matrix[data_index, parity_index])
-                if coefficient:
-                    accumulator ^= gf_mul_array(matrix[data_index], coefficient)
-            parity[parity_index] = accumulator
-        return [parity[i].astype(np.uint8).tobytes() for i in range(self.parity_shards)]
+        # Byte position i of the group is an independent (data_shards ->
+        # parity_shards) GF(256) product, i.e. one "row" of the RS code's
+        # parity computation; encode_parity batches all positions and picks
+        # the gather or bit-sliced product by group length.
+        parity = self._rs.encode_parity(matrix.T)  # (length, parity)
+        return [parity[:, i].tobytes() for i in range(self.parity_shards)]
 
     # ------------------------------------------------------------------ #
     # Decoding (erasures only: an emblem is either present or missing)

@@ -8,9 +8,13 @@ Encoding and syndrome computation are vectorised across all blocks *and* all
 codeword positions at once: encoding is a GF(256) matrix product against the
 code's systematic parity matrix, and syndromes are a single log-domain
 gather-and-XOR-reduce instead of a Horner recurrence over the 255 columns.
-The Berlekamp-Massey / Chien / Forney machinery still runs per block, but
-only on the blocks whose syndromes are non-zero, so an undamaged scan decodes
-at numpy speed.
+Decoding batches the damaged blocks too: the Chien search evaluates every
+damaged block's error-locator polynomial at every candidate root as one
+multiplication-table gather (mirroring ``encode_blocks``), corrections are
+applied per block, and a single batched syndrome re-check guards the lot.
+Only Berlekamp-Massey and Forney — tiny loops over at most ``parity``
+coefficients — still run per damaged block, so an undamaged scan decodes at
+numpy speed and a damaged one no longer pays a per-block numpy-dispatch tax.
 """
 
 from __future__ import annotations
@@ -30,6 +34,12 @@ from repro.mocoder.galois import (
     poly_eval,
     poly_mul,
 )
+
+
+#: Batch size above which ``encode_blocks`` switches to the bit-sliced
+#: product; below it the fixed cost of packing the bit-planes and walking
+#: the 8 * parity output bits outweighs the gather it replaces.
+_BITSLICE_MIN_BLOCKS = 512
 
 
 class ReedSolomonCode:
@@ -62,6 +72,8 @@ class ReedSolomonCode:
         # encode, so codes that are constructed but never used stay cheap.
         self._parity_matrix: np.ndarray | None = None
         self._syndrome_powers: np.ndarray | None = None
+        self._chien_powers: np.ndarray | None = None
+        self._bitslice_supports: list[np.ndarray] | None = None
 
     @staticmethod
     def _build_generator(parity: int) -> list[int]:
@@ -84,23 +96,82 @@ class ReedSolomonCode:
         Systematic RS encoding is linear over GF(256), so the parity symbols
         are a matrix product ``data @ P`` where row ``i`` of ``P`` is the
         parity of the ``i``-th unit vector.  ``P`` is built once (with the
-        reference LFSR encoder) and the product runs as one
-        multiplication-table gather and XOR reduction per chunk of blocks,
-        instead of a Python loop over the k data columns.
+        reference LFSR encoder).  Small batches run the product as one
+        multiplication-table gather and XOR reduction; large batches switch
+        to a bit-sliced GF(2) product (see ``_encode_remainder_bitslice``)
+        that replaces the per-symbol table gathers with word-wide XORs.
         """
         data_blocks = np.asarray(data_blocks, dtype=np.int32)
         if data_blocks.ndim != 2 or data_blocks.shape[1] != self.k:
             raise ValueError(f"expected shape (blocks, {self.k}), got {data_blocks.shape}")
+        remainder = self.encode_parity(data_blocks.astype(np.uint8)).astype(np.int32)
+        return np.concatenate([data_blocks, remainder], axis=1)
+
+    def encode_parity(self, data8: np.ndarray) -> np.ndarray:
+        """Parity symbols of ``(rows, k)`` uint8 data as a ``(rows, parity)``
+        uint8 array; picks the gather or bit-sliced product by batch size."""
+        rows = data8.shape[0]
+        if rows >= _BITSLICE_MIN_BLOCKS:
+            return self._encode_remainder_bitslice(data8)
         parity_matrix = self._parity_matrix_table()
-        blocks = data_blocks.shape[0]
-        remainder = np.zeros((blocks, self.parity), dtype=np.int32)
-        data8 = data_blocks.astype(np.uint8)
+        remainder = np.zeros((rows, self.parity), dtype=np.uint8)
         # Chunk so the (chunk, k, parity) uint8 temporary stays cache-friendly.
         chunk = max(1, 2_000_000 // max(1, self.k * self.parity))
-        for start in range(0, blocks, chunk):
-            terms = MUL_TABLE[data8[start:start + chunk, :, None], parity_matrix[None, :, :]]
+        for start in range(0, rows, chunk):
+            terms = MUL_TABLE[
+                data8[start:start + chunk, :, None], parity_matrix[None, :, :]
+            ]
             remainder[start:start + chunk] = np.bitwise_xor.reduce(terms, axis=1)
-        return np.concatenate([data_blocks, remainder], axis=1)
+        return remainder
+
+    def _encode_remainder_bitslice(self, data8: np.ndarray) -> np.ndarray:
+        """Parity of ``(blocks, k)`` uint8 data via a bit-sliced GF(2) product.
+
+        GF(256) is a GF(2) vector space, so ``data @ P`` is also a GF(2)
+        matrix product between the *bits* of the data and a fixed binary
+        generator ``G[(i, bi), (p, bo)] = bit bo of mul(2**bi, P[i, p])``.
+        Packing the block axis eight-to-a-byte turns each output bit into an
+        XOR reduction of packed bit-plane rows — word-wide XORs instead of
+        one multiplication-table gather per (block, i, p) triple, which is
+        what makes this ~3x faster than the gather product on large batches.
+        """
+        blocks = data8.shape[0]
+        supports = self._bitslice_support_table()
+        # Bit-planes of the data, packed over the block axis:
+        # row (i * 8 + bi) holds bit bi of data column i for every block.
+        planes = np.empty((self.k, 8, blocks), dtype=np.uint8)
+        np.right_shift(
+            data8.T[:, None, :], np.arange(8, dtype=np.uint8)[None, :, None], out=planes
+        )
+        planes &= 1
+        packed = np.packbits(planes.reshape(self.k * 8, blocks), axis=1)
+        out_bits = np.empty((self.parity * 8, packed.shape[1]), dtype=np.uint8)
+        for out_bit, support in enumerate(supports):
+            out_bits[out_bit] = np.bitwise_xor.reduce(packed[support], axis=0)
+        unpacked = np.unpackbits(out_bits, axis=1)[:, :blocks]
+        unpacked = unpacked.reshape(self.parity, 8, blocks)
+        remainder = np.zeros((self.parity, blocks), dtype=np.uint8)
+        for bit in range(8):
+            remainder |= (unpacked[:, bit, :] << bit).astype(np.uint8)
+        return remainder.T.copy()
+
+    def _bitslice_support_table(self) -> "list[np.ndarray]":
+        """Support rows of the binary generator, one array per output bit."""
+        if self._bitslice_supports is None:
+            parity_matrix = self._parity_matrix_table()
+            # basis[bi, i, p] = mul(2**bi, P[i, p])
+            basis = MUL_TABLE[
+                (1 << np.arange(8))[:, None, None], parity_matrix[None, :, :].astype(np.intp)
+            ]
+            generator_bits = (basis[:, :, :, None] >> np.arange(8)[None, None, None, :]) & 1
+            generator_bits = generator_bits.transpose(1, 0, 2, 3).reshape(
+                self.k * 8, self.parity * 8
+            )
+            self._bitslice_supports = [
+                np.nonzero(generator_bits[:, out_bit])[0]
+                for out_bit in range(self.parity * 8)
+            ]
+        return self._bitslice_supports
 
     def _encode_blocks_reference(self, data_blocks: np.ndarray) -> np.ndarray:
         """The LFSR (polynomial-division) encoder; column-at-a-time.
@@ -209,10 +280,68 @@ class ReedSolomonCode:
     def decode_blocks(self, codewords: np.ndarray) -> tuple[np.ndarray, int]:
         """Correct every codeword in place and return (data blocks, corrected symbols).
 
+        The per-block machinery is batched across every damaged block: one
+        Chien-search gather evaluates all the error locators at once, and one
+        batched syndrome re-check replaces the per-block guards.  Only
+        Berlekamp-Massey and Forney (loops over <= ``parity`` coefficients)
+        run per block.  Bit-identical to :meth:`_decode_blocks_reference`.
+
         Raises
         ------
         UncorrectableBlockError
             If any block contains more errors than the code can correct.
+        """
+        codewords = np.array(codewords, dtype=np.int32, copy=True)
+        if codewords.ndim != 2 or codewords.shape[1] != self.n:
+            raise ValueError(f"expected shape (blocks, {self.n}), got {codewords.shape}")
+        syndromes = self.syndromes_blocks(codewords)
+        damaged = np.nonzero(np.any(syndromes != 0, axis=1))[0]
+        if damaged.size == 0:
+            return codewords[:, : self.k], 0
+
+        sigmas: list[list[int]] = []
+        for block_index in damaged:
+            sigma = self._berlekamp_massey(syndromes[block_index].tolist())
+            if len(sigma) - 1 > self.max_correctable_errors:
+                raise UncorrectableBlockError(
+                    f"block {int(block_index)}: {len(sigma) - 1} errors exceed the "
+                    f"{self.max_correctable_errors}-error capability of RS({self.n},{self.k})"
+                )
+            sigmas.append(sigma)
+
+        positions_per_block = self._chien_search_blocks(sigmas)
+        corrected_symbols = 0
+        for row, block_index in enumerate(damaged):
+            sigma = sigmas[row]
+            error_positions = positions_per_block[row]
+            error_count = len(sigma) - 1
+            if len(error_positions) != error_count:
+                raise UncorrectableBlockError(
+                    f"block {int(block_index)}: error locator polynomial is inconsistent "
+                    f"(degree {error_count}, {len(error_positions)} roots)"
+                )
+            magnitudes = self._forney(
+                syndromes[block_index].tolist(), sigma, error_positions
+            )
+            for position, magnitude in zip(error_positions, magnitudes):
+                codewords[block_index, position] ^= magnitude
+            corrected_symbols += error_count
+        # A decode that "corrects" onto a different codeword is detectable by
+        # re-checking the syndromes; one batched pass guards every corrected
+        # block against miscorrection past the design distance.
+        check = self.syndromes_blocks(codewords[damaged])
+        bad = np.nonzero(np.any(check != 0, axis=1))[0]
+        if bad.size:
+            raise UncorrectableBlockError(
+                f"block {int(damaged[bad[0]])}: residual syndromes after correction"
+            )
+        return codewords[:, : self.k], corrected_symbols
+
+    def _decode_blocks_reference(self, codewords: np.ndarray) -> tuple[np.ndarray, int]:
+        """The per-block decode loop (the pre-batching implementation).
+
+        Retained as the ground truth :meth:`decode_blocks` is equivalence-
+        tested against, and as the benchmark baseline.
         """
         codewords = np.array(codewords, dtype=np.int32, copy=True)
         if codewords.ndim != 2 or codewords.shape[1] != self.n:
@@ -305,6 +434,43 @@ class ReedSolomonCode:
         while len(sigma) > 1 and sigma[-1] == 0:
             sigma.pop()
         return sigma
+
+    def _chien_root_powers(self, degree_bound: int) -> np.ndarray:
+        """``powers[j, p] = x_inverse_p ** j`` as uint8; shape (degree_bound, n).
+
+        ``x_inverse_p = alpha^-(n-1-p)`` is the candidate locator root of
+        codeword position ``p`` (see :meth:`_chien_search`).
+        """
+        cached = self._chien_powers
+        if cached is None or cached.shape[0] < degree_bound:
+            exponents = np.arange(self.n - 1, -1, -1, dtype=np.int64)  # n-1-p
+            inverse_logs = (255 - exponents) % 255  # log2(x_inverse) per position
+            rows = max(degree_bound, self.max_correctable_errors + 1)
+            degrees = np.arange(rows, dtype=np.int64)
+            cached = EXP_TABLE[(degrees[:, None] * inverse_logs[None, :]) % 255].astype(
+                np.uint8
+            )
+            self._chien_powers = cached
+        return cached[:degree_bound]
+
+    def _chien_search_blocks(self, sigmas: list[list[int]]) -> list[list[int]]:
+        """Chien search over many error-locator polynomials at once.
+
+        Every sigma is evaluated at the candidate root of every codeword
+        position as a single multiplication-table gather and XOR reduction
+        (``values[b, p] = XOR_j sigma_b[j] * x_inverse_p ** j``), mirroring
+        the batched encoder instead of looping numpy passes per block.
+        Returns the in-error positions of each block, matching
+        :meth:`_chien_search` exactly.
+        """
+        max_len = max(len(sigma) for sigma in sigmas)
+        sigma_matrix = np.zeros((len(sigmas), max_len), dtype=np.uint8)
+        for row, sigma in enumerate(sigmas):
+            sigma_matrix[row, : len(sigma)] = sigma
+        powers = self._chien_root_powers(max_len)  # (max_len, n)
+        terms = MUL_TABLE[sigma_matrix[:, :, None], powers[None, :, :]]
+        values = np.bitwise_xor.reduce(terms, axis=1)  # (blocks, n)
+        return [np.nonzero(values[row] == 0)[0].tolist() for row in range(len(sigmas))]
 
     def _chien_search(self, sigma: list[int]) -> list[int]:
         """Return codeword positions whose symbols are in error.

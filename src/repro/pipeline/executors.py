@@ -37,6 +37,14 @@ class SegmentExecutor:
 
     name = "base"
 
+    #: True when jobs run in the caller's address space (serial/thread):
+    #: results hand numpy buffers over by reference, so the pipeline's
+    #: per-segment raster batches reach the consumer zero-copy.  Process
+    #: pools set this False — results cross a pickle boundary, which is why
+    #: a segment's rasters travel as one contiguous (count, H, W) array
+    #: (one buffer to serialise) rather than a list of per-frame arrays.
+    shares_address_space = True
+
     def map_ordered(
         self, function: Callable[[ItemT], ResultT], items: Iterable[ItemT]
     ) -> Iterator[ResultT]:
@@ -128,6 +136,7 @@ class ProcessPoolSegmentExecutor(_PoolExecutor):
     """
 
     name = "process"
+    shares_address_space = False
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.workers)

@@ -143,7 +143,12 @@ class _EncodeResult:
     crc32: int
     sha256: str
     container_bytes: int
-    images: list
+    #: All of the segment's rasters in one (count, H, W) array.  Inside one
+    #: address space (serial/thread executors) the consumer slices views out
+    #: of this buffer — zero copies; across a process pool the single array
+    #: pickles as one contiguous buffer instead of one pickle frame per
+    #: raster.
+    images: np.ndarray
 
 
 def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
@@ -160,7 +165,7 @@ def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
         crc32=crc32_of(job.data),
         sha256=hashlib.sha256(job.data).hexdigest(),
         container_bytes=len(container),
-        images=stream.images(),
+        images=stream.images_array(),
     )
 
 
@@ -424,7 +429,9 @@ class ArchivePipeline:
                     sha256=result.sha256,
                 )
                 emblem_start += record.emblem_count
-                yield EncodedSegment(record=record, images=result.images)
+                # list() of the (count, H, W) batch yields per-frame views
+                # sharing the batch buffer — no per-frame copies.
+                yield EncodedSegment(record=record, images=list(result.images))
         finally:
             if self._owns_executor:
                 executor.close()

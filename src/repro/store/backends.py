@@ -46,15 +46,16 @@ import io
 import json
 import struct
 import threading
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.core.archive import ArchiveManifest
 from repro.errors import StoreError
-from repro.media.image import pgm_bytes, pgm_from_bytes
+from repro.media.image import pgm_bytes, pgm_from_bytes, pgm_parts
 from repro.store.manifest import manifest_generation_of, manifest_record_name
 
 __all__ = [
@@ -111,6 +112,20 @@ class ArchiveSink:
     def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
         """Persist one emblem raster (``kind`` is ``"data"`` or ``"system"``)."""
         raise NotImplementedError
+
+    def put_frames(
+        self, kind: str, start_index: int, images: "Iterable[np.ndarray]"
+    ) -> None:
+        """Persist a batch of consecutive frames starting at ``start_index``.
+
+        The write hot path: the streaming session hands every segment's
+        emblem batch here in one call.  The default loops :meth:`put_frame`;
+        backends override it to skip per-frame overhead (the container sink
+        coalesces a whole batch into large sequential writes with a single
+        flush).
+        """
+        for offset, image in enumerate(images):
+            self.put_frame(kind, start_index + offset, image)
 
     def put_text(self, name: str, text: str) -> None:
         """Persist a named text artefact (Bootstrap, config)."""
@@ -230,7 +245,10 @@ class _DirectorySink(ArchiveSink):
         directory.mkdir(parents=True, exist_ok=True)
 
     def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
-        (self.directory / _frame_name(kind, index)).write_bytes(pgm_bytes(image))
+        header, raster = pgm_parts(image)
+        with open(self.directory / _frame_name(kind, index), "wb") as stream:
+            stream.write(header)
+            stream.write(raster)  # zero-copy: the raster buffer goes straight out
 
     def put_text(self, name: str, text: str) -> None:
         (self.directory / name).write_text(text)
@@ -487,6 +505,13 @@ def repair_container(path: "str | Path") -> dict:
         raise StoreError(f"{path}: cannot repair container archive: {exc}") from exc
 
 
+#: Coalesce at least this many record bytes before issuing a write.  Frames
+#: are tens of KiB each; buffering a few MiB turns the old one-syscall-per-
+#: record pattern into large sequential writes without holding a whole
+#: archive in memory.
+_SINK_FLUSH_BYTES = 4 * 1024 * 1024
+
+
 class _ContainerSink(ArchiveSink):
     """Write side of the container backend.
 
@@ -495,12 +520,21 @@ class _ContainerSink(ArchiveSink):
     old trailer — close() then writes a *merged* index (old + new entries)
     and a new trailer, so the previous generation's (index, trailer) pair
     stays untouched on the medium as the fallback state.
+
+    Records are coalesced in a pending-parts list and written out with one
+    ``writelines`` call per ~4 MiB (and once per :meth:`put_frames` batch),
+    so the per-record cost is list appends, not stream writes.  Frame
+    payloads are buffered as memoryviews of the caller's rasters — zero
+    copies until the bytes hit the file.
     """
 
     def __init__(self, path: Path, appending: bool = False):
         self.path = path
         self._index: dict[str, tuple[int, int]] = {}
         self._closed = False
+        #: Packed-but-unwritten record parts (bytes / memoryview) + their size.
+        self._pending: list = []
+        self._pending_bytes = 0
         #: Pre-session file size; abort() truncates back to it (append only).
         self._rollback_size: int | None = None
         if appending:
@@ -523,18 +557,42 @@ class _ContainerSink(ArchiveSink):
             self._stream.write(CONTAINER_MAGIC)
             self._offset = len(CONTAINER_MAGIC)
 
-    def _append(self, name: str, payload: bytes) -> None:
+    def _flush(self) -> None:
+        if self._pending:
+            self._stream.writelines(self._pending)
+            self._pending = []
+            self._pending_bytes = 0
+
+    def _append(self, name: str, *parts) -> None:
+        """Queue one record whose payload is the concatenation of ``parts``."""
         if self._closed:
             raise StoreError(f"{self.path}: container sink is closed")
         if name in self._index:
             raise StoreError(f"{self.path}: record {name!r} already written")
+        encoded = name.encode("utf-8")
+        payload_len = sum(len(part) for part in parts)
+        self._pending.append(
+            _NAME_LEN.pack(len(encoded)) + encoded + _PAYLOAD_LEN.pack(payload_len)
+        )
+        self._pending.extend(parts)
         header = _record_header_size(name)
-        self._stream.write(_pack_record(name, payload))
-        self._index[name] = (self._offset + header, len(payload))
-        self._offset += header + len(payload)
+        self._pending_bytes += header + payload_len
+        self._index[name] = (self._offset + header, payload_len)
+        self._offset += header + payload_len
+        if self._pending_bytes >= _SINK_FLUSH_BYTES:
+            self._flush()
 
     def put_frame(self, kind: str, index: int, image: np.ndarray) -> None:
-        self._append(_frame_name(kind, index), pgm_bytes(image))
+        header, raster = pgm_parts(image)
+        self._append(_frame_name(kind, index), header, raster)
+
+    def put_frames(
+        self, kind: str, start_index: int, images: "Iterable[np.ndarray]"
+    ) -> None:
+        for offset, image in enumerate(images):
+            header, raster = pgm_parts(image)
+            self._append(_frame_name(kind, start_index + offset), header, raster)
+        self._flush()
 
     def put_text(self, name: str, text: str) -> None:
         self._append(name, text.encode("utf-8"))
@@ -542,6 +600,7 @@ class _ContainerSink(ArchiveSink):
     def close(self) -> None:
         if self._closed:
             return
+        self._flush()
         self._closed = True
         index_payload = json.dumps(
             [[name, offset, length] for name, (offset, length) in self._index.items()]
@@ -564,6 +623,10 @@ class _ContainerSink(ArchiveSink):
         if self._closed:
             return
         self._closed = True
+        # Drop unwritten records first: truncate() flushes the stream's own
+        # buffer, and rolled-back bytes must never reach the medium.
+        self._pending = []
+        self._pending_bytes = 0
         if self._rollback_size is not None:
             self._stream.truncate(self._rollback_size)
         self._stream.close()
@@ -582,6 +645,10 @@ class _ContainerSource(ArchiveSource):
         if self._stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
             self._stream.close()
             raise StoreError(f"{path}: not a ULE container archive (bad magic)")
+        #: True when the trailer index was unusable and the record index had
+        #: to be rebuilt by a linear scan (`inspect` surfaces this so damage
+        #: is visible, not silently absorbed).
+        self.recovered_by_scan = False
         self._index = self._load_index()
 
     # -------------------------------------------------------------- #
@@ -589,6 +656,7 @@ class _ContainerSource(ArchiveSource):
         """The record index: from the newest trailer, or by scanning on damage."""
         self._stream.seek(0, io.SEEK_END)
         size = self._stream.tell()
+        reason = "no intact index trailer at end of file"
         if size >= len(CONTAINER_MAGIC) + _TRAILER.size:
             self._stream.seek(size - _TRAILER.size)
             offset, magic = _TRAILER.unpack(self._stream.read(_TRAILER.size))
@@ -599,10 +667,18 @@ class _ContainerSource(ArchiveSource):
                     entries = json.loads(payload.decode("utf-8"))
                     return {name: (start, length) for name, start, length in entries}
                 except (ValueError, TypeError):
-                    pass  # corrupt index: fall through to the scan
+                    reason = "trailer index record is corrupt"
         index = _scan_stream(self._stream, size).index()
         if not index:
             raise StoreError(f"{self.path}: container archive holds no readable records")
+        self.recovered_by_scan = True
+        warnings.warn(
+            f"{self.path}: {reason}; record index recovered by scanning the "
+            "stream (reads still work; run `python -m repro verify --repair` "
+            "to rebuild the index)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return index
 
     def _read(self, name: str) -> bytes:

@@ -305,6 +305,7 @@ class TestTornAppends:
         path = self._cut(torn_fixture, len(torn_fixture["data"]))
         assert repair_container(path)["action"] == "intact"
 
+
     def test_cut_on_a_record_boundary_is_still_detected(self, torn_fixture):
         """Zero dangling bytes is not intact: a cut exactly at a record end
         leaves no trailer at EOF, so verify must flag it and repair fix it."""
@@ -344,6 +345,53 @@ class TestTornAppends:
         assert open_restore(path).read().payload == (
             torn_fixture["a"] + torn_fixture["b"]
         )
+
+
+class TestScanDegenerateFiles:
+    """scan/repair on degenerate files: clean StoreError, never a crash."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ule"
+        path.write_bytes(b"")
+        with pytest.raises(StoreError, match="bad magic"):
+            scan_container(path)
+        with pytest.raises(StoreError, match="bad magic"):
+            repair_container(path)
+
+    def test_magic_only_file(self, tmp_path):
+        from repro.store.backends import CONTAINER_MAGIC
+
+        path = tmp_path / "bare.ule"
+        path.write_bytes(CONTAINER_MAGIC)
+        scan = scan_container(path)
+        assert not scan.records and not scan.intact
+        # Nothing loadable to repair back to -> an explanatory StoreError.
+        with pytest.raises(StoreError, match="no.*(trailer|manifest)"):
+            repair_container(path)
+
+    @pytest.mark.parametrize("tail", [b"\x14", b"\x14\x00", b"\x14\x00dat",
+                                      b"\x14\x00" + b"x" * 20])
+    def test_record_header_truncated_at_eof(self, tmp_path, tail):
+        """A record header cut mid-bytes ends the scan cleanly: everything
+        before it is served, the dangling bytes count as torn, and repair
+        truncates back to the intact generation."""
+        from repro.store import open_sink
+
+        path = tmp_path / "torn-header.ule"
+        with open_sink(path, "container") as sink:
+            sink.put_text("note", "complete record before the torn header")
+        intact_size = path.stat().st_size
+        path.write_bytes(path.read_bytes() + tail)
+
+        scan = scan_container(path)
+        assert list(scan.index()) == ["note"]
+        assert not scan.intact
+        assert scan.torn_bytes == len(tail)
+
+        report = repair_container(path)
+        assert report["action"] == "truncated"
+        assert report["size_after"] == intact_size
+        assert scan_container(path).intact
 
 
 # --------------------------------------------------------------------------- #

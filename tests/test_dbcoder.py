@@ -117,6 +117,59 @@ class TestLZSS:
         assert len(lazy) < len(greedy)
 
 
+class TestVectorisedScan:
+    """The numpy candidate scan must stay bit-identical to the reference.
+
+    ``lzss_compress`` precomputes the hash chains with an argsort and hands
+    long rejection streaks to a batched tail scan; ``_lzss_compress_reference``
+    is the incremental dict-filed implementation it was derived from.  Any
+    divergence — under any (max_chain, lazy) combination — is a bug, because
+    archives written by one build must reproduce bit-exactly under another.
+    """
+
+    @given(st.binary(max_size=2500))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_to_reference(self, data):
+        from repro.dbcoder.lz77 import _lzss_compress_reference
+
+        for max_chain in (0, 1, 8, 128):
+            for lazy in (False, True):
+                got = lzss_compress(data, max_chain=max_chain, lazy=lazy)
+                want = _lzss_compress_reference(data, max_chain=max_chain, lazy=lazy)
+                assert got == want, (max_chain, lazy)
+                assert lzss_decompress(got) == data
+
+    def test_bit_identical_on_realistic_text(self, sql_sample):
+        from repro.dbcoder.lz77 import _lzss_compress_reference
+
+        payload = sql_sample * 3
+        for lazy in (False, True):
+            assert lzss_compress(payload, lazy=lazy) == _lzss_compress_reference(
+                payload, lazy=lazy
+            )
+
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("max_chain", [0, 1])
+    def test_tiny_chain_budgets_roundtrip(self, sql_sample, max_chain, lazy):
+        """max_chain 0 (literal-only) and 1 (single-candidate) stay lossless."""
+        payload = sql_sample[:3000]
+        compressed = lzss_compress(payload, max_chain=max_chain, lazy=lazy)
+        assert lzss_decompress(compressed) == payload
+
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_max_chain_zero_is_literal_only(self, sql_sample, lazy):
+        """A zero chain budget disables matching entirely, in both parses.
+
+        Literal-only LZSS is exactly 1 flag byte per 8 literals, so the
+        output length is fully determined — and identical for the lazy and
+        greedy parses, which only differ in how they *choose* matches.
+        """
+        payload = sql_sample[:2000]
+        compressed = lzss_compress(payload, max_chain=0, lazy=lazy)
+        assert len(compressed) == len(payload) + -(-len(payload) // 8)
+        assert lzss_decompress(compressed) == payload
+
+
 class TestArithmeticCoder:
     def test_roundtrip_text(self, sql_sample):
         encoded = arithmetic_encode(sql_sample)

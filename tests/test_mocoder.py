@@ -19,8 +19,17 @@ from repro.mocoder import (
     manchester_decode,
     manchester_encode,
 )
-from repro.mocoder.emblem import EmblemHeader, build_emblem, otsu_threshold
-from repro.mocoder.manchester import manchester_decode_analog, manchester_encode_fast
+from repro.mocoder.emblem import (
+    EmblemHeader,
+    build_emblem,
+    otsu_threshold,
+    render_emblem_batch,
+)
+from repro.mocoder.manchester import (
+    manchester_decode_analog,
+    manchester_encode_fast,
+    manchester_encode_rows,
+)
 
 
 class TestManchester:
@@ -53,6 +62,22 @@ class TestManchester:
     def test_roundtrip_property(self, bit_list):
         bits = np.array(bit_list, dtype=np.uint8)
         assert np.array_equal(manchester_decode(manchester_encode_fast(bits)), bits)
+
+    def test_row_batched_encoder_matches_fast(self, rng):
+        """Each row of the batched encoder equals the single-row encoder."""
+        for rows, width in [(1, 1), (4, 7), (5, 257), (3, 0)]:
+            bits = rng.integers(0, 2, size=(rows, width), dtype=np.uint8)
+            for level in (0, 1):
+                batched = manchester_encode_rows(bits, level)
+                assert batched.shape == (rows, 2 * width)
+                for row in range(rows):
+                    assert np.array_equal(
+                        batched[row], manchester_encode_fast(bits[row], level)
+                    )
+
+    def test_row_batched_encoder_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError, match="rows, bits"):
+            manchester_encode_rows(np.zeros(8, dtype=np.uint8))
 
 
 class TestOuterCode:
@@ -95,6 +120,57 @@ class TestOuterCode:
         shards = payloads + code.encode_group(payloads)
         trial = [None if index in missing else shards[index] for index in range(20)]
         assert code.reconstruct_group(trial) == payloads
+
+
+class TestOuterCodeParityPaths:
+    def test_encode_group_matches_rs_reference_on_long_payloads(self, rng):
+        """Long groups take the bit-sliced product; short ones the gather.
+
+        Every byte position of a group is one row of the outer RS code's
+        parity computation, so the LFSR reference encoder (run row-wise on
+        the transposed payload matrix) is the ground truth for both regimes.
+        """
+        code = OuterCode()
+        for length in (5, 700):
+            payloads = [
+                bytes(rng.integers(0, 256, size=length, dtype=np.uint8))
+                for _ in range(code.data_shards)
+            ]
+            parity = code.encode_group(payloads)
+            matrix = np.stack([np.frombuffer(p, dtype=np.uint8) for p in payloads])
+            reference = code._rs._encode_blocks_reference(
+                matrix.T.astype(np.int32)
+            )[:, code.data_shards:].astype(np.uint8)
+            assert parity == [
+                reference[:, i].tobytes() for i in range(code.parity_shards)
+            ]
+
+
+class TestBatchedRender:
+    def test_batch_matches_per_emblem_render(self, small_spec, rng):
+        """Every slice of the batched render is bit-identical to to_image."""
+        coder = MOCoder(spec=small_spec)
+        payload = bytes(rng.integers(0, 256, size=900, dtype=np.uint8))
+        stream = coder.encode(payload)
+        assert len(stream.emblems) > 1
+        batch = render_emblem_batch(stream.emblems)
+        assert batch.shape[0] == len(stream.emblems)
+        for index, emblem in enumerate(stream.emblems):
+            assert np.array_equal(batch[index], emblem.to_image())
+
+    def test_empty_batch(self):
+        assert render_emblem_batch([]).size == 0
+
+    def test_mixed_specs_rejected(self, small_spec, rng):
+        coder = MOCoder(spec=small_spec)
+        emblems = coder.encode(b"mixed-spec batch").emblems
+        other_spec = EmblemSpec(
+            name="other", data_cells_x=small_spec.data_cells_x + 8,
+            data_cells_y=small_spec.data_cells_y, cell_pixels=small_spec.cell_pixels,
+        )
+        foreign = MOCoder(spec=other_spec).encode(b"foreign emblem").emblems
+        with pytest.raises(EmblemFormatError, match="single shared spec"):
+            render_emblem_batch(list(emblems) + list(foreign))
 
 
 class TestEmblem:

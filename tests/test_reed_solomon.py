@@ -102,6 +102,61 @@ class TestInnerCode:
             code.syndromes_blocks(codewords), code._syndromes_blocks_reference(codewords)
         )
 
+    @pytest.mark.parametrize("n,k", [(255, 223), (20, 17)])
+    def test_bitsliced_encode_matches_reference(self, rng, n, k):
+        """Above the batch threshold the encoder switches to the bit-sliced
+        GF(2) product; it must stay bit-identical to the LFSR reference."""
+        from repro.mocoder.reed_solomon import _BITSLICE_MIN_BLOCKS
+
+        code = ReedSolomonCode(n, k)
+        blocks = _BITSLICE_MIN_BLOCKS + 37
+        data = rng.integers(0, 256, size=(blocks, k), dtype=np.int32)
+        assert np.array_equal(code.encode_blocks(data), code._encode_blocks_reference(data))
+
+    def test_encode_parity_gather_and_bitslice_agree(self, rng):
+        """Both encode_parity regimes produce the same parity for the same
+        rows (the threshold only picks an implementation, not a result)."""
+        from repro.mocoder.reed_solomon import _BITSLICE_MIN_BLOCKS
+
+        code = ReedSolomonCode(255, 223)
+        rows = _BITSLICE_MIN_BLOCKS + 11
+        data = rng.integers(0, 256, size=(rows, 223), dtype=np.uint8)
+        large = code.encode_parity(data)
+        small = np.vstack([code.encode_parity(data[i:i + 16]) for i in range(0, rows, 16)])
+        assert large.dtype == np.uint8
+        assert np.array_equal(large, small)
+
+    def test_batched_decode_matches_reference(self, rng):
+        """decode_blocks equals the per-block reference on a mixed batch
+        of clean blocks and blocks damaged up to the correction bound."""
+        codewords = INNER_CODE.encode_blocks(
+            rng.integers(0, 256, size=(60, 223), dtype=np.int32)
+        )
+        for block in range(0, 60, 2):
+            errors = int(rng.integers(1, 17))
+            positions = rng.choice(255, size=errors, replace=False)
+            for position in positions:
+                codewords[block, position] ^= int(rng.integers(1, 256))
+        got, got_corrections = INNER_CODE.decode_blocks(codewords.copy())
+        want, want_corrections = INNER_CODE._decode_blocks_reference(codewords.copy())
+        assert np.array_equal(got, want)
+        assert got_corrections == want_corrections
+
+    def test_batched_decode_uncorrectable_raises_in_both_paths(self, rng):
+        """17 errors in one block of a batch is uncorrectable for both the
+        batched and the reference decoder — not silently mis-decoded."""
+        codewords = INNER_CODE.encode_blocks(
+            rng.integers(0, 256, size=(8, 223), dtype=np.int32)
+        )
+        positions = rng.choice(255, size=INNER_CODE.max_correctable_errors + 1,
+                               replace=False)
+        for position in positions:
+            codewords[3, position] ^= int(rng.integers(1, 256))
+        with pytest.raises(UncorrectableBlockError):
+            INNER_CODE.decode_blocks(codewords.copy())
+        with pytest.raises(UncorrectableBlockError):
+            INNER_CODE._decode_blocks_reference(codewords.copy())
+
     @settings(max_examples=20, deadline=None)
     @given(
         data=st.binary(min_size=1, max_size=223),

@@ -17,6 +17,7 @@ import os
 import subprocess
 import sys
 import textwrap
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.store import (
     MemoryBackend,
     detect_store,
     load_archive,
+    open_sink,
     open_source,
 )
 
@@ -176,14 +178,40 @@ class TestBackends:
             detect_store(tmp_path / "ghost")
 
     def test_container_survives_a_lost_index(self, tmp_path, make_payload, write_archive):
-        """A truncated trailer degrades to a linear record scan."""
+        """A truncated trailer degrades to a linear record scan — loudly."""
         payload = make_payload(5_000, seed=7)
         path = tmp_path / "backup.ule"
         write_archive(path, payload, store="container")
         data = path.read_bytes()
         path.write_bytes(data[:-16])  # chop the index trailer off
-        reader = open_restore(path)
+        with pytest.warns(RuntimeWarning, match="recovered by scanning"):
+            reader = open_restore(path)
         assert reader.read().payload == payload
+
+    def test_recovered_index_sets_the_source_flag(self, tmp_path, make_payload,
+                                                  write_archive):
+        """A corrupt (not just missing) trailer index also warns and flags."""
+        payload = make_payload(3_000, seed=9)
+        path = tmp_path / "backup.ule"
+        write_archive(path, payload, store="container")
+        data = bytearray(path.read_bytes())
+        data[-4] ^= 0xFF  # damage the trailer's index magic
+        path.write_bytes(bytes(data))
+        with pytest.warns(RuntimeWarning, match="recovered by scanning"):
+            source = open_source(path, "container")
+        assert source.recovered_by_scan
+        assert source.manifest().archive_bytes > 0
+        source.close()
+
+    def test_intact_container_opens_without_warning(self, tmp_path, make_payload,
+                                                    write_archive):
+        path = tmp_path / "backup.ule"
+        write_archive(path, make_payload(2_000, seed=3), store="container")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            source = open_source(path, "container")
+        assert not source.recovered_by_scan
+        source.close()
 
     def test_container_rejects_foreign_files(self, tmp_path):
         path = tmp_path / "not-an-archive"
@@ -214,6 +242,82 @@ class TestBackends:
 # --------------------------------------------------------------------------- #
 # Random-access partial restore
 # --------------------------------------------------------------------------- #
+class TestBufferedContainerSink:
+    """The coalescing container writer must change performance, not bytes."""
+
+    @staticmethod
+    def _frames(count, seed=5):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.integers(0, 256, size=(24, 32), dtype=np.uint8) for _ in range(count)
+        ]
+
+    def test_put_frames_bytes_identical_to_per_frame_writes(self, tmp_path):
+        frames = self._frames(9)
+        batched = tmp_path / "batched.ule"
+        looped = tmp_path / "looped.ule"
+        with open_sink(batched, "container") as sink:
+            sink.put_frames("data", 0, frames)
+            sink.put_text("note", "same bytes either way")
+        with open_sink(looped, "container") as sink:
+            for index, frame in enumerate(frames):
+                sink.put_frame("data", index, frame)
+            sink.put_text("note", "same bytes either way")
+        assert batched.read_bytes() == looped.read_bytes()
+
+    def test_put_frames_round_trips_on_every_backend(self, tmp_path):
+        frames = self._frames(5, seed=11)
+        manifest = ArchiveManifest(
+            profile_name="test-small",
+            dbcoder_profile="store",
+            archive_bytes=1,
+            archive_crc32=0,
+            data_emblem_count=len(frames),
+            system_emblem_count=0,
+        )
+        targets = [
+            ("directory", tmp_path / "arch-dir"),
+            ("container", tmp_path / "arch.ule"),
+            ("memory", "mem:test-put-frames"),
+        ]
+        try:
+            for store, target in targets:
+                with open_sink(target, store) as sink:
+                    sink.put_frames("data", 0, frames)
+                    sink.put_manifest(manifest)
+                source = open_source(target, store)
+                got = source.get_frames("data", 0, len(frames))
+                assert len(got) == len(frames)
+                for want, have in zip(frames, got):
+                    assert np.array_equal(want, have), store
+                source.close()
+        finally:
+            MemoryBackend.discard("mem:test-put-frames")
+
+    def test_abort_discards_pending_appended_records(self, tmp_path):
+        """abort() drops buffered records before truncating, so a rolled
+        back append leaves the file byte-identical to its previous state."""
+        from repro.store import open_append_sink
+
+        target = tmp_path / "backup.ule"
+        with open_sink(target, "container") as sink:
+            sink.put_frames("data", 0, self._frames(3))
+        before = target.read_bytes()
+        sink = open_append_sink(target, "container")
+        sink.put_frames("data", 3, self._frames(2, seed=9))
+        sink.put_text("extra", "never reaches the medium")  # still pending
+        sink.abort()
+        assert target.read_bytes() == before
+
+    def test_closed_sink_rejects_further_records(self, tmp_path):
+        target = tmp_path / "closed.ule"
+        sink = open_sink(target, "container")
+        sink.put_frames("data", 0, self._frames(1))
+        sink.close()
+        with pytest.raises(StoreError, match="closed"):
+            sink.put_frame("data", 1, self._frames(1)[0])
+
+
 class TestPartialRestore:
     #: (offset, length) shapes: inside one segment, spanning a boundary,
     #: empty, the whole payload, and a tail request clamped like a slice.
@@ -418,6 +522,46 @@ class TestStoreCLI:
         partial = json.loads(proc.stdout)
         assert out.read_bytes() == payload[3000:4000]
         assert partial["segments_decoded"] < partial["segments_total"]
+
+    def test_verify_repair_on_directory_target_fails_cleanly(self, tmp_path):
+        """--repair only makes sense for containers; a directory target gets
+        one clean error line and exit code 2, not a traceback."""
+        payload_path = tmp_path / "payload.bin"
+        payload_path.write_bytes(b"directory repair probe " * 100)
+        target = tmp_path / "arch-dir"
+        proc = self._run(
+            "archive", "-i", str(payload_path), "-o", str(target), "--media", "test",
+        )
+        assert proc.returncode == 0, proc.stderr
+        proc = self._run("verify", str(target), "--repair")
+        assert proc.returncode == 2
+        assert "--repair only applies to container archives" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_inspect_surfaces_a_scan_recovered_index(self, tmp_path):
+        payload_path = tmp_path / "payload.bin"
+        payload_path.write_bytes(b"recovered index probe " * 120)
+        target = tmp_path / "backup.ule"
+        proc = self._run(
+            "archive", "-i", str(payload_path), "-o", str(target),
+            "--store", "container", "--media", "test",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        proc = self._run("inspect", str(target), "--json")
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["index"] == "ok"
+
+        data = bytearray(target.read_bytes())
+        data[-4] ^= 0xFF  # damage the trailer's index magic
+        target.write_bytes(bytes(data))
+        proc = self._run("inspect", str(target), "--json")
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["index"] == "recovered-by-scan"
+
+        proc = self._run("inspect", str(target))
+        assert proc.returncode == 0, proc.stderr
+        assert "index: recovered-by-scan" in proc.stdout
 
     def test_mem_target_infers_the_memory_backend(self, tmp_path):
         payload_path = tmp_path / "p.bin"
