@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-pipeline bench-record bench-check \
 	bench-restore-latency cli-smoke store-smoke restore-smoke append-smoke \
-	hygiene golden
+	hygiene golden lint typecheck
 
 # Where bench-record writes its BENCH_*.json.  The default (repo root) is the
 # committed baseline; CI records into a scratch dir and compares against it.
@@ -24,6 +24,26 @@ hygiene:
 		echo "tracked bytecode artefacts found:"; echo "$$bad"; exit 1; \
 	fi
 	@echo "hygiene ok: no tracked *.pyc / __pycache__"
+
+## static analysis: the repo's invariant linter (always; pure stdlib), then
+## ruff when it is installed (CI installs it via requirements-dev.txt; the
+## dev image may not carry it, in which case that half is skipped loudly)
+lint:
+	$(PYTHON) -m repro.devtools.lint src/repro
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping ruff half of lint (CI runs it)"; \
+	fi
+
+## mypy --strict over src/repro (config in pyproject.toml); skipped loudly
+## when mypy is not installed locally — CI always runs it
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; exit 0; \
+	fi
 
 ## store smoke test: archive -> inspect -> read_range on the container backend
 ## (single shell + trap so .store-smoke is cleaned up even on failure)

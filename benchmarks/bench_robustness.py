@@ -6,7 +6,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import SimpleBarcode
 from repro.core.profiles import TEST_PROFILE

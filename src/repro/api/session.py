@@ -17,6 +17,7 @@ import bisect
 import dataclasses
 import queue
 import threading
+from types import TracebackType
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -148,10 +149,14 @@ class ArchiveWriter:
             segment_size=config.segment_size,
             executor=config.executor,
         )
-        self._queue: queue.Queue = queue.Queue(maxsize=8)
+        self._queue: "queue.Queue[bytes | object]" = queue.Queue(maxsize=8)
         self._records: list[SegmentRecord] = []
         self._images: list[np.ndarray] = []
-        self._error: BaseException | None = None
+        # The encoder thread stores a failure here; the caller's thread
+        # consumes (reads *and clears*) it — that pair must be atomic or two
+        # racing callers could both observe, or both miss, the error.
+        self._state_lock = threading.Lock()
+        self._error: BaseException | None = None  # lint: guarded-by(_state_lock)
         # zlib.crc32 chains: crc32(a + b) == crc32(b, crc32(a)), so seeding
         # with the base manifest's CRC makes the appended manifest's
         # archive_crc32 exactly the CRC of the concatenated payload.
@@ -167,7 +172,7 @@ class ArchiveWriter:
     def _chunks(self) -> Iterator[bytes]:
         while True:
             chunk = self._queue.get()
-            if chunk is _EOF:
+            if not isinstance(chunk, bytes):  # the _EOF sentinel
                 return
             yield chunk
 
@@ -200,7 +205,8 @@ class ArchiveWriter:
                 if self.progress is not None:
                     self.progress(batch.record)
         except BaseException as exc:  # surfaced on the caller's thread
-            self._error = exc
+            with self._state_lock:
+                self._error = exc
             # Unblock a writer stuck on a full queue, then discard the rest.
             while True:
                 try:
@@ -210,8 +216,9 @@ class ArchiveWriter:
                     break
 
     def _check_error(self) -> None:
-        if self._error is not None:
+        with self._state_lock:
             error, self._error = self._error, None
+        if error is not None:
             self._closed = True
             if self._sink is not None:
                 self._sink.abort()
@@ -244,8 +251,9 @@ class ArchiveWriter:
         self._closed = True
         self._queue.put(_EOF)
         self._thread.join()
-        if self._error is not None:
+        with self._state_lock:
             error, self._error = self._error, None
+        if error is not None:
             if self._sink is not None:
                 self._sink.abort()
             raise error
@@ -310,7 +318,8 @@ class ArchiveWriter:
         self._closed = True
         self._queue.put(_EOF)
         self._thread.join()
-        self._error = None
+        with self._state_lock:
+            self._error = None
         if self._sink is not None:
             self._sink.abort()
 
@@ -318,7 +327,12 @@ class ArchiveWriter:
     def __enter__(self) -> "ArchiveWriter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         if exc_type is None:
             self.close()
         else:
@@ -442,9 +456,22 @@ class ArchiveReader:
             distortion=self.config.distortion,
         )
 
-    def read_from_scans(self, data_images, **kwargs) -> RestorationResult:
+    def read_from_scans(
+        self,
+        data_images: list[np.ndarray],
+        system_images: "list[np.ndarray] | None" = None,
+        bootstrap_text: str | None = None,
+        payload_kind: str = "sql",
+        manifest: ArchiveManifest | None = None,
+    ) -> RestorationResult:
         """Restore from externally produced scans (engine pass-through)."""
-        return self._engine.restore_from_scans(data_images, **kwargs)
+        return self._engine.restore_from_scans(
+            data_images,
+            system_images=system_images,
+            bootstrap_text=bootstrap_text,
+            payload_kind=payload_kind,
+            manifest=manifest,
+        )
 
     def payload(self) -> bytes:
         """Convenience: the restored payload bytes."""
@@ -584,14 +611,21 @@ class ArchiveReader:
     def __enter__(self) -> "ArchiveReader":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
 
 # --------------------------------------------------------------------------- #
 # Facade entry points
 # --------------------------------------------------------------------------- #
-def _resolve_config(config: ArchiveConfig | None, overrides: dict) -> ArchiveConfig:
+def _resolve_config(
+    config: ArchiveConfig | None, overrides: dict[str, object]
+) -> ArchiveConfig:
     """Default config + keyword overrides, validated once."""
     config = config if config is not None else ArchiveConfig()
     return config.replace(**overrides) if overrides else config
@@ -601,7 +635,7 @@ def _resolve_append(
     target: "str | Path",
     store: str | None,
     config: ArchiveConfig | None,
-    overrides: dict,
+    overrides: dict[str, object],
 ) -> "tuple[ArchiveConfig, ArchiveManifest]":
     """The session config and superseding base manifest of an append.
 
@@ -655,7 +689,7 @@ def open_archive(
     target: "str | Path | None" = None,
     store: str | None = None,
     append: bool = False,
-    **overrides,
+    **overrides: object,
 ) -> ArchiveWriter:
     """Open a streaming archival session.
 
@@ -711,7 +745,7 @@ def open_restore(
     store: str | None = None,
     on_segment: Callable[[SegmentRecord], None] | None = None,
     via_channel: bool = False,
-    **overrides,
+    **overrides: object,
 ) -> ArchiveReader:
     """Open a restoration session over an archive artefact or store target.
 
@@ -794,7 +828,7 @@ def run_end_to_end(
     *,
     payload_kind: str | None = None,
     progress: Callable[[SegmentRecord], None] | None = None,
-    **overrides,
+    **overrides: object,
 ) -> EndToEndResult:
     """All seven steps of Figure 2a plus restoration, in one call.
 

@@ -49,12 +49,12 @@ class SegmentRecord:
         """One past the last payload byte this segment covers."""
         return self.offset + self.length
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return dict(self.__dict__)
 
     @classmethod
-    def from_dict(cls, fields: dict) -> "SegmentRecord":
-        return cls(**fields)
+    def from_dict(cls, fields: dict[str, object]) -> "SegmentRecord":
+        return cls(**fields)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -94,7 +94,7 @@ class ArchiveManifest:
     format_version: int = 3
     #: The :meth:`repro.api.ArchiveConfig.to_dict` of the writing session,
     #: when the archive was written through the facade; ``None`` otherwise.
-    config: dict | None = None
+    config: "dict[str, object] | None" = None
     #: Incremental-append lineage: how many append sessions preceded this
     #: manifest (0 for a fresh archive) ...
     generation: int = 0
@@ -111,7 +111,7 @@ class ArchiveManifest:
         return json.dumps(fields, indent=2, sort_keys=True)
 
     @classmethod
-    def from_dict(cls, fields: dict) -> "ArchiveManifest":
+    def from_dict(cls, fields: dict[str, object]) -> "ArchiveManifest":
         """Build a manifest from a parsed JSON object, any known version.
 
         v1 objects (no ``format_version``) upgrade through the

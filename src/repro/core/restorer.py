@@ -70,7 +70,7 @@ class GenerationInfo:
     digest: str | None = None
     parent: str | None = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return dict(self.__dict__)
 
 
@@ -108,7 +108,7 @@ class VerifyReport:
                 return info.generation
         return None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "ok": self.ok,
             "deep": self.deep,
@@ -680,7 +680,7 @@ class RestoreEngine:
             decode_parallelism=self.decode_parallelism,
         )
 
-        def frames_for(record) -> list[np.ndarray]:
+        def frames_for(record: SegmentRecord) -> list[np.ndarray]:
             return source.get_frames("data", record.emblem_start, record.emblem_count)
 
         for record in active.segments:
@@ -732,7 +732,7 @@ class Restorer(RestoreEngine):
     exactly as before, but warns.
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: object, **kwargs: object) -> None:
         warnings.warn(
             "repro.core.Restorer is deprecated; use repro.api.open_restore() "
             "(or repro.api.run_end_to_end) instead",

@@ -22,7 +22,6 @@ profiles on the same TPC-H data.
 from __future__ import annotations
 
 import datetime
-import struct
 
 from repro.errors import ContainerFormatError, DecompressionError
 from repro.dbcoder.lz77 import lzss_compress, lzss_decompress
@@ -109,7 +108,7 @@ def _days_to_date(days: int) -> str:
     return (_EPOCH + datetime.timedelta(days=days)).isoformat()
 
 
-def _encode_column(column: Column, values: list) -> bytes:
+def _encode_column(column: Column, values: "list[int | str | None]") -> bytes:
     if column.type == ColumnType.INTEGER:
         return b"I" + _encode_deltas([int(value) for value in values])
     if column.type == ColumnType.DECIMAL:
@@ -139,7 +138,7 @@ def _encode_column(column: Column, values: list) -> bytes:
     return b"V" + lzss_compress(bytes(payload))
 
 
-def _decode_column(column: Column, data: bytes) -> list:
+def _decode_column(column: Column, data: bytes) -> "list[int | str]":
     tag, body = data[:1], data[1:]
     if tag == b"I":
         return _decode_deltas(body)

@@ -52,7 +52,7 @@ class Column:
     name: str
     type: ColumnType
 
-    def validate(self, value) -> None:
+    def validate(self, value: "int | str | None") -> None:
         """Raise :class:`SchemaError` if ``value`` does not fit this column."""
         if value is None:
             return
@@ -86,7 +86,7 @@ class Table:
 
     name: str
     columns: list[Column]
-    rows: list[tuple] = field(default_factory=list)
+    rows: "list[tuple[int | str | None, ...]]" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         names = [column.name for column in self.columns]
@@ -112,7 +112,7 @@ class Table:
         return len(self.rows)
 
     # ------------------------------------------------------------------ #
-    def insert(self, row: Iterable) -> None:
+    def insert(self, row: "Iterable[int | str | None]") -> None:
         """Insert a row after validating it against the schema."""
         values = tuple(row)
         if len(values) != len(self.columns):
@@ -124,21 +124,23 @@ class Table:
             column.validate(value)
         self.rows.append(values)
 
-    def insert_many(self, rows: Iterable[Iterable]) -> None:
+    def insert_many(self, rows: "Iterable[Iterable[int | str | None]]") -> None:
         """Insert many rows."""
         for row in rows:
             self.insert(row)
 
     # ------------------------------------------------------------------ #
-    def scan(self) -> Iterator[tuple]:
+    def scan(self) -> "Iterator[tuple[int | str | None, ...]]":
         """Iterate over all rows."""
         return iter(self.rows)
 
-    def select(self, predicate: Callable[[tuple], bool]) -> list[tuple]:
+    def select(
+        self, predicate: "Callable[[tuple[int | str | None, ...]], bool]"
+    ) -> "list[tuple[int | str | None, ...]]":
         """Rows satisfying ``predicate``."""
         return [row for row in self.rows if predicate(row)]
 
-    def column_values(self, name: str) -> list:
+    def column_values(self, name: str) -> "list[int | str | None]":
         """All values of one column."""
         index = self.column_index(name)
         return [row[index] for row in self.rows]
@@ -154,7 +156,7 @@ class Table:
         raise SchemaError(f"column {name} of table {self.name} is not numeric")
 
     # ------------------------------------------------------------------ #
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
             return NotImplemented
         return (
@@ -209,7 +211,7 @@ class Database:
         return sum(table.row_count for table in self.tables)
 
     # ------------------------------------------------------------------ #
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
         return self.table_names == other.table_names and all(

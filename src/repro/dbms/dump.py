@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 
 from repro.errors import SQLDumpError
-from repro.dbms.database import Column, ColumnType, Database, Table
+from repro.dbms.database import Column, ColumnType, Database
 
 _DUMP_HEADER = (
     "--\n"
@@ -36,7 +36,7 @@ def _sql_type(column: Column) -> str:
     return "VARCHAR(255)"
 
 
-def _sql_literal(value) -> str:
+def _sql_literal(value: "int | str | None") -> str:
     if value is None:
         return "NULL"
     if isinstance(value, int):
@@ -129,7 +129,7 @@ def _split_top_level(text: str) -> list[str]:
     return pieces
 
 
-def _parse_value(text: str, column: Column):
+def _parse_value(text: str, column: Column) -> "int | str | None":
     text = text.strip()
     if text.upper() == "NULL":
         return None

@@ -1,0 +1,45 @@
+"""The repository's machine-checked correctness contracts (pure data).
+
+This module is the single place where the invariant linter's *domain
+knowledge* lives: which on-media magic numbers and struct format strings are
+owned by which module, and which modules are allowed to touch global
+randomness.  Keeping the tables here (and not inside the rule classes) makes
+the contracts reviewable at a glance and lets tests substitute their own.
+
+Everything in :mod:`repro.devtools` is deliberately dependency-light: plain
+stdlib only, so ``python -m repro.devtools.lint`` parses the tree without
+numpy/scipy ever loading.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OWNED_LITERALS", "RNG_MODULE_SUFFIXES", "EXECUTOR_SUBMIT_METHODS"]
+
+#: On-media format literals and the module that *owns* each one.  A literal
+#: listed here may only appear in its owning module (matched by path suffix);
+#: any other occurrence is an inline duplicate of a frozen format constant —
+#: the kind that silently drifts when the owner changes.  Owners export the
+#: constant by name instead.
+OWNED_LITERALS: dict[bytes | str, str] = {
+    # Container archive layout (repro.store.backends)
+    b"ULEARC02": "repro/store/backends.py",  # container file magic
+    b"ULEIDX02": "repro/store/backends.py",  # trailer index magic
+    "<Q8s": "repro/store/backends.py",  # trailer struct format
+    # DBCoder container header (repro.dbcoder.formats)
+    b"ULEA": "repro/dbcoder/formats.py",  # container magic
+    "<4sBBHIII": "repro/dbcoder/formats.py",  # header struct format
+    # Emblem header (repro.mocoder.emblem)
+    b"EM": "repro/mocoder/emblem.py",  # emblem header magic
+    "<2sBBHHHBBIII": "repro/mocoder/emblem.py",  # header struct format
+}
+
+#: Modules (path suffixes) allowed to construct numpy/stdlib RNGs.  All other
+#: code must derive randomness from an explicit seed via
+#: ``repro.util.rng.deterministic_rng`` so that per-frame scan streams stay
+#: reproducible and batching/order-invariant.
+RNG_MODULE_SUFFIXES: tuple[str, ...] = ("repro/util/rng.py",)
+
+#: Method names that hand a callable to an executor.  The callable crosses a
+#: (potential) pickle boundary, so lambdas and closures are forbidden — jobs
+#: must be module-level functions over plain data.
+EXECUTOR_SUBMIT_METHODS: tuple[str, ...] = ("submit", "map_ordered")

@@ -92,7 +92,9 @@ class DynaRiscAssembler:
     # ------------------------------------------------------------------ #
     # Pass 1: parse and lay out
     # ------------------------------------------------------------------ #
-    def _parse(self, source: str, origin: int):
+    def _parse(
+        self, source: str, origin: int
+    ) -> "tuple[list[_Statement], dict[str, int], dict[str, int]]":
         statements: list[_Statement] = []
         labels: dict[str, int] = {}
         equates: dict[str, int] = {}

@@ -191,7 +191,9 @@ class UnknownNameError(RegistryError, KeyError):
         # KeyError.__str__ would repr() the message and mangle the quotes.
         return self.args[0]
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> "tuple[type[UnknownNameError], tuple[str, str, list[str], str | None]]":
         # Exceptions pickle via (cls, self.args) by default, which would call
         # __init__ with the rendered message instead of the four fields; this
         # matters when the error crosses a process-pool boundary.

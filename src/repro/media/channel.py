@@ -17,13 +17,14 @@ from scipy import ndimage
 from repro.errors import MediaCapacityError
 from repro.media.distortions import DistortionProfile
 from repro.util.rng import deterministic_rng
+from repro.util.nptypes import GrayImage
 
 
 @dataclass
 class ScanOutcome:
     """The result of scanning recorded frames back from a medium."""
 
-    images: list[np.ndarray]
+    images: list[GrayImage]
     channel_name: str
     frames_recorded: int
 
@@ -71,7 +72,7 @@ class MediaChannel:
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record(self, images: list[np.ndarray]) -> list[np.ndarray]:
+    def record(self, images: list[GrayImage]) -> list[GrayImage]:
         """Place each emblem raster onto a frame of the medium.
 
         Raises
@@ -100,7 +101,7 @@ class MediaChannel:
     # ------------------------------------------------------------------ #
     # Scanning
     # ------------------------------------------------------------------ #
-    def _scan_one(self, frame: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def _scan_one(self, frame: GrayImage, rng: np.random.Generator) -> GrayImage:
         """Read one frame back as a degraded scan, drawing noise from ``rng``."""
         scan = frame
         if self.scan_scale != 1.0:
@@ -108,7 +109,7 @@ class MediaChannel:
             scan = np.clip(scan, 0, 255).astype(np.uint8)
         return self.distortion.apply(scan, rng)
 
-    def scan(self, frames: list[np.ndarray], seed: int | None = None) -> ScanOutcome:
+    def scan(self, frames: list[GrayImage], seed: int | None = None) -> ScanOutcome:
         """Read frames back as degraded scans (one RNG threaded across frames).
 
         This is the whole-archive path: every frame draws from the *same*
@@ -122,7 +123,7 @@ class MediaChannel:
 
     def scan_frames(
         self,
-        frames: list[np.ndarray],
+        frames: list[GrayImage],
         seed: int | None = None,
         start_index: int = 0,
         lane: int = 0,
@@ -143,7 +144,7 @@ class MediaChannel:
         ]
         return ScanOutcome(images=scans, channel_name=self.name, frames_recorded=len(frames))
 
-    def roundtrip(self, images: list[np.ndarray], seed: int | None = None) -> list[np.ndarray]:
+    def roundtrip(self, images: list[GrayImage], seed: int | None = None) -> list[GrayImage]:
         """Record and immediately scan back (the common test/benchmark path)."""
         return self.scan(self.record(images), seed=seed).images
 

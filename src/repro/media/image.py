@@ -14,9 +14,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import MediaError
+from repro.util.nptypes import GrayImage
 
 
-def pgm_parts(image: np.ndarray) -> tuple[bytes, memoryview]:
+def pgm_parts(image: GrayImage) -> tuple[bytes, memoryview]:
     """Serialise a grayscale image as ``(PGM header, raster memoryview)``.
 
     The raster part is a zero-copy view of the array's buffer whenever the
@@ -38,31 +39,31 @@ def pgm_parts(image: np.ndarray) -> tuple[bytes, memoryview]:
     return header, image.reshape(-1).data
 
 
-def pgm_bytes(image: np.ndarray) -> bytes:
+def pgm_bytes(image: GrayImage) -> bytes:
     """Serialise a grayscale image as binary PGM (P5) bytes."""
     header, raster = pgm_parts(image)
     return header + bytes(raster)
 
 
-def write_pgm(path: str | Path, image: np.ndarray) -> None:
+def write_pgm(path: str | Path, image: GrayImage) -> None:
     """Write a grayscale image as a binary PGM (P5) file."""
     with open(path, "wb") as stream:
         stream.write(pgm_bytes(image))
 
 
-def pgm_from_bytes(data: bytes, name: str = "<bytes>") -> np.ndarray:
+def pgm_from_bytes(data: bytes, name: str = "<bytes>") -> GrayImage:
     """Parse binary PGM (P5) bytes into a uint8 array."""
     return _parse_pgm(data, name)
 
 
-def read_pgm(path: str | Path) -> np.ndarray:
+def read_pgm(path: str | Path) -> GrayImage:
     """Read a binary PGM (P5) file into a uint8 array."""
     with open(path, "rb") as stream:
         data = stream.read()
     return _parse_pgm(data, str(path))
 
 
-def _parse_pgm(data: bytes, path: "str | Path") -> np.ndarray:
+def _parse_pgm(data: bytes, path: "str | Path") -> GrayImage:
     if not data.startswith(b"P5"):
         raise MediaError(f"{path}: not a binary PGM (P5) file")
     # Parse the three header tokens (width, height, maxval), skipping comments.

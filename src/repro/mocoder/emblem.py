@@ -38,7 +38,6 @@ from repro.mocoder.manchester import (
 )
 from repro.mocoder.reed_solomon import ReedSolomonCode, get_code
 from repro.util.bits import bits_to_bytes, bytes_to_bits
-from repro.util.crc import crc32_of
 
 #: Pixel value of a dark (inked) cell.
 BLACK = 0

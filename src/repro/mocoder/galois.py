@@ -10,6 +10,7 @@ many codewords at once.
 from __future__ import annotations
 
 import numpy as np
+from repro.util.nptypes import SymbolArray
 
 #: The primitive polynomial defining GF(256).
 PRIMITIVE_POLYNOMIAL = 0x11D
@@ -18,7 +19,7 @@ PRIMITIVE_POLYNOMIAL = 0x11D
 FIELD_SIZE = 256
 
 
-def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+def _build_tables() -> tuple[SymbolArray, SymbolArray]:
     exp = np.zeros(512, dtype=np.int32)
     log = np.zeros(256, dtype=np.int32)
     value = 1
@@ -36,7 +37,7 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 EXP_TABLE, LOG_TABLE = _build_tables()
 
 
-def _build_mul_table() -> np.ndarray:
+def _build_mul_table() -> SymbolArray:
     values = np.arange(1, 256)
     table = np.zeros((256, 256), dtype=np.uint8)
     table[1:, 1:] = EXP_TABLE[
@@ -82,7 +83,7 @@ def gf_inverse(a: int) -> int:
     return int(EXP_TABLE[255 - LOG_TABLE[a]])
 
 
-def gf_mul_array(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+def gf_mul_array(a: SymbolArray, b: SymbolArray | int) -> SymbolArray:
     """Element-wise product of arrays of field elements (vectorised)."""
     a = np.asarray(a, dtype=np.int32)
     b_arr = np.asarray(b, dtype=np.int32)

@@ -18,9 +18,10 @@ absolute reference.
 from __future__ import annotations
 
 import numpy as np
+from repro.util.nptypes import BitArray
 
 
-def manchester_encode(bits: np.ndarray, initial_level: int = 0) -> np.ndarray:
+def manchester_encode(bits: BitArray, initial_level: int = 0) -> BitArray:
     """Encode a 0/1 bit array into a cell array twice as long.
 
     ``initial_level`` is the signal level *before* the first clock transition;
@@ -38,7 +39,7 @@ def manchester_encode(bits: np.ndarray, initial_level: int = 0) -> np.ndarray:
     return cells
 
 
-def manchester_encode_fast(bits: np.ndarray, initial_level: int = 0) -> np.ndarray:
+def manchester_encode_fast(bits: BitArray, initial_level: int = 0) -> BitArray:
     """Vectorised equivalent of :func:`manchester_encode`.
 
     Every half-cell either toggles the level or does not: the first half of a
@@ -59,7 +60,7 @@ def manchester_encode_fast(bits: np.ndarray, initial_level: int = 0) -> np.ndarr
     return cells
 
 
-def manchester_encode_rows(bits: np.ndarray, initial_level: int = 0) -> np.ndarray:
+def manchester_encode_rows(bits: BitArray, initial_level: int = 0) -> BitArray:
     """Row-batched :func:`manchester_encode_fast`: (rows, bits) -> (rows, 2*bits).
 
     Each row is an independent cell stream starting from ``initial_level``;
@@ -89,7 +90,7 @@ def manchester_encode_rows(bits: np.ndarray, initial_level: int = 0) -> np.ndarr
     return cells
 
 
-def manchester_decode(cells: np.ndarray) -> np.ndarray:
+def manchester_decode(cells: BitArray) -> BitArray:
     """Decode a binarised cell array (0/1) back into bits.
 
     A bit is 1 when its two half-cells carry the same level (no mid-bit
@@ -103,7 +104,7 @@ def manchester_decode(cells: np.ndarray) -> np.ndarray:
     return (first_half == second_half).astype(np.uint8)
 
 
-def manchester_decode_analog(cell_values: np.ndarray) -> np.ndarray:
+def manchester_decode_analog(cell_values: BitArray) -> BitArray:
     """Decode *grayscale* cell samples without a global threshold.
 
     The decision for each bit compares the difference between its two

@@ -376,7 +376,7 @@ class _ImageChunkJob:
     spec: EmblemSpec
     outer_code: bool
     image_offset: int
-    images: list
+    images: list[np.ndarray]
 
 
 def _decode_image_chunk_job(job: _ImageChunkJob) -> tuple[dict[int, Emblem], DecodeReport]:

@@ -31,9 +31,9 @@ from repro.mocoder.galois import (
     gf_inverse,
     gf_mul,
     gf_pow,
-    poly_eval,
     poly_mul,
 )
+from repro.util.nptypes import SymbolArray
 
 
 #: Batch size above which ``encode_blocks`` switches to the bit-sliced
@@ -70,10 +70,10 @@ class ReedSolomonCode:
         # Lazily built vectorisation tables (see _parity_matrix_table /
         # _syndrome_root_powers): building them costs one k x k reference
         # encode, so codes that are constructed but never used stay cheap.
-        self._parity_matrix: np.ndarray | None = None
-        self._syndrome_powers: np.ndarray | None = None
-        self._chien_powers: np.ndarray | None = None
-        self._bitslice_supports: list[np.ndarray] | None = None
+        self._parity_matrix: SymbolArray | None = None
+        self._syndrome_powers: SymbolArray | None = None
+        self._chien_powers: SymbolArray | None = None
+        self._bitslice_supports: list[SymbolArray] | None = None
 
     @staticmethod
     def _build_generator(parity: int) -> list[int]:
@@ -90,7 +90,7 @@ class ReedSolomonCode:
         """Number of symbol errors correctable per block."""
         return self.parity // 2
 
-    def encode_blocks(self, data_blocks: np.ndarray) -> np.ndarray:
+    def encode_blocks(self, data_blocks: SymbolArray) -> SymbolArray:
         """Encode an array of shape (blocks, k) into (blocks, n) codewords.
 
         Systematic RS encoding is linear over GF(256), so the parity symbols
@@ -107,7 +107,7 @@ class ReedSolomonCode:
         remainder = self.encode_parity(data_blocks.astype(np.uint8)).astype(np.int32)
         return np.concatenate([data_blocks, remainder], axis=1)
 
-    def encode_parity(self, data8: np.ndarray) -> np.ndarray:
+    def encode_parity(self, data8: SymbolArray) -> SymbolArray:
         """Parity symbols of ``(rows, k)`` uint8 data as a ``(rows, parity)``
         uint8 array; picks the gather or bit-sliced product by batch size."""
         rows = data8.shape[0]
@@ -124,7 +124,7 @@ class ReedSolomonCode:
             remainder[start:start + chunk] = np.bitwise_xor.reduce(terms, axis=1)
         return remainder
 
-    def _encode_remainder_bitslice(self, data8: np.ndarray) -> np.ndarray:
+    def _encode_remainder_bitslice(self, data8: SymbolArray) -> SymbolArray:
         """Parity of ``(blocks, k)`` uint8 data via a bit-sliced GF(2) product.
 
         GF(256) is a GF(2) vector space, so ``data @ P`` is also a GF(2)
@@ -155,7 +155,7 @@ class ReedSolomonCode:
             remainder |= (unpacked[:, bit, :] << bit).astype(np.uint8)
         return remainder.T.copy()
 
-    def _bitslice_support_table(self) -> "list[np.ndarray]":
+    def _bitslice_support_table(self) -> "list[SymbolArray]":
         """Support rows of the binary generator, one array per output bit."""
         if self._bitslice_supports is None:
             parity_matrix = self._parity_matrix_table()
@@ -173,7 +173,7 @@ class ReedSolomonCode:
             ]
         return self._bitslice_supports
 
-    def _encode_blocks_reference(self, data_blocks: np.ndarray) -> np.ndarray:
+    def _encode_blocks_reference(self, data_blocks: SymbolArray) -> SymbolArray:
         """The LFSR (polynomial-division) encoder; column-at-a-time.
 
         Kept as the ground truth the vectorised encoder is derived from: it
@@ -196,7 +196,7 @@ class ReedSolomonCode:
                 remainder[nonzero] ^= contribution
         return np.concatenate([data_blocks, remainder], axis=1)
 
-    def _parity_matrix_table(self) -> np.ndarray:
+    def _parity_matrix_table(self) -> SymbolArray:
         """The systematic (k, parity) parity matrix as uint8."""
         if self._parity_matrix is None:
             identity = np.eye(self.k, dtype=np.int32)
@@ -225,7 +225,7 @@ class ReedSolomonCode:
     # ------------------------------------------------------------------ #
     # Decoding
     # ------------------------------------------------------------------ #
-    def syndromes_blocks(self, codewords: np.ndarray) -> np.ndarray:
+    def syndromes_blocks(self, codewords: SymbolArray) -> SymbolArray:
         """Compute syndromes for every codeword; shape (blocks, parity).
 
         ``S[b, j] = sum_i c[b, i] * alpha^((j+1) * (n-1-i))`` evaluated as a
@@ -244,7 +244,7 @@ class ReedSolomonCode:
             syndromes[start:start + chunk] = np.bitwise_xor.reduce(terms, axis=2)
         return syndromes
 
-    def _syndromes_blocks_reference(self, codewords: np.ndarray) -> np.ndarray:
+    def _syndromes_blocks_reference(self, codewords: SymbolArray) -> SymbolArray:
         """Horner-recurrence syndromes (the pre-vectorisation hot loop).
 
         Retained as ground truth for the equivalence tests and as the
@@ -267,7 +267,7 @@ class ReedSolomonCode:
             syndromes ^= codewords[:, column][:, None]
         return syndromes
 
-    def _syndrome_root_powers(self) -> np.ndarray:
+    def _syndrome_root_powers(self) -> SymbolArray:
         """``powers[j, i] = alpha^((j+1) * (n-1-i))`` as uint8; shape (parity, n)."""
         if self._syndrome_powers is None:
             exponents = np.arange(self.n - 1, -1, -1, dtype=np.int64)  # n-1-i
@@ -277,7 +277,7 @@ class ReedSolomonCode:
             ].astype(np.uint8)
         return self._syndrome_powers
 
-    def decode_blocks(self, codewords: np.ndarray) -> tuple[np.ndarray, int]:
+    def decode_blocks(self, codewords: SymbolArray) -> tuple[SymbolArray, int]:
         """Correct every codeword in place and return (data blocks, corrected symbols).
 
         The per-block machinery is batched across every damaged block: one
@@ -337,7 +337,7 @@ class ReedSolomonCode:
             )
         return codewords[:, : self.k], corrected_symbols
 
-    def _decode_blocks_reference(self, codewords: np.ndarray) -> tuple[np.ndarray, int]:
+    def _decode_blocks_reference(self, codewords: SymbolArray) -> tuple[SymbolArray, int]:
         """The per-block decode loop (the pre-batching implementation).
 
         Retained as the ground truth :meth:`decode_blocks` is equivalence-
@@ -374,7 +374,7 @@ class ReedSolomonCode:
     # ------------------------------------------------------------------ #
     # Per-block error correction (Berlekamp-Massey + Chien + Forney)
     # ------------------------------------------------------------------ #
-    def _correct_block(self, codeword: np.ndarray, syndromes: list[int], block_index: int) -> int:
+    def _correct_block(self, codeword: SymbolArray, syndromes: list[int], block_index: int) -> int:
         sigma = self._berlekamp_massey(syndromes)
         error_count = len(sigma) - 1
         if error_count > self.max_correctable_errors:
@@ -435,7 +435,7 @@ class ReedSolomonCode:
             sigma.pop()
         return sigma
 
-    def _chien_root_powers(self, degree_bound: int) -> np.ndarray:
+    def _chien_root_powers(self, degree_bound: int) -> SymbolArray:
         """``powers[j, p] = x_inverse_p ** j`` as uint8; shape (degree_bound, n).
 
         ``x_inverse_p = alpha^-(n-1-p)`` is the candidate locator root of

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from collections import deque
+from types import TracebackType
 from typing import Callable, Iterable, Iterator, TypeVar
 
 ItemT = TypeVar("ItemT")
@@ -57,7 +58,12 @@ class SegmentExecutor:
     def __enter__(self) -> "SegmentExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
 
@@ -66,7 +72,9 @@ class SerialExecutor(SegmentExecutor):
 
     name = "serial"
 
-    def map_ordered(self, function, items):
+    def map_ordered(
+        self, function: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> Iterator[ResultT]:
         for item in items:
             yield function(item)
 
@@ -93,8 +101,10 @@ class _PoolExecutor(SegmentExecutor):
             self._pool = self._make_pool()
         return self._pool
 
-    def map_ordered(self, function, items):
-        pending: deque[Future] = deque()
+    def map_ordered(
+        self, function: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> Iterator[ResultT]:
+        pending: deque[Future[ResultT]] = deque()
         iterator = iter(items)
         exhausted = False
         try:

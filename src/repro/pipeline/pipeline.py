@@ -26,9 +26,12 @@ from __future__ import annotations
 import hashlib
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.media.channel import MediaChannel
 
 from repro.core.archive import ArchiveManifest, MicrOlonysArchive, SegmentRecord
 from repro.core.profiles import MediaProfile, TEST_PROFILE
@@ -80,7 +83,7 @@ class ChannelSpec:
     #: Base scan seed; per-frame streams derive from (seed, lane, frame index).
     seed: int | None = None
 
-    def build_channel(self):
+    def build_channel(self) -> "MediaChannel":
         """Instantiate the named channel (the single construction point —
         callers on the consumer thread and in executor workers alike must
         build channels here so every lane simulates the same medium)."""
@@ -93,8 +96,11 @@ class ChannelSpec:
 
 
 def _simulate_channel(
-    images: list, channel_spec: ChannelSpec, frame_start: int, lane: int = 0
-) -> list:
+    images: list[np.ndarray],
+    channel_spec: ChannelSpec,
+    frame_start: int,
+    lane: int = 0,
+) -> list[np.ndarray]:
     """Record ``images`` onto the simulated medium and scan them back."""
     channel = channel_spec.build_channel()
     frames = channel.record(list(images))
@@ -173,7 +179,7 @@ def _encode_segment_job(job: _EncodeJob) -> _EncodeResult:
 class _DecodeJob:
     spec: EmblemSpec
     record: SegmentRecord
-    images: list
+    images: list[np.ndarray]
     decode_payload: bool
     #: Codec registry name from the archive manifest (``"PORTABLE"`` and
     #: friends resolve case-insensitively to the built-ins).
@@ -242,7 +248,7 @@ class _SegmentChunkJob:
     chunk_count: int
     #: Index of ``images[0]`` within the segment's emblem run.
     chunk_start: int
-    images: list
+    images: list[np.ndarray]
     channel: ChannelSpec | None = None
 
 
@@ -251,7 +257,7 @@ class _SegmentChunkResult:
     record: SegmentRecord
     chunk_index: int
     chunk_count: int
-    emblems: list
+    emblems: list["Emblem"]
     report: DecodeReport
 
 

@@ -48,8 +48,9 @@ import struct
 import threading
 import warnings
 from dataclasses import dataclass, field
+from types import TracebackType
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
@@ -152,7 +153,12 @@ class ArchiveSink:
     def __enter__(self) -> "ArchiveSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
 
@@ -212,7 +218,12 @@ class ArchiveSource:
     def __enter__(self) -> "ArchiveSource":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
 
@@ -380,7 +391,7 @@ class ContainerScan:
         }
 
 
-def _scan_stream(stream, size: int) -> ContainerScan:
+def _scan_stream(stream: BinaryIO, size: int) -> ContainerScan:
     """Walk an open container stream (see :func:`scan_container`)."""
     scan = ContainerScan(size=size)
     position = len(CONTAINER_MAGIC)
@@ -431,7 +442,7 @@ def scan_container(path: "str | Path") -> ContainerScan:
         raise StoreError(f"{path}: cannot open container archive: {exc}") from exc
 
 
-def repair_container(path: "str | Path") -> dict:
+def repair_container(path: "str | Path") -> dict[str, object]:
     """Truncate a torn tail append back to a loadable state, in place.
 
     Two cases, decided by what the linear scan finds past the last valid
@@ -533,7 +544,7 @@ class _ContainerSink(ArchiveSink):
         self._index: dict[str, tuple[int, int]] = {}
         self._closed = False
         #: Packed-but-unwritten record parts (bytes / memoryview) + their size.
-        self._pending: list = []
+        self._pending: "list[bytes | memoryview]" = []
         self._pending_bytes = 0
         #: Pre-session file size; abort() truncates back to it (append only).
         self._rollback_size: int | None = None
@@ -563,7 +574,7 @@ class _ContainerSink(ArchiveSink):
             self._pending = []
             self._pending_bytes = 0
 
-    def _append(self, name: str, *parts) -> None:
+    def _append(self, name: str, *parts: "bytes | memoryview") -> None:
         """Queue one record whose payload is the concatenation of ``parts``."""
         if self._closed:
             raise StoreError(f"{self.path}: container sink is closed")
@@ -639,36 +650,42 @@ class _ContainerSource(ArchiveSource):
         # from worker threads concurrently over this one stream.
         self._lock = threading.Lock()
         try:
-            self._stream = open(path, "rb")
+            stream = open(path, "rb")
         except OSError as exc:
             raise StoreError(f"{path}: cannot open container archive: {exc}") from exc
-        if self._stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
-            self._stream.close()
+        if stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
+            stream.close()
             raise StoreError(f"{path}: not a ULE container archive (bad magic)")
+        self._stream = stream  # lint: guarded-by(_lock)
         #: True when the trailer index was unusable and the record index had
         #: to be rebuilt by a linear scan (`inspect` surfaces this so damage
         #: is visible, not silently absorbed).
         self.recovered_by_scan = False
-        self._index = self._load_index()
+        self._index = self._load_index(stream)
 
     # -------------------------------------------------------------- #
-    def _load_index(self) -> dict[str, tuple[int, int]]:
-        """The record index: from the newest trailer, or by scanning on damage."""
-        self._stream.seek(0, io.SEEK_END)
-        size = self._stream.tell()
+    def _load_index(self, stream: BinaryIO) -> dict[str, tuple[int, int]]:
+        """The record index: from the newest trailer, or by scanning on damage.
+
+        Takes the stream explicitly: it runs only from ``__init__``, before
+        the source is shared with any prefetch worker, so it may seek freely
+        without holding ``_lock``.
+        """
+        stream.seek(0, io.SEEK_END)
+        size = stream.tell()
         reason = "no intact index trailer at end of file"
         if size >= len(CONTAINER_MAGIC) + _TRAILER.size:
-            self._stream.seek(size - _TRAILER.size)
-            offset, magic = _TRAILER.unpack(self._stream.read(_TRAILER.size))
+            stream.seek(size - _TRAILER.size)
+            offset, magic = _TRAILER.unpack(stream.read(_TRAILER.size))
             if magic == _INDEX_MAGIC and offset < size - _TRAILER.size:
-                self._stream.seek(offset)
-                payload = self._stream.read(size - _TRAILER.size - offset)
+                stream.seek(offset)
+                payload = stream.read(size - _TRAILER.size - offset)
                 try:
                     entries = json.loads(payload.decode("utf-8"))
                     return {name: (start, length) for name, start, length in entries}
                 except (ValueError, TypeError):
                     reason = "trailer index record is corrupt"
-        index = _scan_stream(self._stream, size).index()
+        index = _scan_stream(stream, size).index()
         if not index:
             raise StoreError(f"{self.path}: container archive holds no readable records")
         self.recovered_by_scan = True
@@ -712,7 +729,10 @@ class _ContainerSource(ArchiveSource):
         return str(self.path)
 
     def close(self) -> None:
-        self._stream.close()
+        # Taking the lock keeps close() from yanking the stream out from
+        # under a concurrent prefetch-worker seek+read pair.
+        with self._lock:
+            self._stream.close()
 
 
 class ContainerBackend(StorageBackend):

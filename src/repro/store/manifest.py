@@ -77,7 +77,7 @@ def manifest_generation_of(name: str) -> int | None:
     return int(match.group(1)) if match.group(1) else 0
 
 
-def manifest_version(fields: dict) -> int:
+def manifest_version(fields: dict[str, object]) -> int:
     """The layout version of a parsed manifest object (v1 has no marker)."""
     version = fields.get("format_version", 1)
     if not isinstance(version, int) or version < 1:
@@ -85,7 +85,7 @@ def manifest_version(fields: dict) -> int:
     return version
 
 
-def upgrade_manifest_fields(fields: dict) -> dict:
+def upgrade_manifest_fields(fields: dict[str, object]) -> dict[str, object]:
     """Normalise a parsed manifest object to the v3 field set.
 
     v1 and v2 objects upgrade in place behind a :class:`DeprecationWarning`:

@@ -16,9 +16,11 @@ them); a record requested out of order falls back to a direct fetch.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from types import TracebackType
+from typing import Callable, Generic, Iterable, TypeVar
 
 RecordT = TypeVar("RecordT")
 FramesT = TypeVar("FramesT")
@@ -29,7 +31,7 @@ _MAX_WORKERS = 8
 __all__ = ["FramePrefetcher"]
 
 
-class FramePrefetcher:
+class FramePrefetcher(Generic[RecordT, FramesT]):
     """Fetch up to ``depth`` records' frames ahead of the consumer.
 
     Parameters
@@ -57,19 +59,25 @@ class FramePrefetcher:
         if depth <= 0:
             raise ValueError(f"prefetch depth must be positive, got {depth}")
         self._fetch = fetch
-        self._records = deque(records)
         self._depth = depth
         self._pool = ThreadPoolExecutor(
             max_workers=min(depth, _MAX_WORKERS),
             thread_name_prefix="repro-prefetch",
         )
+        # close() may run from a different thread than frames_for() (e.g. a
+        # with-block unwinding while the decode executor still drains), so
+        # all consumption-side state shares one lock.
+        self._lock = threading.Lock()
+        self._records = deque(records)  # lint: guarded-by(_lock)
         #: (record, future) pairs in submission (= consumption) order.
-        self._inflight: deque[tuple[RecordT, Future]] = deque()
-        self._closed = False
+        self._inflight: deque[tuple[RecordT, Future[FramesT]]] = (
+            deque()
+        )  # lint: guarded-by(_lock)
+        self._closed = False  # lint: guarded-by(_lock)
         self._fill()
 
     # ------------------------------------------------------------------ #
-    def _fill(self) -> None:
+    def _fill(self) -> None:  # lint: requires-lock(_lock)
         while self._records and len(self._inflight) < self._depth:
             record = self._records.popleft()
             self._inflight.append((record, self._pool.submit(self._fetch, record)))
@@ -81,30 +89,43 @@ class FramePrefetcher:
         :meth:`repro.pipeline.RestorePipeline.iter_decode_selected` as the
         ``frames_for`` callback.
         """
-        if self._closed:
-            return self._fetch(record)
-        if self._inflight and self._inflight[0][0] is record:
-            _, future = self._inflight.popleft()
-            self._fill()
+        future: "Future[FramesT] | None" = None
+        with self._lock:
+            if (
+                not self._closed
+                and self._inflight
+                and self._inflight[0][0] is record
+            ):
+                _, future = self._inflight.popleft()
+                self._fill()
+        if future is not None:
+            # Block outside the lock: a slow fetch must not stall close().
             return future.result()
-        # Out-of-order (or unknown) record: serve it directly rather than
-        # guessing at the consumer's new ordering.
+        # Closed, out-of-order, or unknown record: serve it directly rather
+        # than guessing at the consumer's new ordering.
         return self._fetch(record)
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Cancel pending fetches and release the worker threads (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for _, future in self._inflight:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._inflight)
+            self._inflight.clear()
+            self._records.clear()
+        for _, future in pending:
             future.cancel()
-        self._inflight.clear()
-        self._records.clear()
         self._pool.shutdown(wait=True)
 
-    def __enter__(self) -> "FramePrefetcher":
+    def __enter__(self) -> "FramePrefetcher[RecordT, FramesT]":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()

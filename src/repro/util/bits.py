@@ -9,6 +9,7 @@ offers vectorised helpers built on numpy for whole-buffer conversions.
 from __future__ import annotations
 
 import numpy as np
+from repro.util.nptypes import BitArray
 
 
 class BitWriter:
@@ -43,7 +44,7 @@ class BitWriter:
         for byte in data:
             self.write_bits(byte, 8)
 
-    def to_bitarray(self) -> np.ndarray:
+    def to_bitarray(self) -> BitArray:
         """Return the bits as a uint8 numpy array of 0/1 values."""
         return np.array(self._bits, dtype=np.uint8)
 
@@ -59,7 +60,7 @@ class BitReader:
     exhausted, which lets decoders distinguish truncation from padding.
     """
 
-    def __init__(self, data: bytes | np.ndarray):
+    def __init__(self, data: bytes | BitArray):
         if isinstance(data, (bytes, bytearray, memoryview)):
             self._bits = bytes_to_bits(bytes(data))
         else:
@@ -105,7 +106,7 @@ class BitReader:
         return bytes(self.read_bits(8) for _ in range(count))
 
 
-def bytes_to_bits(data: bytes) -> np.ndarray:
+def bytes_to_bits(data: bytes) -> BitArray:
     """Expand bytes into a uint8 array of bits, MSB first.
 
     >>> bytes_to_bits(b'\\xf0').tolist()
@@ -117,7 +118,7 @@ def bytes_to_bits(data: bytes) -> np.ndarray:
     return np.unpackbits(arr)
 
 
-def bits_to_bytes(bits: np.ndarray) -> bytes:
+def bits_to_bytes(bits: BitArray) -> bytes:
     """Pack a 0/1 array into bytes MSB first, zero-padding the final byte.
 
     >>> bits_to_bytes(np.array([1, 1, 1, 1], dtype=np.uint8))

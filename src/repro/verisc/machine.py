@@ -9,6 +9,7 @@ emulators (see ``benchmarks/bench_portability.py``) are checked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import ExecutionLimitExceeded, InvalidInstructionError, MachineFault
 from repro.verisc.isa import MEMORY_WORDS, WORD_MASK, Op, SpecialAddress
@@ -58,7 +59,9 @@ class VeRiscMachine:
     # ------------------------------------------------------------------ #
     # Memory image handling
     # ------------------------------------------------------------------ #
-    def load_image(self, words, origin: int = 0) -> None:
+    def load_image(
+        self, words: "bytes | bytearray | Sequence[int]", origin: int = 0
+    ) -> None:
         """Copy a word image into memory starting at ``origin``."""
         if isinstance(words, (bytes, bytearray)):
             if len(words) % 2:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import AssemblyError, ExecutionLimitExceeded, InvalidInstructionError
 from repro.dynarisc import (
-    Condition,
     DynaRiscAssembler,
     DynaRiscEmulator,
     Opcode,

@@ -9,7 +9,7 @@ from repro.dbcoder.lz77 import lzss_compress
 from repro.dynarisc.emulator import DynaRiscEmulator
 from repro.dynarisc.programs import get_program, get_source, program_names
 from repro.mocoder.manchester import manchester_encode_fast
-from repro.util.bits import bits_to_bytes, bytes_to_bits
+from repro.util.bits import bytes_to_bits
 
 
 def run_program(name: str, input_data: bytes, step_limit: int = 200_000_000) -> bytes:

@@ -14,7 +14,6 @@ from repro.media import (
     write_pgm,
 )
 from repro.media.distortions import (
-    AGED_MICROFILM,
     OFFICE_SCAN,
     add_dust,
     apply_lens_curvature,

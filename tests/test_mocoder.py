@@ -8,7 +8,6 @@ from repro.errors import (
     EmblemDetectionError,
     EmblemFormatError,
     MissingEmblemError,
-    RestorationError,
 )
 from repro.mocoder import (
     Emblem,

@@ -26,7 +26,6 @@ from repro.errors import RestorationError, UnknownNameError
 from repro.media.paper import PaperChannel
 from repro.mocoder.emblem import EmblemSpec
 from repro.pipeline import (
-    DEFAULT_SEGMENT_SIZE,
     get_executor,
     iter_segments,
     segment_count,
