@@ -6,8 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-pipeline bench-record bench-check \
-	bench-restore-latency cli-smoke store-smoke restore-smoke append-smoke \
-	hygiene golden lint typecheck
+	bench-restore-latency bench-server cli-smoke store-smoke restore-smoke \
+	append-smoke server-smoke hygiene golden lint typecheck
 
 # Where bench-record writes its BENCH_*.json.  The default (repo root) is the
 # committed baseline; CI records into a scratch dir and compares against it.
@@ -112,6 +112,24 @@ append-smoke:
 	$(PYTHON) -c "want=(b'ULE append smoke gen0. '*200+b'ULE append smoke gen1! '*150)[4100:5100]; \
 	got=open('.append-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
 
+## server smoke: serve a repository on an ephemeral port, then drive a full
+## HTTP round trip (upload -> ranged read -> append -> verify -> stats) as a
+## client, plus `repro inspect` against the running server's URL
+server-smoke:
+	@set -e; rm -rf .server-smoke; mkdir .server-smoke; \
+	trap 'kill $$SERVER_PID 2>/dev/null || true; rm -rf .server-smoke' EXIT; \
+	$(PYTHON) -m repro serve --root .server-smoke/root --port 0 \
+		--port-file .server-smoke/port >.server-smoke/serve.log 2>&1 & \
+	SERVER_PID=$$!; \
+	for _ in $$(seq 1 100); do [ -s .server-smoke/port ] && break; sleep 0.2; done; \
+	[ -s .server-smoke/port ] || { cat .server-smoke/serve.log; exit 1; }; \
+	BASE="http://127.0.0.1:$$(cat .server-smoke/port)"; \
+	$(PYTHON) examples/server_roundtrip.py --base-url "$$BASE"; \
+	$(PYTHON) -m repro inspect "$$BASE/archives/smoke" --json \
+		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
+		assert m['generation']==1 and m['payload_bytes']==54000, m"; \
+	kill $$SERVER_PID; wait $$SERVER_PID 2>/dev/null || true
+
 ## quick pipeline benchmark used as a CI smoke check
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke
@@ -124,12 +142,17 @@ bench-pipeline:
 bench-restore-latency:
 	$(PYTHON) benchmarks/bench_restore_latency.py
 
+## archive-service benchmark (concurrent HTTP clients, shared segment cache)
+bench-server:
+	$(PYTHON) benchmarks/bench_server.py
+
 ## record the benchmark trajectory: JSON measurements into BENCH_DIR
 ## (default: the repo root, i.e. the committed baseline files)
 bench-record:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke --json $(BENCH_DIR)/BENCH_pipeline.json
 	$(PYTHON) benchmarks/bench_store.py --json $(BENCH_DIR)/BENCH_store.json
 	$(PYTHON) benchmarks/bench_restore_latency.py --smoke --json $(BENCH_DIR)/BENCH_restore_latency.json
+	$(PYTHON) benchmarks/bench_server.py --smoke --json $(BENCH_DIR)/BENCH_server.json
 
 ## regression gate: re-record into a scratch dir, fail on a > 30% throughput
 ## drop vs the committed BENCH_*.json (see benchmarks/check_regression.py)

@@ -1,0 +1,285 @@
+"""Archive-service benchmark: concurrent HTTP clients against ``repro.server``.
+
+Measures what the service layer promises:
+
+1. **concurrent ranged reads** — N keep-alive clients issue HTTP ``Range``
+   reads against shared archives; repeated coverage of the same segments
+   must be served from the decoded-segment cache (the run *asserts* a
+   non-zero cache hit rate), and every response is checked byte-for-byte
+   against the source payload;
+2. **mixed writers** — appender clients extend a separate archive while the
+   readers run; the per-archive writer lock serialises them, and the
+   benchmark verifies the grown archive afterwards.
+
+Reported per request class: p50/p95 latency, requests/s, and (for reads)
+``mb_per_s`` — the field the regression gate tracks.
+
+Run standalone (it is *not* collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py            # full
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.server import ArchiveRepository, ReproServer
+
+
+def payload_bytes(size: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+
+def _percentile_ms(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return round(ordered[index] * 1000.0, 3)
+
+
+class _Client:
+    """One keep-alive HTTP client worker (reader or appender)."""
+
+    def __init__(self, port: int, index: int):
+        self.index = index
+        self.latencies: list[float] = []
+        self.bytes_read = 0
+        self.mismatches = 0
+        self.failures: list[str] = []
+        self._connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def read_ranges(
+        self, archives: "list[tuple[str, bytes]]", requests: int, span: int
+    ) -> None:
+        """Deterministic stride over the shared archives' byte ranges.
+
+        The stride revisits offsets other clients also touch, so the shared
+        segment cache sees repeated coverage — that is the hot-read regime
+        the cache exists for.
+        """
+        for sequence in range(requests):
+            name, payload = archives[(self.index + sequence) % len(archives)]
+            # A handful of distinct windows per archive, revisited often.
+            window = ((self.index * 7 + sequence * 3) % 16) * span
+            offset = min(window, len(payload) - span)
+            started = time.perf_counter()
+            self._connection.request(
+                "GET",
+                f"/archives/{name}/data",
+                headers={"Range": f"bytes={offset}-{offset + span - 1}"},
+            )
+            response = self._connection.getresponse()
+            body = response.read()
+            self.latencies.append(time.perf_counter() - started)
+            if response.status != 206:
+                self.failures.append(f"read {name}@{offset}: HTTP {response.status}")
+                continue
+            self.bytes_read += len(body)
+            if body != payload[offset : offset + span]:
+                self.mismatches += 1
+
+    def append(self, name: str, chunks: "list[bytes]") -> None:
+        for chunk in chunks:
+            started = time.perf_counter()
+            self._connection.request("POST", f"/archives/{name}/append", body=chunk)
+            response = self._connection.getresponse()
+            body = response.read()
+            self.latencies.append(time.perf_counter() - started)
+            if response.status != 200:
+                self.failures.append(
+                    f"append {name}: HTTP {response.status} {body[:120]!r}"
+                )
+
+
+def run_benchmark(
+    *,
+    readers: int,
+    appenders: int,
+    reads_per_client: int,
+    appends_per_client: int,
+    archive_bytes: int,
+    segment_size: int,
+    span: int,
+    append_bytes: int,
+    root: Path,
+) -> dict:
+    repository = ArchiveRepository(root, cache_bytes=64 * 1024 * 1024)
+    server = ReproServer(repository, port=0, max_workers=max(16, readers + appenders))
+    handle = server.start_in_thread()
+    try:
+        # Seed two shared read archives plus one append target, in-process.
+        archives: list[tuple[str, bytes]] = []
+        for index in range(2):
+            name = f"hot{index}"
+            payload = payload_bytes(archive_bytes, seed=90 + index)
+            session = repository.begin_upload(
+                name, media="test", segment_size=segment_size
+            )
+            session.write(payload)
+            session.commit()
+            archives.append((name, payload))
+        grow_base = payload_bytes(segment_size * 2, seed=99)
+        session = repository.begin_upload("grow", media="test", segment_size=segment_size)
+        session.write(grow_base)
+        session.commit()
+
+        clients = [_Client(server.port, index) for index in range(readers + appenders)]
+        append_chunks = [
+            payload_bytes(append_bytes, seed=200 + index)
+            for index in range(appends_per_client)
+        ]
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(clients)) as pool:
+            futures = []
+            for client in clients[:readers]:
+                futures.append(
+                    pool.submit(client.read_ranges, archives, reads_per_client, span)
+                )
+            for client in clients[readers:]:
+                futures.append(pool.submit(client.append, "grow", append_chunks))
+            for future in futures:
+                future.result()
+        elapsed = time.perf_counter() - started
+        for client in clients:
+            client.close()
+
+        failures = [message for client in clients for message in client.failures]
+        mismatches = sum(client.mismatches for client in clients)
+        if failures:
+            raise AssertionError(f"{len(failures)} failed requests: {failures[:5]}")
+        if mismatches:
+            raise AssertionError(f"{mismatches} ranged reads returned wrong bytes")
+
+        read_latencies = [
+            sample for client in clients[:readers] for sample in client.latencies
+        ]
+        append_latencies = [
+            sample for client in clients[readers:] for sample in client.latencies
+        ]
+        bytes_read = sum(client.bytes_read for client in clients)
+        cache_stats = repository.cache.stats()
+        if not cache_stats["hits"]:
+            raise AssertionError(
+                "repeated range reads produced no cache hits; the shared "
+                f"segment cache is not being exercised: {cache_stats}"
+            )
+
+        report = repository.verify("grow")
+        if not report.ok:
+            raise AssertionError(f"grown archive failed verify: {report.errors}")
+        expected_grow = grow_base + b"".join(append_chunks) * max(appenders, 0)
+        grown, _total = repository.read_range("grow", 0, None)
+        if appenders and len(grown) != len(expected_grow):
+            raise AssertionError(
+                f"grow archive holds {len(grown)} bytes, expected {len(expected_grow)}"
+            )
+
+        total_requests = len(read_latencies) + len(append_latencies)
+        return {
+            "clients": readers + appenders,
+            "readers": readers,
+            "appenders": appenders,
+            "elapsed_seconds": round(elapsed, 3),
+            "req_per_s": round(total_requests / elapsed, 2),
+            "reads": {
+                "requests": len(read_latencies),
+                "bytes": bytes_read,
+                "span_bytes": span,
+                "p50_ms": _percentile_ms(read_latencies, 0.50),
+                "p95_ms": _percentile_ms(read_latencies, 0.95),
+                "mean_ms": round(statistics.fmean(read_latencies) * 1000.0, 3)
+                if read_latencies
+                else 0.0,
+                "mb_per_s": bytes_read / 1e6 / elapsed,
+            },
+            "appends": {
+                "requests": len(append_latencies),
+                "chunk_bytes": append_bytes,
+                "p50_ms": _percentile_ms(append_latencies, 0.50),
+                "p95_ms": _percentile_ms(append_latencies, 0.95),
+            },
+            "segment_cache": cache_stats,
+        }
+    finally:
+        handle.stop()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small archives, quick)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent reader clients (default 8)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        settings = dict(
+            reads_per_client=24, appends_per_client=2,
+            archive_bytes=128_000, segment_size=4_096,
+            span=4_096, append_bytes=4_096,
+        )
+    else:
+        settings = dict(
+            reads_per_client=80, appends_per_client=4,
+            archive_bytes=512_000, segment_size=8_192,
+            span=8_192, append_bytes=8_192,
+        )
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-server-"))
+    try:
+        results = run_benchmark(
+            readers=max(args.clients, 1),
+            appenders=2,
+            root=workdir / "root",
+            **settings,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    reads, appends, cache = results["reads"], results["appends"], results["segment_cache"]
+    print(f"server: {results['clients']} clients "
+          f"({results['readers']} readers + {results['appenders']} appenders), "
+          f"{results['req_per_s']:.0f} req/s over {results['elapsed_seconds']:.2f} s")
+    print(f"  reads:   {reads['requests']} x {reads['span_bytes']} B  "
+          f"p50 {reads['p50_ms']:.1f} ms  p95 {reads['p95_ms']:.1f} ms  "
+          f"{reads['mb_per_s']:.2f} MB/s")
+    print(f"  appends: {appends['requests']} x {appends['chunk_bytes']} B  "
+          f"p50 {appends['p50_ms']:.1f} ms  p95 {appends['p95_ms']:.1f} ms")
+    print(f"  cache:   {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2f}), {cache['entries']} entries, "
+          f"{cache['current_bytes']} bytes")
+
+    if args.json:
+        report = {
+            "benchmark": "server",
+            "smoke": bool(args.smoke),
+            "cpus_visible": os.cpu_count(),
+            **results,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """Benchmark regression gate: fresh ``make bench-record`` vs committed baseline.
 
 The repo commits one baseline JSON per benchmark at the root
-(``BENCH_pipeline.json``, ``BENCH_store.json``, ``BENCH_restore_latency.json``).
+(``BENCH_pipeline.json``, ``BENCH_store.json``, ``BENCH_restore_latency.json``,
+``BENCH_server.json``).
 CI re-records the same benchmarks into a scratch directory and runs this
 checker, which walks every numeric ``mb_per_s`` field in the baselines and
 fails if the freshly measured value dropped below ``tolerance`` times the
@@ -33,6 +34,7 @@ BENCH_FILES = (
     "BENCH_pipeline.json",
     "BENCH_store.json",
     "BENCH_restore_latency.json",
+    "BENCH_server.json",
 )
 
 #: Field name that marks a gated throughput measurement.

@@ -49,6 +49,7 @@ _EXPORTS: dict[str, str] = {
     "ArchiveReader": "repro.api",
     "ArchiveWriter": "repro.api",
     "EndToEndResult": "repro.api",
+    "SegmentCacheLike": "repro.api",
     "open_archive": "repro.api",
     "open_restore": "repro.api",
     "run_end_to_end": "repro.api",
@@ -56,6 +57,7 @@ _EXPORTS: dict[str, str] = {
     "registry": "repro",
     "store": "repro",
     "devtools": "repro",
+    "server": "repro",
     # repro.core — engines, manifests, profiles
     "Archiver": "repro.core",
     "Restorer": "repro.core",
@@ -123,12 +125,13 @@ def __dir__() -> list[str]:
 
 
 if TYPE_CHECKING:  # static importers see the eager imports
-    from repro import registry, store  # noqa: F401
+    from repro import registry, server, store  # noqa: F401
     from repro.api import (  # noqa: F401
         ArchiveConfig,
         ArchiveReader,
         ArchiveWriter,
         EndToEndResult,
+        SegmentCacheLike,
         open_archive,
         open_restore,
         run_end_to_end,

@@ -25,6 +25,7 @@ from repro.api.session import (
     ArchiveReader,
     ArchiveWriter,
     EndToEndResult,
+    SegmentCacheLike,
     open_archive,
     open_restore,
     run_end_to_end,
@@ -35,6 +36,7 @@ __all__ = [
     "ArchiveReader",
     "ArchiveWriter",
     "EndToEndResult",
+    "SegmentCacheLike",
     "open_archive",
     "open_restore",
     "run_end_to_end",

@@ -31,7 +31,13 @@ Subcommands
 ``inspect``
     Summarise a saved archive's manifest — format version, embedded config,
     per-segment byte ranges, frame runs and content hashes — without
-    loading any image.
+    loading any image.  Also accepts an ``http(s)://`` URL naming an
+    archive on a running ``serve`` instance
+    (``repro inspect http://host:port/archives/name``).
+``serve``
+    Serve a directory of named archives over HTTP — streaming uploads and
+    appends, ranged reads through a shared decoded-segment cache, verify
+    and inspect endpoints (see :mod:`repro.server`).
 ``profiles``
     List every registered media channel, codec, executor, distortion
     profile and storage backend (``--json`` for machine-readable output).
@@ -195,7 +201,51 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         return 0
 
 
+def _inspect_over_http(url: str, as_json: bool) -> int:
+    """``inspect`` against a running ``serve`` instance's JSON endpoint."""
+    import urllib.error
+    import urllib.request
+
+    target = url.rstrip("/")
+    if not target.endswith("/inspect"):
+        target += "/inspect"
+    try:
+        with urllib.request.urlopen(target, timeout=30) as response:
+            summary = json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = str(json.loads(exc.read()).get("error", ""))
+        except (ValueError, OSError):
+            detail = ""
+        raise ReproError(
+            f"{target}: HTTP {exc.code}" + (f" — {detail}" if detail else "")
+        ) from exc
+    except urllib.error.URLError as exc:
+        raise ReproError(f"{target}: {exc.reason}") from exc
+    if as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    lineage = f", generation {summary['generation']}" if summary.get("generation") else ""
+    print(f"{url}: {summary['payload_kind']} payload, "
+          f"{summary['payload_bytes']:,} bytes on {summary['profile']} "
+          f"via {summary['codec']} "
+          f"(manifest v{summary['format_version']}{lineage})")
+    print(f"  {summary['data_emblems']} data + "
+          f"{summary['system_emblems']} system emblems, "
+          f"{max(len(summary['segments']), 1)} segments "
+          f"(segment_size={summary['segment_size'] or 'one-shot'})")
+    for segment in summary["segments"]:
+        sha = segment["sha256"][:12] if segment.get("sha256") else "-"
+        print(f"  segment {segment['index']}: bytes "
+              f"[{segment['offset']}:{segment['offset'] + segment['length']}) "
+              f"crc32={segment['crc32']:08x} sha256={sha}")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if str(args.input).startswith(("http://", "https://")):
+        return _inspect_over_http(str(args.input), args.json)
     try:
         source = open_source(args.input, args.store)
     except (ValueError, TypeError) as exc:
@@ -365,6 +415,29 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain CLI runs never pay for the service stack.
+    from repro.server import ArchiveRepository, ReproServer
+    from repro.server.cache import DEFAULT_CACHE_BYTES
+
+    cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
+    repository = ArchiveRepository(args.root, cache_bytes=cache_bytes)
+    server = ReproServer(repository, host=args.host, port=args.port)
+    handle = server.start_in_thread()
+    try:
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        print(f"serving {repository.root} on {server.base_url} (Ctrl-C to stop)",
+              flush=True)
+        try:
+            handle.join()
+        except KeyboardInterrupt:
+            print("stopping", file=sys.stderr)
+    finally:
+        handle.stop()
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
@@ -446,6 +519,20 @@ def build_parser() -> argparse.ArgumentParser:
     profiles = sub.add_parser("profiles", help="list registered media/codecs/executors")
     profiles.add_argument("--json", action="store_true", help="machine-readable listing")
     profiles.set_defaults(handler=_cmd_profiles)
+
+    serve = sub.add_parser("serve", help="serve a repository of named archives over HTTP")
+    serve.add_argument("--root", required=True,
+                       help="directory holding the named archives (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 picks an ephemeral port (default 8765)")
+    serve.add_argument("--port-file", dest="port_file",
+                       help="write the bound port to this file once listening "
+                            "(lets scripts use --port 0)")
+    serve.add_argument("--cache-bytes", dest="cache_bytes", type=int,
+                       help="decoded-segment cache budget in bytes (default 64 MiB; "
+                            "0 disables caching)")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

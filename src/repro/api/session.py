@@ -21,7 +21,7 @@ from types import TracebackType
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Protocol
 
 import numpy as np
 
@@ -50,6 +50,7 @@ __all__ = [
     "ArchiveWriter",
     "ArchiveReader",
     "EndToEndResult",
+    "SegmentCacheLike",
     "open_archive",
     "open_restore",
     "run_end_to_end",
@@ -57,6 +58,26 @@ __all__ = [
 
 #: Sentinel closing the writer's chunk queue.
 _EOF = object()
+
+
+class SegmentCacheLike(Protocol):
+    """What :class:`ArchiveReader` needs from a shared decoded-segment cache.
+
+    Keys are the manifest-v3 per-segment SHA-256 hex digests — *content*
+    addresses, so an appended generation or a re-uploaded archive can never
+    serve stale bytes through a matching key: different payload bytes hash
+    to a different key.  Implementations must be safe for concurrent calls
+    from multiple threads (:class:`repro.server.SegmentCache`, shared across
+    request handlers, is the canonical one).
+    """
+
+    def get(self, key: str) -> bytes | None:
+        """The cached payload for ``key``, or ``None`` on a miss."""
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: str, data: bytes) -> None:
+        """Admit ``data`` under ``key`` (the cache may decline or evict)."""
+        ...  # pragma: no cover - protocol
 
 
 class ArchiveWriter:
@@ -367,6 +388,7 @@ class ArchiveReader:
         source: ArchiveSource | None = None,
         on_segment: Callable[[SegmentRecord], None] | None = None,
         via_channel: bool = False,
+        segment_cache: SegmentCacheLike | None = None,
     ):
         if archive is None and source is None:
             raise ArchiveError("an ArchiveReader needs an archive artefact or a store source")
@@ -379,10 +401,18 @@ class ArchiveReader:
         #: cycle (the streaming channel path) instead of reading the
         #: artefact's pristine rasters directly.
         self.via_channel = via_channel
+        #: Shared decoded-segment cache consulted by partial restores; keys
+        #: are per-segment SHA-256 digests, so it may be shared across
+        #: readers, archives and (server) request threads.
+        self.segment_cache = segment_cache
         #: Partial-restore work counters (full ``read()`` reports its own
         #: statistics through the returned :class:`RestorationResult`).
+        #: ``segments_cached`` counts covering segments served from
+        #: ``segment_cache`` without touching the medium; the ``on_segment``
+        #: hook fires only for segments actually decoded.
         self.segments_decoded = 0
         self.frames_decoded = 0
+        self.segments_cached = 0
         self._profile = config.media_profile()
         #: Lazily built, then reused across partial reads so repeated
         #: ``read_range`` calls don't respawn an executor (pool) each time;
@@ -487,7 +517,46 @@ class ArchiveReader:
         many segments' frames are prefetched from the backend on background
         threads while earlier segments decode — backend I/O overlaps MOCoder
         decode instead of serialising in front of it.
+
+        With a :attr:`segment_cache`, segments whose SHA-256 digest is
+        cached are served straight from memory (their frames are never
+        fetched, their emblems never decoded); only the misses go through
+        the pipeline, and their decoded — hash-verified — payloads are
+        admitted to the cache on the way out.
         """
+        cache = self.segment_cache
+        parts_by_position: "list[bytes | None]" = [None] * len(records)
+        misses: list[SegmentRecord] = []
+        miss_positions: list[int] = []
+        for position, record in enumerate(records):
+            cached = (
+                cache.get(record.sha256)
+                if cache is not None and record.sha256 is not None
+                else None
+            )
+            if cached is not None and len(cached) == record.length:
+                parts_by_position[position] = cached
+                self.segments_cached += 1
+            else:
+                misses.append(record)
+                miss_positions.append(position)
+        if misses:
+            for job, payload in enumerate(self._decode_uncached(misses)):
+                record = misses[job]
+                parts_by_position[miss_positions[job]] = payload
+                if cache is not None and record.sha256 is not None:
+                    cache.put(record.sha256, payload)
+        parts: list[bytes] = []
+        for position, part in enumerate(parts_by_position):
+            if part is None:  # a decode yielded short — never expected
+                raise RestorationError(
+                    f"segment {records[position].index} produced no payload"
+                )
+            parts.append(part)
+        return parts
+
+    def _decode_uncached(self, records: list[SegmentRecord]) -> Iterator[bytes]:
+        """Pipeline-decode ``records`` (cache misses), yielding payloads in order."""
         if self._partial_pipeline is None:
             from repro.pipeline.executors import get_executor
             from repro.pipeline.pipeline import resolve_decode_executor
@@ -511,18 +580,16 @@ class ArchiveReader:
         if self.config.readahead > 0 and self._archive is None:
             prefetcher = FramePrefetcher(self._frames, records, self.config.readahead)
             frames_for = prefetcher.frames_for
-        parts: list[bytes] = []
         try:
             for decoded in pipeline.iter_decode_selected(self.manifest, records, frames_for):
-                parts.append(decoded.payload)
                 self.segments_decoded += 1
                 self.frames_decoded += decoded.record.emblem_count
                 if self.on_segment is not None:
                     self.on_segment(decoded.record)
+                yield decoded.payload
         finally:
             if prefetcher is not None:
                 prefetcher.close()
-        return parts
 
     def restore_segment(self, index: int) -> bytes:
         """Decode and verify segment ``index`` alone, returning its bytes.
@@ -745,9 +812,17 @@ def open_restore(
     store: str | None = None,
     on_segment: Callable[[SegmentRecord], None] | None = None,
     via_channel: bool = False,
+    segment_cache: SegmentCacheLike | None = None,
     **overrides: object,
 ) -> ArchiveReader:
     """Open a restoration session over an archive artefact or store target.
+
+    ``segment_cache`` (any :class:`SegmentCacheLike`, e.g.
+    :class:`repro.server.SegmentCache`) lets partial restores serve covering
+    segments whose SHA-256 digest is already cached without fetching or
+    decoding anything; decoded misses are admitted on the way out.  Because
+    keys are content digests, one cache is safely shared across readers,
+    archives and generations.
 
     ``via_channel=True`` makes :meth:`ArchiveReader.read` re-run the
     simulated record/scan cycle first, through the streaming per-batch
@@ -794,7 +869,7 @@ def open_restore(
         config = config.replace(**overrides)
     reader = ArchiveReader(
         archive, config, source=archive_source, on_segment=on_segment,
-        via_channel=via_channel,
+        via_channel=via_channel, segment_cache=segment_cache,
     )
     reader._manifest = manifest
     return reader

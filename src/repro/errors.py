@@ -161,6 +161,27 @@ class StoreError(ArchiveError):
 
 
 # --------------------------------------------------------------------------- #
+# Archive service (repro.server)
+# --------------------------------------------------------------------------- #
+class ServerError(ReproError):
+    """Base class for the multi-tenant archive service layer."""
+
+
+class ArchiveNotFoundError(ServerError):
+    """The repository holds no archive under the requested name (HTTP 404)."""
+
+
+class ArchiveBusyError(ServerError):
+    """A conflicting writer holds the archive's writer lock, or the name is
+    already taken by an existing archive (HTTP 409)."""
+
+
+class BadRequestError(ServerError):
+    """A service request is malformed: an illegal archive name, an invalid
+    Range header, unparsable parameters (HTTP 400)."""
+
+
+# --------------------------------------------------------------------------- #
 # Registries and the unified configuration facade
 # --------------------------------------------------------------------------- #
 class RegistryError(ReproError):

@@ -1,0 +1,34 @@
+"""``repro.server`` — the multi-tenant archive service.
+
+A stdlib-only asyncio HTTP/1.1 front end (:mod:`~repro.server.app`) over a
+thread-safe repository of named archives (:mod:`~repro.server.repository`),
+sharing one content-addressed decoded-segment cache
+(:mod:`~repro.server.cache`) across every archive, reader and request.
+
+Quickstart::
+
+    python -m repro serve --root ./repo --port 8765
+
+or, in-process (tests / benchmarks)::
+
+    from repro.server import ArchiveRepository, ReproServer
+
+    with ReproServer(ArchiveRepository(root), port=0).start_in_thread() as handle:
+        ...  # speak HTTP to handle.base_url
+"""
+
+from __future__ import annotations
+
+from repro.server.app import ReproServer, ServerHandle
+from repro.server.cache import SegmentCache
+from repro.server.metrics import ServerMetrics
+from repro.server.repository import ArchiveRepository, WriteSession
+
+__all__ = [
+    "ArchiveRepository",
+    "ReproServer",
+    "SegmentCache",
+    "ServerHandle",
+    "ServerMetrics",
+    "WriteSession",
+]

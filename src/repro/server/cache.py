@@ -1,0 +1,126 @@
+"""A byte-budgeted LRU cache of decoded segment payloads, shared by design.
+
+Partial restore decodes whole *segments* even when the caller asked for a
+few bytes — the emblem pipeline's unit of work is the segment.  Across a
+multi-tenant server that cost is paid again and again for the same hot
+segments, so :class:`SegmentCache` keeps the decoded payload bytes around,
+keyed on the manifest-v3 per-segment **SHA-256** digest.
+
+Content addressing is what makes sharing safe:
+
+* one cache serves every archive, reader and request thread — two archives
+  holding the same bytes even share entries;
+* an appended generation can never surface stale data through the cache:
+  its new segments hash to new keys, and the old segments it carries
+  forward are byte-identical by construction;
+* a re-uploaded (overwritten) archive likewise changes keys wherever it
+  changed bytes.
+
+The cache is a plain LRU over a byte budget: admitting an entry evicts
+least-recently-used entries until the budget holds, and an entry larger
+than the whole budget is declined outright (caching it would evict
+everything for a single use).  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["SegmentCache"]
+
+#: Default budget: enough for a few thousand small test segments or a
+#: couple of hundred paper-profile ones without threatening a small host.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class SegmentCache:
+    """Byte-budgeted, thread-safe LRU of decoded segment payloads.
+
+    Implements the :class:`repro.api.SegmentCacheLike` protocol consumed by
+    :meth:`repro.api.ArchiveReader.read_range` — pass one instance to every
+    ``open_restore`` call that should share it.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total payload bytes the cache may retain.  ``0`` disables caching
+        (every ``get`` misses, every ``put`` is declined) while keeping the
+        counters, so a cache-off server still reports coherent stats.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES):
+        if budget_bytes < 0:
+            raise ValueError(f"cache budget must be >= 0, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()  # lint: guarded-by(_lock)
+        self._bytes = 0  # lint: guarded-by(_lock)
+        self._hits = 0  # lint: guarded-by(_lock)
+        self._misses = 0  # lint: guarded-by(_lock)
+        self._evictions = 0  # lint: guarded-by(_lock)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> bytes | None:
+        """The cached payload under ``key`` (refreshing its recency), or None."""
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return data
+
+    def put(self, key: str, data: bytes) -> None:
+        """Admit ``data`` under ``key``, evicting LRU entries to fit.
+
+        Oversized entries (larger than the whole budget) are declined; a
+        re-``put`` of an existing key refreshes its recency and replaces
+        the bytes (content addressing makes a changed value impossible in
+        practice, but the cache does not rely on that).
+        """
+        size = len(data)
+        if size > self.budget_bytes:
+            return
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= len(previous)
+            self._entries[key] = data
+            self._bytes += size
+            while self._bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Payload bytes currently retained."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict[str, object]:
+        """A consistent snapshot of the cache counters (one lock hold)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "budget_bytes": self.budget_bytes,
+                "current_bytes": self._bytes,
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,273 @@
+"""A minimal HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The container image ships no third-party HTTP stack, and the archive
+service needs very little of one: request-line + header parsing,
+``Content-Length`` and ``chunked`` request bodies (uploads stream), byte
+``Range`` parsing for ranged reads, and keep-alive responses with explicit
+``Content-Length``.  This module implements exactly that — deliberately no
+routing, no middleware, no TLS — so :mod:`repro.server.app` stays readable
+and the whole wire format is auditable in one file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "iter_body",
+    "parse_range",
+    "read_body",
+    "read_request",
+    "send_response",
+]
+
+#: Reason phrases for the statuses the service actually emits.
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    416: "Range Not Satisfiable",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+#: Ceiling on the total header block of one request.
+_MAX_HEADER_BYTES = 64 * 1024
+#: Read granularity for request bodies.
+_BODY_CHUNK = 64 * 1024
+
+_REQUEST_LINE_RE = re.compile(r"^([A-Z]+) (\S+) HTTP/(1\.[01])$")
+_RANGE_RE = re.compile(r"^bytes=(\d*)-(\d*)$")
+
+
+class HTTPError(Exception):
+    """An error with a definite HTTP status (the handler's short-circuit)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request head (the body stays on the stream reader)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    version: str = "1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked (or defaults) to reuse the connection."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+    def flag(self, name: str) -> bool:
+        """A boolean query parameter (absent/0/false/no -> False)."""
+        value = self.query.get(name)
+        return value is not None and value.lower() not in ("", "0", "false", "no")
+
+    def int_param(self, name: str) -> "int | None":
+        value = self.query.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            raise HTTPError(400, f"query parameter {name!r} must be an integer") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        return await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HTTPError(431, "request line or header line too long") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> "HTTPRequest | None":
+    """Parse one request head; ``None`` on clean end-of-stream.
+
+    Raises :class:`HTTPError` on malformed requests (the caller answers
+    with the carried status and closes the connection).
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    text = line.decode("latin-1").strip()
+    if not text:  # tolerate a stray CRLF between keep-alive requests
+        line = await _read_line(reader)
+        if not line:
+            return None
+        text = line.decode("latin-1").strip()
+    matched = _REQUEST_LINE_RE.match(text)
+    if matched is None:
+        raise HTTPError(400, f"malformed request line: {text[:80]!r}")
+    method, target, version = matched.groups()
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query, keep_blank_values=True)}
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            raise HTTPError(400, "connection closed inside the header block")
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise HTTPError(431, "request header block too large")
+        text = line.decode("latin-1").rstrip("\r\n")
+        if not text:
+            break
+        name, separator, value = text.partition(":")
+        if not separator:
+            raise HTTPError(400, f"malformed header line: {text[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    return HTTPRequest(
+        method=method,
+        target=target,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        version=version,
+    )
+
+
+async def iter_body(
+    reader: asyncio.StreamReader, request: HTTPRequest
+) -> AsyncIterator[bytes]:
+    """The request body as a stream of chunks (chunked or Content-Length).
+
+    A request with neither ``Transfer-Encoding: chunked`` nor a
+    ``Content-Length`` yields nothing (GET and friends).
+    """
+    encoding = request.headers.get("transfer-encoding", "").lower()
+    if "chunked" in encoding:
+        while True:
+            size_line = await _read_line(reader)
+            if not size_line:
+                raise HTTPError(400, "truncated chunked body (no chunk size)")
+            try:
+                size = int(size_line.split(b";", 1)[0].strip() or b"0", 16)
+            except ValueError:
+                raise HTTPError(400, "malformed chunk size") from None
+            if size == 0:
+                while True:  # drain the (usually empty) trailer section
+                    trailer = await _read_line(reader)
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+                    continue
+            remaining = size
+            while remaining:
+                chunk = await reader.read(min(remaining, _BODY_CHUNK))
+                if not chunk:
+                    raise HTTPError(400, "truncated chunked body")
+                remaining -= len(chunk)
+                yield chunk
+            await _read_line(reader)  # the CRLF terminating the chunk
+        return
+    length_header = request.headers.get("content-length")
+    if length_header is None:
+        return
+    try:
+        remaining = int(length_header)
+    except ValueError:
+        raise HTTPError(400, "malformed Content-Length") from None
+    if remaining < 0:
+        raise HTTPError(400, "negative Content-Length")
+    while remaining:
+        chunk = await reader.read(min(remaining, _BODY_CHUNK))
+        if not chunk:
+            raise HTTPError(400, "truncated request body")
+        remaining -= len(chunk)
+        yield chunk
+
+
+async def read_body(
+    reader: asyncio.StreamReader, request: HTTPRequest, limit: int
+) -> bytes:
+    """The whole request body, bounded by ``limit`` bytes."""
+    parts: list[bytes] = []
+    total = 0
+    async for chunk in iter_body(reader, request):
+        total += len(chunk)
+        if total > limit:
+            raise HTTPError(413, f"request body larger than {limit} bytes")
+        parts.append(chunk)
+    return b"".join(parts)
+
+
+def parse_range(header: str, total: int) -> "tuple[int, int]":
+    """An HTTP ``Range`` header as ``(offset, length)`` against ``total``.
+
+    Supports the single-range forms ``bytes=a-b``, ``bytes=a-`` and the
+    suffix ``bytes=-n``; raises 400 on syntax errors and 416 when the range
+    does not overlap ``[0, total)`` — exactly the RFC 9110 semantics a
+    generic HTTP client expects from a ranged read.
+    """
+    matched = _RANGE_RE.match(header.strip())
+    if matched is None:
+        raise HTTPError(400, f"unsupported Range header {header!r}")
+    start_text, end_text = matched.groups()
+    if not start_text and not end_text:
+        raise HTTPError(400, f"unsupported Range header {header!r}")
+    if not start_text:  # suffix form: the last N bytes
+        suffix = int(end_text)
+        if suffix == 0 or total == 0:
+            raise HTTPError(416, f"range {header!r} not satisfiable for {total} bytes")
+        offset = max(total - suffix, 0)
+        return offset, total - offset
+    offset = int(start_text)
+    if offset >= total:
+        raise HTTPError(416, f"range {header!r} not satisfiable for {total} bytes")
+    if not end_text:
+        return offset, total - offset
+    end = int(end_text)
+    if end < offset:
+        raise HTTPError(400, f"inverted Range header {header!r}")
+    return offset, min(end, total - 1) - offset + 1
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: "dict[str, str] | None" = None,
+    keep_alive: bool = True,
+) -> None:
+    """Write one complete response (explicit Content-Length, no chunking)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def json_body(payload: object) -> bytes:
+    """Canonical JSON encoding for service responses."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")

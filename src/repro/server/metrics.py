@@ -1,0 +1,89 @@
+"""Structured request metrics for the archive service (``GET /stats``).
+
+One :class:`ServerMetrics` instance per server aggregates, per route
+template (``GET /archives/{name}/data``, not the concrete path — names must
+not explode the cardinality): request and error counts, total/max latency,
+and bytes in/out.  Everything is lock-guarded and snapshot in one hold, so
+``/stats`` always reports a consistent picture even under concurrent
+traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ServerMetrics"]
+
+
+@dataclass
+class _RouteStats:
+    """Mutable per-route counters (mutated only under the metrics lock)."""
+
+    requests: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        mean = self.total_seconds / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mean_ms": round(mean * 1000.0, 3),
+            "max_ms": round(self.max_seconds * 1000.0, 3),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+
+class ServerMetrics:
+    """Thread-safe per-route request statistics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: dict[str, _RouteStats] = {}  # lint: guarded-by(_lock)
+        self._started = time.monotonic()
+
+    def observe(
+        self,
+        route: str,
+        seconds: float,
+        *,
+        error: bool = False,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+    ) -> None:
+        """Record one finished request against its route template."""
+        with self._lock:
+            stats = self._routes.get(route)
+            if stats is None:
+                stats = self._routes[route] = _RouteStats()
+            stats.requests += 1
+            if error:
+                stats.errors += 1
+            stats.total_seconds += seconds
+            stats.max_seconds = max(stats.max_seconds, seconds)
+            stats.bytes_in += bytes_in
+            stats.bytes_out += bytes_out
+
+    def snapshot(self) -> dict[str, object]:
+        """A consistent copy of every route's counters plus totals."""
+        with self._lock:
+            routes = {route: stats.to_dict() for route, stats in sorted(self._routes.items())}
+            totals = _RouteStats()
+            for stats in self._routes.values():
+                totals.requests += stats.requests
+                totals.errors += stats.errors
+                totals.total_seconds += stats.total_seconds
+                totals.max_seconds = max(totals.max_seconds, stats.max_seconds)
+                totals.bytes_in += stats.bytes_in
+                totals.bytes_out += stats.bytes_out
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "total": totals.to_dict(),
+            "routes": routes,
+        }

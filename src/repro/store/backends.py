@@ -643,12 +643,29 @@ class _ContainerSink(ArchiveSink):
         self._stream.close()
 
 
+#: Idle read handles kept open per container source.  Concurrent readers
+#: beyond this open short-lived extra handles instead of queueing, so a
+#: burst of request threads never serialises on one seek position.
+_SOURCE_POOL_MAX = 8
+
+
 class _ContainerSource(ArchiveSource):
+    """Read side of the container backend — safe for *concurrent* readers.
+
+    Readers no longer share one seek position: every :meth:`_read` borrows a
+    dedicated file handle from a small idle pool (opening a fresh one when
+    the pool is empty), seeks and reads on it privately, and returns it.
+    Prefetch workers, decode executors and server request threads can
+    therefore fetch records truly in parallel; :meth:`close` drains the pool
+    and marks the source closed, after which in-flight handles are closed on
+    release instead of being pooled again.
+    """
+
     def __init__(self, path: Path):
         self.path = path
-        # seek+read pairs must be atomic: prefetching restores fetch frames
-        # from worker threads concurrently over this one stream.
         self._lock = threading.Lock()
+        self._handles: list[BinaryIO] = []  # lint: guarded-by(_lock)
+        self._closed = False  # lint: guarded-by(_lock)
         try:
             stream = open(path, "rb")
         except OSError as exc:
@@ -656,20 +673,20 @@ class _ContainerSource(ArchiveSource):
         if stream.read(len(CONTAINER_MAGIC)) != CONTAINER_MAGIC:
             stream.close()
             raise StoreError(f"{path}: not a ULE container archive (bad magic)")
-        self._stream = stream  # lint: guarded-by(_lock)
         #: True when the trailer index was unusable and the record index had
         #: to be rebuilt by a linear scan (`inspect` surfaces this so damage
         #: is visible, not silently absorbed).
         self.recovered_by_scan = False
         self._index = self._load_index(stream)
+        self._handles.append(stream)
 
     # -------------------------------------------------------------- #
     def _load_index(self, stream: BinaryIO) -> dict[str, tuple[int, int]]:
         """The record index: from the newest trailer, or by scanning on damage.
 
         Takes the stream explicitly: it runs only from ``__init__``, before
-        the source is shared with any prefetch worker, so it may seek freely
-        without holding ``_lock``.
+        the source is shared with any other thread, so it may seek freely
+        on the not-yet-pooled handle.
         """
         stream.seek(0, io.SEEK_END)
         size = stream.tell()
@@ -698,14 +715,36 @@ class _ContainerSource(ArchiveSource):
         )
         return index
 
+    def _acquire(self) -> BinaryIO:
+        """Borrow a read handle: pooled when one is idle, fresh otherwise."""
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"{self.path}: container source is closed")
+            if self._handles:
+                return self._handles.pop()
+        try:
+            return open(self.path, "rb")
+        except OSError as exc:
+            raise StoreError(f"{self.path}: cannot open container archive: {exc}") from exc
+
+    def _release(self, handle: BinaryIO) -> None:
+        with self._lock:
+            if not self._closed and len(self._handles) < _SOURCE_POOL_MAX:
+                self._handles.append(handle)
+                return
+        handle.close()
+
     def _read(self, name: str) -> bytes:
         entry = self._index.get(name)
         if entry is None:
             raise StoreError(f"{self.path} has no record {name!r}")
         offset, length = entry
-        with self._lock:
-            self._stream.seek(offset)
-            payload = self._stream.read(length)
+        handle = self._acquire()
+        try:
+            handle.seek(offset)
+            payload = handle.read(length)
+        finally:
+            self._release(handle)
         if len(payload) != length:
             raise StoreError(f"{self.path}: record {name!r} is truncated")
         return payload
@@ -729,10 +768,13 @@ class _ContainerSource(ArchiveSource):
         return str(self.path)
 
     def close(self) -> None:
-        # Taking the lock keeps close() from yanking the stream out from
-        # under a concurrent prefetch-worker seek+read pair.
+        # Borrowed handles are never yanked mid-read: marking the source
+        # closed makes _release() close them as each reader finishes.
         with self._lock:
-            self._stream.close()
+            self._closed = True
+            handles, self._handles = self._handles, []
+        for handle in handles:
+            handle.close()
 
 
 class ContainerBackend(StorageBackend):

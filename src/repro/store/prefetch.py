@@ -40,7 +40,8 @@ class FramePrefetcher(Generic[RecordT, FramesT]):
         The underlying frame provider (``record -> frames``); called on
         worker threads, so it must be thread-safe for *distinct* records —
         the store backends qualify (directory reads are independent files,
-        container reads go through one seek+read guarded per call).
+        container reads each borrow a private handle from the source's
+        pool, so they proceed genuinely in parallel).
     records:
         The records that will be consumed, in consumption order.
     depth:
