@@ -6,8 +6,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-pipeline bench-record bench-check \
-	bench-restore-latency bench-server cli-smoke store-smoke restore-smoke \
-	append-smoke server-smoke hygiene golden lint typecheck
+	bench-restore-latency bench-server bench-volumes cli-smoke store-smoke \
+	restore-smoke append-smoke server-smoke volume-smoke hygiene golden \
+	lint typecheck
 
 # Where bench-record writes its BENCH_*.json.  The default (repo root) is the
 # committed baseline; CI records into a scratch dir and compares against it.
@@ -55,7 +56,7 @@ store-smoke:
 		--store container --media test --codec portable --segment-size 2048; \
 	$(PYTHON) -m repro inspect .store-smoke/backup.ule --json \
 		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); \
-		assert m['format_version']==3 and m['segments'], m"; \
+		assert m['format_version']==4 and m['segments'], m"; \
 	$(PYTHON) -m repro restore -i .store-smoke/backup.ule -o .store-smoke/slice.bin \
 		--offset 3000 --length 1000; \
 	$(PYTHON) -c "want=(b'ULE store smoke payload. '*400)[3000:4000]; \
@@ -130,6 +131,29 @@ server-smoke:
 		assert m['generation']==1 and m['payload_bytes']==54000, m"; \
 	kill $$SERVER_PID; wait $$SERVER_PID 2>/dev/null || true
 
+## volume-set smoke: archive onto a k=4,m=2 sharded volume set through the
+## vol: target URI, destroy two whole member volumes, check that verify
+## reports the damage (non-zero exit), then restore bit-exactly degraded
+volume-smoke:
+	@set -e; rm -rf .volume-smoke; mkdir .volume-smoke; \
+	trap 'rm -rf .volume-smoke' EXIT; \
+	TARGET="vol:k=4,m=2:.volume-smoke/v0,.volume-smoke/v1,.volume-smoke/v2,.volume-smoke/v3,.volume-smoke/v4,.volume-smoke/v5"; \
+	$(PYTHON) -c "open('.volume-smoke/payload.bin','wb').write(b'ULE volume smoke payload. '*300)"; \
+	$(PYTHON) -m repro archive -i .volume-smoke/payload.bin -o "$$TARGET" \
+		--media test --codec portable --segment-size 2048; \
+	$(PYTHON) -m repro verify "$$TARGET" --json \
+		| $(PYTHON) -c "import json,sys; m=json.load(sys.stdin); assert m['ok'], m"; \
+	rm -rf .volume-smoke/v1 .volume-smoke/v4; \
+	if $(PYTHON) -m repro verify "$$TARGET" >/dev/null 2>&1; then \
+		echo "verify should have reported the two lost volumes"; exit 1; \
+	fi; \
+	$(PYTHON) -m repro restore -i "$$TARGET" -o .volume-smoke/restored.bin; \
+	cmp .volume-smoke/payload.bin .volume-smoke/restored.bin; \
+	$(PYTHON) -m repro restore -i "$$TARGET" -o .volume-smoke/slice.bin \
+		--offset 3000 --length 1500; \
+	$(PYTHON) -c "want=(b'ULE volume smoke payload. '*300)[3000:4500]; \
+	got=open('.volume-smoke/slice.bin','rb').read(); assert got==want, 'slice mismatch'"
+
 ## quick pipeline benchmark used as a CI smoke check
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke
@@ -146,6 +170,10 @@ bench-restore-latency:
 bench-server:
 	$(PYTHON) benchmarks/bench_server.py
 
+## volume-set benchmark (shard-parallel restore, degraded-read penalty)
+bench-volumes:
+	$(PYTHON) benchmarks/bench_volumes.py
+
 ## record the benchmark trajectory: JSON measurements into BENCH_DIR
 ## (default: the repo root, i.e. the committed baseline files)
 bench-record:
@@ -153,6 +181,7 @@ bench-record:
 	$(PYTHON) benchmarks/bench_store.py --json $(BENCH_DIR)/BENCH_store.json
 	$(PYTHON) benchmarks/bench_restore_latency.py --smoke --json $(BENCH_DIR)/BENCH_restore_latency.json
 	$(PYTHON) benchmarks/bench_server.py --smoke --json $(BENCH_DIR)/BENCH_server.json
+	$(PYTHON) benchmarks/bench_volumes.py --smoke --json $(BENCH_DIR)/BENCH_volumes.json
 
 ## regression gate: re-record into a scratch dir, fail on a > 30% throughput
 ## drop vs the committed BENCH_*.json (see benchmarks/check_regression.py)

@@ -2,7 +2,7 @@
 
 The repo commits one baseline JSON per benchmark at the root
 (``BENCH_pipeline.json``, ``BENCH_store.json``, ``BENCH_restore_latency.json``,
-``BENCH_server.json``).
+``BENCH_server.json``, ``BENCH_volumes.json``).
 CI re-records the same benchmarks into a scratch directory and runs this
 checker, which walks every numeric ``mb_per_s`` field in the baselines and
 fails if the freshly measured value dropped below ``tolerance`` times the
@@ -35,6 +35,7 @@ BENCH_FILES = (
     "BENCH_store.json",
     "BENCH_restore_latency.json",
     "BENCH_server.json",
+    "BENCH_volumes.json",
 )
 
 #: Field name that marks a gated throughput measurement.

@@ -54,7 +54,7 @@ from repro import registry
 from repro.api.config import ArchiveConfig
 from repro.api.session import open_archive, open_restore
 from repro.errors import ReproError, StoreError
-from repro.store import detect_store, open_source, repair_container, scan_container
+from repro.store import open_source, parse_target, repair_container, scan_container
 
 #: Chunk size used when streaming the input file into the writer.
 _READ_CHUNK = 1 << 20
@@ -93,16 +93,16 @@ def _cmd_archive(args: argparse.Namespace) -> int:
         base_config = (
             ArchiveConfig.from_json(Path(args.config).read_text()) if args.config else None
         )
-        store = args.store or detect_store(args.output)
-        writer_session = open_archive(
-            base_config, target=args.output, store=args.store, append=True, **overrides
-        )
+        spec = parse_target(args.output, store=args.store)
+        store = spec.store
+        writer_session = open_archive(base_config, target=spec, append=True, **overrides)
     else:
         config = _load_config(args)
-        store = args.store or config.store
-        if store is None:
-            store = "memory" if str(args.output).startswith("mem:") else "directory"
-        writer_session = open_archive(config, target=args.output, store=store)
+        spec = parse_target(
+            args.output, store=args.store or config.store, default_store="directory"
+        )
+        store = spec.store
+        writer_session = open_archive(config, target=spec)
     # Frames stream straight onto the store target as batches complete
     # (collect=False via target=...), so huge archives never accumulate
     # their emblem rasters in memory.
@@ -150,7 +150,8 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     partial = args.offset is not None or args.length is not None
     if partial and args.via_channel:
         raise ReproError("--offset/--length cannot be combined with --via-channel")
-    with open_restore(args.input, store=args.store, **overrides) as reader:
+    spec = parse_target(args.input, store=args.store)
+    with open_restore(spec, **overrides) as reader:
         output_path = Path(args.output)
         if partial:
             offset = args.offset or 0
@@ -244,10 +245,11 @@ def _inspect_over_http(url: str, as_json: bool) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    if str(args.input).startswith(("http://", "https://")):
-        return _inspect_over_http(str(args.input), args.json)
+    spec = parse_target(args.input, store=args.store)
+    if spec.is_remote:
+        return _inspect_over_http(spec.target, args.json)
     try:
-        source = open_source(args.input, args.store)
+        source = open_source(spec)
     except (ValueError, TypeError) as exc:
         raise ReproError(f"{args.input} is not a readable archive: {exc}") from exc
     with source:
@@ -268,6 +270,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     index_status = (
         "recovered-by-scan" if getattr(source, "recovered_by_scan", False) else "ok"
     )
+    volume_summary = None
+    if manifest.volumes is not None:
+        shard_map = manifest.volumes
+        missing = getattr(source, "missing_volumes", None) or {}
+        volume_summary = {
+            "set_id": shard_map.get("set_id"),
+            "data": shard_map.get("data"),
+            "parity": shard_map.get("parity"),
+            "stripe": shard_map.get("stripe"),
+            "volume_count": shard_map.get("volume_count"),
+            "stripes": len(shard_map.get("stripes", [])),
+            "missing_volumes": sorted(missing),
+        }
     summary = {
         "directory": str(args.input),
         "index": index_status,
@@ -284,6 +299,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "data_emblems": manifest.data_emblem_count,
         "system_emblems": manifest.system_emblem_count,
         "config": saved_config,
+        "volumes": volume_summary,
     }
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -301,6 +317,18 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
               f"(segment_size={manifest.segment_size or 'one-shot'})")
         if index_status != "ok":
             print(f"  index: {index_status}")
+        if volume_summary is not None:
+            degraded = (
+                f", volumes {volume_summary['missing_volumes']} MISSING "
+                "(reads run degraded)"
+                if volume_summary["missing_volumes"]
+                else ""
+            )
+            print(f"  volume set {volume_summary['set_id']}: "
+                  f"k={volume_summary['data']} data + "
+                  f"m={volume_summary['parity']} parity volumes, "
+                  f"stripe depth {volume_summary['stripe']}, "
+                  f"{volume_summary['stripes']} stripes{degraded}")
         for segment in manifest.segments:
             sha = segment.sha256[:12] if segment.sha256 else "-"
             print(f"  segment {segment.index}: bytes [{segment.offset}:{segment.end}) "
@@ -311,7 +339,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    store = registry.stores.resolve_name(args.store or detect_store(args.input))
+    spec = parse_target(args.input, store=args.store)
+    if spec.store is None:
+        raise StoreError(
+            f"{args.input} does not exist; pass --store explicitly to name "
+            "its backend"
+        )
+    store = spec.store
     repair_report = None
     torn_tail = None
     if store == "container":
@@ -319,9 +353,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         # optionally repair) its tail before walking the generations.  A cut
         # exactly on a record boundary leaves zero dangling bytes but still
         # no trailer at EOF, so the gate is intactness, not byte count.
-        scan = scan_container(args.input)
+        scan = scan_container(spec.target)
         if args.repair:
-            repair_report = repair_container(args.input)
+            repair_report = repair_container(spec.target)
         elif not scan.intact:
             torn_tail = scan.torn_bytes
     elif args.repair:
@@ -331,7 +365,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             f"--repair only applies to container archives; {args.input} is a "
             f"{store} target"
         )
-    with open_restore(args.input, store=store) as reader:
+    with open_restore(spec) as reader:
         report = reader.verify(deep=not args.shallow)
     if torn_tail is not None:
         report.errors.append(
@@ -422,7 +456,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
     repository = ArchiveRepository(args.root, cache_bytes=cache_bytes)
-    server = ReproServer(repository, host=args.host, port=args.port)
+    request_timeout = (
+        None if args.request_timeout is not None and args.request_timeout <= 0
+        else args.request_timeout
+    )
+    server = (
+        ReproServer(repository, host=args.host, port=args.port)
+        if args.request_timeout is None
+        else ReproServer(
+            repository, host=args.host, port=args.port, request_timeout=request_timeout
+        )
+    )
     handle = server.start_in_thread()
     try:
         if args.port_file:
@@ -451,8 +495,11 @@ def build_parser() -> argparse.ArgumentParser:
     archive = sub.add_parser("archive", help="archive a payload file onto a storage backend")
     archive.add_argument("--input", "-i", required=True, help="payload file to archive")
     archive.add_argument("--output", "-o", required=True,
-                         help="archive target: a directory, a container file, or mem:<name>")
-    archive.add_argument("--store", help="storage backend: directory (default), container, memory")
+                         help="archive target URI: dir:<path>, file:<path>, mem:<name>, "
+                              "or vol:k=K,m=M:<member,member,...> (bare paths are "
+                              "deprecated but still accepted)")
+    archive.add_argument("--store", help="storage backend: directory (default), container, "
+                                         "memory, volumes")
     archive.add_argument("--append", action="store_true",
                          help="extend an existing archive at --output instead of "
                               "creating one (writes a superseding manifest one "
@@ -473,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     restore = sub.add_parser("restore", help="restore a saved archive (full or a byte range)")
     restore.add_argument("--input", "-i", required=True,
-                         help="archive target: directory, container file, or mem:<name>")
+                         help="archive target URI: dir:<path>, file:<path>, mem:<name>, "
+                              "or vol:<members> (bare paths are deprecated)")
     restore.add_argument("--output", "-o", required=True, help="file for the restored payload")
     restore.add_argument("--store", help="storage backend override (auto-detected by default)")
     restore.add_argument("--offset", type=int,
@@ -498,14 +546,15 @@ def build_parser() -> argparse.ArgumentParser:
     restore.set_defaults(handler=_cmd_restore)
 
     inspect = sub.add_parser("inspect", help="summarise a saved archive's manifest")
-    inspect.add_argument("input", help="archive target: directory, container file, or mem:<name>")
+    inspect.add_argument("input", help="archive target URI (dir:/file:/mem:/vol:), a bare "
+                                      "path, or http(s)://host/archives/<name>")
     inspect.add_argument("--store", help="storage backend override (auto-detected by default)")
     inspect.add_argument("--json", action="store_true", help="machine-readable summary")
     inspect.set_defaults(handler=_cmd_inspect)
 
     verify = sub.add_parser("verify", help="fsck a saved archive (walks every "
                                            "manifest generation)")
-    verify.add_argument("input", help="archive target: directory, container file, or mem:<name>")
+    verify.add_argument("input", help="archive target URI (dir:/file:/mem:/vol:) or a bare path")
     verify.add_argument("--store", help="storage backend override (auto-detected by default)")
     verify.add_argument("--shallow", action="store_true",
                         help="skip the per-segment hash re-decode; only read and "
@@ -532,6 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-bytes", dest="cache_bytes", type=int,
                        help="decoded-segment cache budget in bytes (default 64 MiB; "
                             "0 disables caching)")
+    serve.add_argument("--request-timeout", dest="request_timeout", type=float,
+                       help="seconds of socket silence tolerated per request "
+                            "(headers, keep-alive waits and body chunks) before "
+                            "answering 408 and dropping the connection "
+                            "(default 30; 0 disables)")
     serve.set_defaults(handler=_cmd_serve)
 
     return parser

@@ -86,9 +86,15 @@ class ArchiveConfig:
         scanner model; ``None`` keeps the channel default.
     store:
         Optional storage-backend name from :data:`repro.registry.stores`
-        (``"directory"``, ``"container"``, ``"memory"``) used when a session
-        is given a ``target`` to persist to / read from; ``None`` lets the
-        session infer the backend from the target.
+        (``"directory"``, ``"container"``, ``"memory"``, ``"volumes"``) used
+        when a session is given a ``target`` to persist to / read from;
+        ``None`` lets the session infer the backend from the target.
+    volume_parity:
+        Default M (parity volume count) applied when a ``vol:`` target URI
+        omits ``m=``; ignored for non-volume targets.
+    volume_stripe:
+        Default stripe depth (frames per shard per stripe) applied when a
+        ``vol:`` target URI omits ``stripe=``; ignored otherwise.
     scan_seed:
         Seed for the simulated record/scan cycle (reproducible damage).
     payload_kind:
@@ -108,6 +114,8 @@ class ArchiveConfig:
     scan_seed: int | None = None
     payload_kind: str = "binary"
     store: str | None = None
+    volume_parity: int = 1
+    volume_stripe: int = 1
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -152,6 +160,14 @@ class ArchiveConfig:
         if not isinstance(self.readahead, int) or self.readahead < 0:
             raise ConfigError(
                 f"readahead must be an integer >= 0, got {self.readahead!r}"
+            )
+        if not isinstance(self.volume_parity, int) or self.volume_parity < 1:
+            raise ConfigError(
+                f"volume_parity must be an integer >= 1, got {self.volume_parity!r}"
+            )
+        if not isinstance(self.volume_stripe, int) or self.volume_stripe < 1:
+            raise ConfigError(
+                f"volume_stripe must be an integer >= 1, got {self.volume_stripe!r}"
             )
         if workers is None and ":" in self.executor:
             # "thread:" with an empty count normalises to the bare name.

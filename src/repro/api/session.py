@@ -39,11 +39,13 @@ from repro.store import (
     BOOTSTRAP_NAME,
     ArchiveSource,
     FramePrefetcher,
+    TargetSpec,
     load_archive,
     manifest_digest,
     open_append_sink,
     open_sink,
     open_source,
+    parse_target,
 )
 
 __all__ = [
@@ -132,6 +134,23 @@ class ArchiveWriter:
         self.on_batch = on_batch
         self.target = target
         self._store = store
+        #: The parsed target spec every store operation of this session
+        #: routes through — one :func:`repro.store.parse_target` call per
+        #: session, so the bare-path deprecation warns once and ``vol:``
+        #: geometry defaults (``config.volume_parity``/``volume_stripe``)
+        #: apply only when *creating* a volume set (an appended set's
+        #: geometry is read back from the medium instead).
+        self._spec: TargetSpec | None = None
+        if target is not None:
+            self._spec = parse_target(
+                target,
+                store=store if store is not None else config.store,
+                default_store=None if append_base is not None else "directory",
+            )
+            if append_base is None:
+                self._spec = self._spec.with_volume_defaults(
+                    config.volume_parity, config.volume_stripe
+                )
         #: With ``collect=False`` emblem images are dropped after the
         #: callbacks (and any store sink) run — the bounded-memory mode; the
         #: closed archive then carries the manifest, system emblems and
@@ -147,13 +166,10 @@ class ArchiveWriter:
                     "this archive has no segment records (pre-pipeline layout); "
                     "it cannot be appended to — re-archive it first"
                 )
-            self._sink = open_append_sink(target, store if store is not None else config.store)
+            assert self._spec is not None
+            self._sink = open_append_sink(self._spec)
         else:
-            self._sink = (
-                open_sink(target, store if store is not None else config.store)
-                if target is not None
-                else None
-            )
+            self._sink = open_sink(self._spec) if self._spec is not None else None
         #: Rebasing offsets: an append session resumes the frame, segment and
         #: byte numbering of the superseded manifest, so the new manifest's
         #: cumulative segment list stays monotone across generations.
@@ -318,7 +334,7 @@ class ArchiveWriter:
         if base is not None:
             # Reflect the medium's Bootstrap in the returned artefact (the
             # sink is closed, so the superseding layout is fully readable).
-            with open_source(self.target, self._store) as source:
+            with open_source(self._spec) as source:
                 bootstrap_text = source.get_text(BOOTSTRAP_NAME)
         self.archive = MicrOlonysArchive(
             manifest=manifest,
@@ -699,7 +715,7 @@ def _resolve_config(
 
 
 def _resolve_append(
-    target: "str | Path",
+    target: "str | Path | TargetSpec",
     store: str | None,
     config: ArchiveConfig | None,
     overrides: dict[str, object],
@@ -791,12 +807,15 @@ def open_archive(
     if append:
         if target is None:
             raise ArchiveError("open_archive(append=True) needs a target to extend")
-        config, base = _resolve_append(target, store, config, overrides)
+        # Parse once up front so the bare-path deprecation warns a single
+        # time and both the base-manifest read and the writer share one spec.
+        spec = parse_target(target, store=store)
+        config, base = _resolve_append(spec, None, config, overrides)
         if payload_kind is None:
             payload_kind = base.payload_kind
         return ArchiveWriter(
             config, payload_kind=payload_kind, progress=progress, on_batch=on_batch,
-            collect=collect, target=target, store=store, append_base=base,
+            collect=collect, target=spec, store=None, append_base=base,
         )
     config = _resolve_config(config, overrides)
     return ArchiveWriter(
@@ -806,7 +825,7 @@ def open_archive(
 
 
 def open_restore(
-    source: "MicrOlonysArchive | ArchiveSource | str | Path",
+    source: "MicrOlonysArchive | ArchiveSource | str | Path | TargetSpec",
     config: ArchiveConfig | None = None,
     *,
     store: str | None = None,

@@ -61,7 +61,7 @@ class SegmentRecord:
 class ArchiveManifest:
     """Description of an archive, stored *on the medium* alongside the images.
 
-    Manifest **v3** is versioned and self-describing: it records its
+    Manifest **v4** is versioned and self-describing: it records its
     ``format_version``, embeds the originating
     :class:`~repro.api.ArchiveConfig` as plain data (``config``), and its
     segment records carry per-segment SHA-256 content hashes next to the
@@ -72,9 +72,12 @@ class ArchiveManifest:
     ``parent`` pins the SHA-256 digest of the manifest it supersedes; the
     segment list is always *cumulative* (monotonically renumbered across
     every generation), so the newest valid manifest fully describes the
-    archive.  The v1 layout (no ``format_version`` key, no hashes, no
-    embedded config) and v2 layout (no lineage) still load through a
-    deprecation shim in :mod:`repro.store.manifest`.
+    archive.  v4 adds the optional ``volumes`` shard map describing how the
+    frames are striped across a K data + M parity volume set (see
+    :mod:`repro.store.volumes`); single-volume archives omit it.  The v1
+    layout (no ``format_version`` key, no hashes, no embedded config) and
+    v2 layout (no lineage) still load through a deprecation shim in
+    :mod:`repro.store.manifest`; v3 (no ``volumes``) loads silently.
     """
 
     profile_name: str
@@ -91,7 +94,7 @@ class ArchiveManifest:
     #: with an empty tuple and restore through the whole-stream path.
     segments: tuple[SegmentRecord, ...] = ()
     #: On-media layout version; see :data:`repro.store.manifest.MANIFEST_FORMAT_VERSION`.
-    format_version: int = 3
+    format_version: int = 4
     #: The :meth:`repro.api.ArchiveConfig.to_dict` of the writing session,
     #: when the archive was written through the facade; ``None`` otherwise.
     config: "dict[str, object] | None" = None
@@ -101,12 +104,24 @@ class ArchiveManifest:
     #: ... and the SHA-256 hex digest of the superseded (parent) manifest's
     #: canonical JSON, ``None`` for generation 0.
     parent: str | None = None
+    #: Sharded volume-set map (v4): stripe geometry plus per-shard frame
+    #: runs, byte lengths and SHA-256 hashes, written by
+    #: :mod:`repro.store.volumes`; ``None`` for single-volume archives.
+    volumes: "dict[str, object] | None" = None
 
     def to_json(self) -> str:
-        """Serialise the manifest as JSON text (always the v3 layout)."""
+        """Serialise the manifest as JSON text (the current layout).
+
+        ``volumes`` is omitted entirely when absent, so single-volume
+        manifests — and v3 manifests round-tripped through the loader —
+        serialise (and therefore digest, for the append lineage) exactly as
+        pre-v4 libraries produced them.
+        """
         fields = {
             key: value for key, value in self.__dict__.items() if key != "segments"
         }
+        if fields.get("volumes") is None:
+            del fields["volumes"]
         fields["segments"] = [segment.to_dict() for segment in self.segments]
         return json.dumps(fields, indent=2, sort_keys=True)
 

@@ -536,6 +536,12 @@ class RestoreEngine:
         full payload or loading a database; ``deep=False`` stops at reading
         and parsing every referenced frame raster.
 
+        Sharded volume sets (:mod:`repro.store.volumes`) additionally get a
+        **cross-shard parity audit**: unavailable member volumes are
+        reported as errors, and with ``deep=True`` every shard and parity
+        record is re-hashed and each stripe's parity recomputed from its
+        data shards.
+
         Verification never raises on damage — every finding lands in the
         returned :class:`VerifyReport` (``report.ok`` summarises) — only on
         a target that is not an archive at all.
@@ -659,6 +665,21 @@ class RestoreEngine:
             source.get_text(BOOTSTRAP_NAME)
         except ReproError as exc:
             report.errors.append(f"{BOOTSTRAP_NAME}: {exc}")
+
+        # --- cross-shard parity audit (sharded volume sets) --------------- #
+        # A volume-set source exposes parity_audit(); single-volume sources
+        # don't, and skip it.  Missing member volumes are *errors* even
+        # though degraded reads still succeed: the archive is damaged and
+        # has lost (some of) its erasure margin.
+        parity_audit = getattr(source, "parity_audit", None)
+        if parity_audit is not None:
+            try:
+                audit_errors, audit_warnings = parity_audit(deep=deep)
+            except ReproError as exc:
+                report.errors.append(f"volume parity audit: {exc}")
+            else:
+                report.errors.extend(f"volume set: {entry}" for entry in audit_errors)
+                report.warnings.extend(f"volume set: {entry}" for entry in audit_warnings)
 
         # --- frames: presence/parse (shallow) or full re-decode (deep) ---- #
         if not deep:

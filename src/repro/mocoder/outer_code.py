@@ -16,6 +16,8 @@ across all byte positions.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import MissingEmblemError
@@ -150,6 +152,18 @@ class OuterCode:
         if payload_length is not None:
             recovered = [payload[:payload_length] for payload in recovered]
         return recovered
+
+
+@lru_cache(maxsize=32)
+def get_outer_code(data_shards: int, parity_shards: int) -> OuterCode:
+    """A shared :class:`OuterCode` instance for the given (data, parity) shape.
+
+    Construction costs a k x k reference encode (the systematic generator),
+    so callers that open a code per stripe or per source — the volume-set
+    store backend does — should come through here, mirroring
+    :func:`repro.mocoder.reed_solomon.get_code`.
+    """
+    return OuterCode(data_shards, parity_shards)
 
 
 def _gf_matrix_inverse(matrix: np.ndarray) -> np.ndarray:

@@ -76,6 +76,7 @@ from repro.store.backends import (
     MemoryBackend,
     StorageBackend,
 )
+from repro.store.volumes import VolumeSetBackend
 from repro.util.crc import crc32_of
 
 ValueT = TypeVar("ValueT")
@@ -416,12 +417,13 @@ def get_distortion(name: "str | DistortionProfile") -> DistortionProfile:
 #: Archive storage backends (on-media layouts), by name.
 stores: Registry[StorageBackend] = Registry("storage backend")
 
-for _store in (DirectoryBackend(), ContainerBackend(), MemoryBackend()):
+for _store in (DirectoryBackend(), ContainerBackend(), MemoryBackend(), VolumeSetBackend()):
     stores.register(_store.name, _store)
 
 stores.alias("dir", DirectoryBackend.name)
 stores.alias("file", ContainerBackend.name)
 stores.alias("mem", MemoryBackend.name)
+stores.alias("vol", VolumeSetBackend.name)
 
 
 def get_store(name: "str | StorageBackend") -> StorageBackend:

@@ -9,6 +9,12 @@ pipeline's bounded queue is full that call blocks, the coroutine stops
 reading the socket, and TCP backpressure reaches the client — the server
 never buffers an unbounded body.
 
+Every socket-read await — request headers, keep-alive idle waits, and each
+body chunk — is bounded by ``request_timeout`` (default
+:data:`DEFAULT_REQUEST_TIMEOUT` seconds): a slowloris client that opens a
+connection and trickles bytes gets a 408 and is dropped instead of pinning
+a connection handler forever.
+
 Routes
 ------
 ===========================================  ==========================================
@@ -55,7 +61,7 @@ from repro.server.http import (
 from repro.server.metrics import ServerMetrics
 from repro.server.repository import ArchiveRepository, WriteSession
 
-__all__ = ["ReproServer", "ServerHandle"]
+__all__ = ["ReproServer", "ServerHandle", "DEFAULT_REQUEST_TIMEOUT"]
 
 _LOG = logging.getLogger("repro.server")
 
@@ -65,6 +71,12 @@ _R = TypeVar("_R")
 #: sessions occupy a thread only per chunk (not for their whole lifetime),
 #: so this bounds concurrent *blocking calls*, not concurrent clients.
 _DEFAULT_WORKERS = 16
+
+#: Default seconds a connection may sit silent — waiting for request headers
+#: (including between keep-alive requests) or mid-body between chunks —
+#: before the server answers 408 and drops it.  Bounds how long a slowloris
+#: client (trickling one byte per minute) can pin a connection handler.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 @dataclass
@@ -108,9 +120,14 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int = 8765,
         max_workers: int = _DEFAULT_WORKERS,
+        request_timeout: "float | None" = DEFAULT_REQUEST_TIMEOUT,
     ):
         self.repository = repository
         self.host = host
+        #: Seconds of silence tolerated while reading a request (headers or
+        #: body) and between keep-alive requests; ``None`` disables the
+        #: guard.  See :data:`DEFAULT_REQUEST_TIMEOUT`.
+        self.request_timeout = request_timeout
         #: Requested port; replaced by the bound port after :meth:`start`
         #: (pass ``0`` for an ephemeral port).
         self.port = port
@@ -233,6 +250,12 @@ class ReproServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._pool, functools.partial(fn, *args))
 
+    async def _with_timeout(self, awaitable: "Awaitable[_R]") -> _R:
+        """Bound a socket-read await by :attr:`request_timeout` (if set)."""
+        if self.request_timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, self.request_timeout)
+
     def _route_for(self, request: HTTPRequest) -> "tuple[str, _Handler, str]":
         """(metrics label, handler, archive name) for a request, or 404/405."""
         allowed: set[str] = set()
@@ -275,7 +298,19 @@ class ReproServer:
     ) -> None:
         while True:
             try:
-                request = await read_request(reader)
+                request = await self._with_timeout(read_request(reader))
+            except TimeoutError:
+                # Slow headers (or an idle keep-alive connection): answer 408
+                # best-effort and drop the connection — the handler must not
+                # stay pinned by a client trickling bytes.
+                with contextlib.suppress(Exception):
+                    await send_response(
+                        writer,
+                        408,
+                        json_body({"error": "timed out waiting for request headers"}),
+                        keep_alive=False,
+                    )
+                return
             except HTTPError as error:
                 await send_response(
                     writer,
@@ -439,7 +474,21 @@ class ReproServer:
         """
         received = 0
         try:
-            async for chunk in iter_body(reader, request):
+            chunks = iter_body(reader, request).__aiter__()
+            while True:
+                try:
+                    chunk = await self._with_timeout(anext(chunks))
+                except StopAsyncIteration:
+                    break
+                except TimeoutError:
+                    # A slowloris body: the client holds the stream open but
+                    # stops sending.  408 via the normal error path; the
+                    # session aborts below, releasing the writer lock.
+                    raise HTTPError(
+                        408,
+                        f"timed out waiting for request body bytes after "
+                        f"{received} received",
+                    ) from None
                 await self._call(session.write, chunk)
                 received += len(chunk)
             summary = await self._call(session.commit)

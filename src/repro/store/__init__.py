@@ -13,6 +13,13 @@ Three parts, mirroring the tentpole it implements:
   for append) and a random-access
   :class:`~repro.store.backends.ArchiveSource` that always serves the
   *superseding* (newest valid) manifest;
+* :mod:`repro.store.target` — the unified **target-URI grammar**
+  (``dir:`` / ``file:`` / ``mem:`` / ``http(s):`` / ``vol:``), parsed by
+  :func:`parse_target` into a typed :class:`TargetSpec` that every opener
+  below routes through;
+* :mod:`repro.store.volumes` — **sharded volume sets**: frames striped
+  across K data volumes plus M cross-shard Reed-Solomon parity volumes,
+  surviving the loss of any M whole members;
 * the helpers below — backend resolution (:func:`open_sink` /
   :func:`open_append_sink` / :func:`open_source`, with :func:`detect_store`
   sniffing the layout of an existing target), :func:`manifest_digest` (the
@@ -50,6 +57,8 @@ from repro.store.manifest import (
     upgrade_manifest_fields,
 )
 from repro.store.prefetch import FramePrefetcher
+from repro.store.target import TargetSpec, VolumeSetSpec, parse_target
+from repro.store.volumes import VolumeSetBackend
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
@@ -60,7 +69,11 @@ __all__ = [
     "DirectoryBackend",
     "ContainerBackend",
     "MemoryBackend",
+    "VolumeSetBackend",
     "ContainerScan",
+    "TargetSpec",
+    "VolumeSetSpec",
+    "parse_target",
     "detect_store",
     "open_sink",
     "open_append_sink",
@@ -79,11 +92,19 @@ __all__ = [
 def detect_store(target: "str | Path") -> str:
     """Sniff which backend an *existing* target belongs to.
 
-    ``mem:`` prefixes are memory targets; directories are ``directory``
-    archives; regular files are ``container`` archives.
+    Explicit URI schemes decide directly (``mem:``/``dir:``/``file:``/
+    ``vol:``); for bare targets, directories are ``directory`` archives and
+    regular files are ``container`` archives.
     """
-    if isinstance(target, str) and target.startswith("mem:"):
-        return "memory"
+    if isinstance(target, str):
+        for prefix, store in (
+            ("vol:", "volumes"),
+            ("mem:", "memory"),
+            ("dir:", "directory"),
+            ("file:", "container"),
+        ):
+            if target.startswith(prefix):
+                return store
     path = Path(target)
     if path.is_dir():
         return "directory"
@@ -100,30 +121,59 @@ def _backend(store: str) -> StorageBackend:
     return registry.get_store(store)
 
 
-def open_sink(target: "str | Path", store: str | None = None) -> ArchiveSink:
-    """Open ``target`` for writing with the named backend.
+def _local_spec(
+    target: "str | Path | TargetSpec",
+    store: str | None,
+    default_store: str | None,
+) -> TargetSpec:
+    """Parse a target for a *local* opener, rejecting remote URLs."""
+    spec = parse_target(target, store=store, default_store=default_store)
+    if spec.is_remote:
+        raise StoreError(
+            f"remote target {spec.target!r} cannot be opened as a local "
+            "archive; use the repro.server client paths (e.g. `repro inspect`)"
+        )
+    return spec
 
-    When ``store`` is omitted it is inferred: ``mem:`` targets use
-    ``memory``, everything else defaults to ``directory``.
+
+def open_sink(target: "str | Path | TargetSpec", store: str | None = None) -> ArchiveSink:
+    """Open ``target`` for writing with the backend its spelling names.
+
+    Every spelling routes through :func:`parse_target`; a bare path with no
+    ``store=`` falls back to the ``directory`` backend (behind the bare-path
+    :class:`DeprecationWarning`).
     """
-    if store is None:
-        is_memory = isinstance(target, str) and target.startswith("mem:")
-        store = "memory" if is_memory else "directory"
-    return _backend(store).create(target)
+    spec = _local_spec(target, store, default_store="directory")
+    assert spec.store is not None  # default_store guarantees it
+    return _backend(spec.store).create(spec.target)
 
 
-def open_append_sink(target: "str | Path", store: str | None = None) -> ArchiveSink:
+def open_append_sink(
+    target: "str | Path | TargetSpec", store: str | None = None
+) -> ArchiveSink:
     """Reopen an *existing* archive target for an incremental append session.
 
-    Unlike :func:`open_sink` the target must already exist, so the backend
-    defaults to :func:`detect_store`'s sniff of its current layout.
+    Unlike :func:`open_sink` the target must already exist, so a bare path's
+    backend comes from the on-disk layout, never a default.
     """
-    return _backend(store if store is not None else detect_store(target)).append(target)
+    spec = _local_spec(target, store, default_store=None)
+    if spec.store is None:
+        raise StoreError(
+            f"{spec.target} does not exist; pass store=... explicitly to create it"
+        )
+    return _backend(spec.store).append(spec.target)
 
 
-def open_source(target: "str | Path", store: str | None = None) -> ArchiveSource:
+def open_source(
+    target: "str | Path | TargetSpec", store: str | None = None
+) -> ArchiveSource:
     """Open an existing archive target for reading (layout auto-detected)."""
-    return _backend(store if store is not None else detect_store(target)).open(target)
+    spec = _local_spec(target, store, default_store=None)
+    if spec.store is None:
+        raise StoreError(
+            f"{spec.target} does not exist; pass store=... explicitly to create it"
+        )
+    return _backend(spec.store).open(spec.target)
 
 
 def manifest_digest(manifest: ArchiveManifest) -> str:

@@ -132,6 +132,15 @@ class ArchiveSink:
         """Persist a named text artefact (Bootstrap, config)."""
         raise NotImplementedError
 
+    def put_bytes(self, name: str, payload: bytes) -> None:
+        """Persist a named *binary* record (e.g. a cross-shard parity run).
+
+        Unlike :meth:`put_frame` the payload is opaque: no PGM framing, no
+        UTF-8 — the bytes come back verbatim from
+        :meth:`ArchiveSource.get_bytes`.
+        """
+        raise NotImplementedError
+
     def put_manifest(self, manifest: ArchiveManifest) -> None:
         """Persist the archive manifest (v3 JSON) under its generation's
         record name — appended generations never overwrite their parent."""
@@ -191,6 +200,12 @@ class ArchiveSource:
         raise NotImplementedError
 
     def get_text(self, name: str) -> str:
+        raise NotImplementedError
+
+    def get_bytes(self, name: str) -> bytes:
+        """The verbatim payload of a named record (inverse of
+        :meth:`ArchiveSink.put_bytes`; frame records return their serialised
+        PGM bytes)."""
         raise NotImplementedError
 
     def get_frame(self, kind: str, index: int) -> np.ndarray:
@@ -264,6 +279,9 @@ class _DirectorySink(ArchiveSink):
     def put_text(self, name: str, text: str) -> None:
         (self.directory / name).write_text(text)
 
+    def put_bytes(self, name: str, payload: bytes) -> None:
+        (self.directory / name).write_bytes(payload)
+
 
 class _DirectorySource(ArchiveSource):
     def __init__(self, directory: Path):
@@ -279,6 +297,12 @@ class _DirectorySource(ArchiveSource):
         if not path.exists():
             raise StoreError(f"{self.directory} has no {name!r}")
         return path.read_text()
+
+    def get_bytes(self, name: str) -> bytes:
+        path = self.directory / name
+        if not path.exists():
+            raise StoreError(f"{self.directory} has no {name!r}")
+        return path.read_bytes()
 
     def get_frame(self, kind: str, index: int) -> np.ndarray:
         path = self.directory / _frame_name(kind, index)
@@ -608,6 +632,9 @@ class _ContainerSink(ArchiveSink):
     def put_text(self, name: str, text: str) -> None:
         self._append(name, text.encode("utf-8"))
 
+    def put_bytes(self, name: str, payload: bytes) -> None:
+        self._append(name, payload)
+
     def close(self) -> None:
         if self._closed:
             return
@@ -756,6 +783,9 @@ class _ContainerSource(ArchiveSource):
     def get_text(self, name: str) -> str:
         return self._read(name).decode("utf-8")
 
+    def get_bytes(self, name: str) -> bytes:
+        return self._read(name)
+
     def get_frame(self, kind: str, index: int) -> np.ndarray:
         name = _frame_name(kind, index)
         return pgm_from_bytes(self._read(name), f"{self.path}:{name}")
@@ -821,6 +851,9 @@ class _MemorySink(ArchiveSink):
     def put_text(self, name: str, text: str) -> None:
         self._records[name] = text.encode("utf-8")
 
+    def put_bytes(self, name: str, payload: bytes) -> None:
+        self._records[name] = bytes(payload)
+
 
 class _MemorySource(ArchiveSource):
     def __init__(self, key: str, records: dict[str, bytes]):
@@ -838,6 +871,9 @@ class _MemorySource(ArchiveSource):
 
     def get_text(self, name: str) -> str:
         return self._read(name).decode("utf-8")
+
+    def get_bytes(self, name: str) -> bytes:
+        return self._read(name)
 
     def get_frame(self, kind: str, index: int) -> np.ndarray:
         name = _frame_name(kind, index)

@@ -1,8 +1,8 @@
-"""Manifest v3: the versioned, self-describing on-media archive description.
+"""Manifest v4: the versioned, self-describing on-media archive description.
 
 The paper's bootstrap layer insists that everything needed to restore an
 archive lives *on the medium*; this module applies the same discipline to the
-store layer.  A v3 manifest is a JSON object carrying:
+store layer.  A v4 manifest is a JSON object carrying:
 
 * ``format_version`` — the layout version (this module owns the number);
 * ``config`` — the writing session's :class:`~repro.api.ArchiveConfig` as
@@ -17,12 +17,21 @@ store layer.  A v3 manifest is a JSON object carrying:
   renumbered segment list (old segments plus the appended ones), under a
   generation-numbered record name.  The **newest valid manifest supersedes
   all older ones**: a reader only ever consults the superseding manifest,
-  and a torn append simply falls back to the previous generation.
+  and a torn append simply falls back to the previous generation;
+* ``volumes`` (v4, optional) — the sharded volume-set map when the archive
+  is striped across K data + M parity volumes by
+  :mod:`repro.store.volumes`: volume ids and roles, stripe geometry, and
+  per-shard frame runs with byte lengths and SHA-256 content hashes, so a
+  degraded reader can locate, check and rebuild any shard.  Single-volume
+  archives simply omit the field.
 
 The historical **v1** layout (no ``format_version``, ``config`` or segment
 hashes) and **v2** layout (no ``generation``/``parent``) still load through
 :func:`upgrade_manifest_fields`, which warns :class:`DeprecationWarning` and
-fills the missing fields with their absent-value defaults.
+fills the missing fields with their absent-value defaults.  **v3** (the
+pre-volume layout) is a strict subset of v4 — it loads silently and keeps
+its version number, so append lineages written by older libraries keep
+digesting identically.
 """
 
 from __future__ import annotations
@@ -41,7 +50,14 @@ __all__ = [
 ]
 
 #: Current on-media manifest layout version.
-MANIFEST_FORMAT_VERSION = 3
+MANIFEST_FORMAT_VERSION = 4
+
+#: Version the v1/v2 deprecation shim upgrades *to*.  Deliberately 3, not 4:
+#: the upgraded field set is exactly the v3 layout, and keeping the number
+#: stable keeps :func:`repro.store.manifest_digest` of shimmed manifests
+#: identical to what pre-v4 libraries computed, so cross-version append
+#: lineages still verify.
+_SHIM_TARGET_VERSION = 3
 
 #: Keys every manifest version must carry to be loadable at all.
 _REQUIRED_KEYS = (
@@ -86,14 +102,16 @@ def manifest_version(fields: dict[str, object]) -> int:
 
 
 def upgrade_manifest_fields(fields: dict[str, object]) -> dict[str, object]:
-    """Normalise a parsed manifest object to the v3 field set.
+    """Normalise a parsed manifest object to the current field set.
 
     v1 and v2 objects upgrade in place behind a :class:`DeprecationWarning`:
     ``format_version`` becomes 3, v1's ``config`` stays ``None`` and its
     segment records keep ``sha256=None`` (their dataclass default, which
     downgrades partial-restore verification to the CRC-32 check), and both
     gain ``generation=0`` / ``parent=None`` — a pre-append archive is its
-    own generation 0.  Objects written by a *newer* layout raise
+    own generation 0.  v3 objects pass through silently (v4 only *adds* the
+    optional ``volumes`` shard map, whose dataclass default covers them).
+    Objects written by a *newer* layout raise
     :class:`~repro.errors.StoreError` instead of being misread.
 
     Raises
@@ -114,15 +132,15 @@ def upgrade_manifest_fields(fields: dict[str, object]) -> dict[str, object]:
             "to read this archive"
         )
     fields = dict(fields)
-    if version < MANIFEST_FORMAT_VERSION:
+    if version < _SHIM_TARGET_VERSION:
         warnings.warn(
             f"loading a v{version} archive manifest through the compatibility "
-            "shim; re-archive (or re-save) to upgrade it to the v3 "
-            "appendable layout",
+            "shim; re-archive (or re-save) to upgrade it to the appendable "
+            "v3+ layout",
             DeprecationWarning,
             stacklevel=3,
         )
-        fields["format_version"] = MANIFEST_FORMAT_VERSION
+        fields["format_version"] = _SHIM_TARGET_VERSION
         fields.setdefault("config", None)
         fields.setdefault("generation", 0)
         fields.setdefault("parent", None)

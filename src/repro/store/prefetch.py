@@ -28,7 +28,24 @@ FramesT = TypeVar("FramesT")
 #: Upper bound on prefetch worker threads, whatever the requested depth.
 _MAX_WORKERS = 8
 
-__all__ = ["FramePrefetcher"]
+__all__ = ["FramePrefetcher", "map_concurrently"]
+
+
+def map_concurrently(
+    fetch: Callable[[RecordT], FramesT],
+    records: Iterable[RecordT],
+    pool: ThreadPoolExecutor,
+) -> list[FramesT]:
+    """Order-preserving parallel map over a caller-owned thread pool.
+
+    The shard-parallel fetch primitive of the volume-set source: every
+    record is submitted up front, so fetches against distinct backends (or
+    distinct pooled container handles) genuinely overlap; results come back
+    in input order.  The first fetch error propagates after submission — the
+    pool outlives the call, so stragglers just finish in the background.
+    """
+    futures = [pool.submit(fetch, record) for record in records]
+    return [future.result() for future in futures]
 
 
 class FramePrefetcher(Generic[RecordT, FramesT]):

@@ -516,3 +516,80 @@ class TestHTTP:
             connection.close()
         _, _, data = _request(served, "GET", "/archives/chunked/data")
         assert data == payload
+
+
+# --------------------------------------------------------------------------- #
+# Slowloris defense: request timeouts
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def served_with_timeout(tmp_path):
+    repository = ArchiveRepository(tmp_path / "root", cache_bytes=1 << 20, lock_timeout=10.0)
+    server = ReproServer(repository, port=0, request_timeout=0.5)
+    handle = server.start_in_thread()
+    yield server
+    handle.stop()
+
+
+class TestRequestTimeouts:
+    def test_default_timeout_is_enabled(self):
+        from repro.server.app import DEFAULT_REQUEST_TIMEOUT
+
+        assert DEFAULT_REQUEST_TIMEOUT == 30.0
+
+    def test_stalled_headers_get_408_and_a_close(self, served_with_timeout):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", served_with_timeout.port), timeout=10
+        ) as client:
+            client.sendall(b"GET /stats HTTP/1.1\r\nHost: loca")  # ...and stall
+            client.settimeout(10)
+            blob = b""
+            while True:
+                chunk = client.recv(4096)
+                if not chunk:
+                    break  # server closed the connection
+                blob += chunk
+        assert b"408" in blob.split(b"\r\n", 1)[0]
+        assert b"timed out waiting for request headers" in blob
+
+    def test_stalled_body_gets_408(self, served_with_timeout):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", served_with_timeout.port), timeout=10
+        ) as client:
+            client.sendall(
+                b"PUT /archives/slow?media=test HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Length: 50000\r\n"
+                b"\r\n"
+                b"only a few bytes arrive"  # ...then the body stalls
+            )
+            client.settimeout(10)
+            blob = b""
+            while True:
+                chunk = client.recv(4096)
+                if not chunk:
+                    break
+                blob += chunk
+        assert b"408" in blob.split(b"\r\n", 1)[0]
+        assert b"timed out waiting for request body bytes" in blob
+
+    def test_prompt_requests_are_unaffected(self, served_with_timeout, make_payload):
+        payload = make_payload(5_000, seed=83)
+        status, _, body = _request(
+            served_with_timeout,
+            "PUT",
+            "/archives/prompt?media=test&segment_size=2048",
+            body=payload,
+        )
+        assert status == 201, body
+        status, _, data = _request(served_with_timeout, "GET", "/archives/prompt/data")
+        assert status == 200
+        assert data == payload
+
+    def test_timeout_can_be_disabled(self, tmp_path):
+        repository = ArchiveRepository(tmp_path / "root", cache_bytes=1 << 20, lock_timeout=10.0)
+        server = ReproServer(repository, port=0, request_timeout=None)
+        assert server.request_timeout is None

@@ -42,22 +42,24 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # Manifest v3 and the v1/v2 shims
 # --------------------------------------------------------------------------- #
 class TestManifestVersions:
-    def test_v3_manifest_is_self_describing(self, tmp_path, make_payload, write_archive):
+    def test_v4_manifest_is_self_describing(self, tmp_path, make_payload, write_archive):
         payload = make_payload(5_000, seed=1)
         config = write_archive(tmp_path / "arch", payload)
         manifest = open_source(tmp_path / "arch").manifest()
-        assert manifest.format_version == MANIFEST_FORMAT_VERSION == 3
+        assert manifest.format_version == MANIFEST_FORMAT_VERSION == 4
         assert manifest.config == config.to_dict()
         assert manifest.generation == 0
         assert manifest.parent is None
         assert len(manifest.segments) == 3
         for record in manifest.segments:
             assert record.sha256 is not None and len(record.sha256) == 64
-        # The on-media JSON carries the version marker explicitly.
+        # The on-media JSON carries the version marker explicitly; a
+        # single-volume archive has no shard map key at all.
         fields = json.loads((tmp_path / "arch" / "manifest.json").read_text())
-        assert fields["format_version"] == 3
+        assert fields["format_version"] == 4
         assert fields["generation"] == 0
         assert fields["config"]["codec"] == "portable"
+        assert "volumes" not in fields
 
     def test_v1_manifest_loads_through_the_shim(self, tmp_path, make_payload, write_archive):
         payload = make_payload(5_000, seed=2)
@@ -220,8 +222,9 @@ class TestBackends:
             open_source(path, "container")
 
     def test_stores_registry(self):
-        assert registry.stores.names() == ["container", "directory", "memory"]
+        assert registry.stores.names() == ["container", "directory", "memory", "volumes"]
         assert registry.get_store("dir").name == "directory"
+        assert registry.get_store("vol").name == "volumes"
         with pytest.raises(UnknownNameError, match="did you mean"):
             registry.get_store("contaner")
 
@@ -502,14 +505,14 @@ class TestStoreCLI:
         assert proc.returncode == 0, proc.stderr
         summary = json.loads(proc.stdout)
         assert summary["store"] == "container"
-        assert summary["format_version"] == 3
+        assert summary["format_version"] == 4
         assert summary["generation"] == 0
         assert target.is_file()
 
         proc = self._run("inspect", str(target), "--json")
         assert proc.returncode == 0, proc.stderr
         inspected = json.loads(proc.stdout)
-        assert inspected["format_version"] == 3
+        assert inspected["format_version"] == 4
         assert inspected["config"]["segment_size"] == 2048
         assert all(len(seg["sha256"]) == 64 for seg in inspected["segments"])
 
