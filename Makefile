@@ -30,7 +30,7 @@ hygiene:
 ## ruff when it is installed (CI installs it via requirements-dev.txt; the
 ## dev image may not carry it, in which case that half is skipped loudly)
 lint:
-	$(PYTHON) -m repro.devtools.lint src/repro
+	$(PYTHON) -m repro.devtools.lint src/repro benchmarks
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks; \
 	else \

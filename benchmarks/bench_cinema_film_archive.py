@@ -17,7 +17,7 @@ from conftest import FILM_IMAGE_BYTES, report, scaled
 
 @pytest.fixture(scope="module")
 def image_payload():
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(7)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     return bytes(rng.integers(0, 256, size=scaled(FILM_IMAGE_BYTES), dtype=np.uint8))
 
 

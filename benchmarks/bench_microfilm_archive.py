@@ -18,7 +18,7 @@ from conftest import FILM_IMAGE_BYTES, report, scaled
 
 @pytest.fixture(scope="module")
 def image_payload():
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(42)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     # A synthetic stand-in for the 102 kB logo TIFF (mixed structure + noise).
     structured = (b"OLONYS-LOGO-SCANLINE" * 16)[:256]
     blocks = [structured, bytes(rng.integers(0, 256, size=256, dtype=np.uint8))]

@@ -36,9 +36,15 @@ from repro.api import ArchiveConfig, open_archive, open_restore
 from repro.core.restorer import RestoreEngine
 from repro.store import ArchiveSource, open_source
 
+#: Timed sections take the best of this many runs.  bench_volumes uses 3;
+#: the single-segment modes here are compared against *each other* (the
+#: ``speedup_vs_serial`` ratio), so a couple of extra runs per mode tighten
+#: the ratio against scheduler jitter at negligible wall-clock cost.
+_TIMING_RUNS = 5
+
 
 def payload_bytes(size: int, seed: int = 41) -> bytes:
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
 
 
@@ -93,15 +99,27 @@ def bench_single_segment_decode(payload: bytes, parallelisms: list[int]) -> dict
             executor=f"thread:{parallelism}" if parallelism > 1 else "serial",
             decode_parallelism=parallelism,
         )
-        start = time.perf_counter()
-        result = engine.restore(archive)
-        elapsed = time.perf_counter() - start
-        assert result.payload == payload
+        # Best-of-N, matching bench_volumes: a single cold run folds lazy
+        # table construction and allocator warm-up into the one number the
+        # regression gate pins.
+        elapsed = None
+        for _ in range(_TIMING_RUNS):
+            start = time.perf_counter()
+            result = engine.restore(archive)
+            run = time.perf_counter() - start
+            assert result.payload == payload
+            elapsed = run if elapsed is None else min(elapsed, run)
         baseline = baseline if baseline is not None else elapsed
         label = f"decode_parallelism={parallelism}"
-        print(f"  {label:<24} {elapsed:6.2f} s  ({baseline / elapsed:4.2f}x vs serial)")
+        print(f"  {label:<24} {elapsed:6.2f} s  "
+              f"{len(payload) / 1e6 / elapsed:5.2f} MB/s  "
+              f"({baseline / elapsed:4.2f}x vs serial)")
         results["modes"][str(parallelism)] = {
             "seconds": elapsed,
+            # Restore throughput: higher is better (gated by bench-check).
+            "mb_per_s": len(payload) / 1e6 / elapsed,
+            # Ratio of the serial mode's time to this mode's: higher is better;
+            # below 1.0 the parallel mode is a slowdown.
             "speedup_vs_serial": baseline / elapsed,
         }
     return results
@@ -145,6 +163,10 @@ def bench_read_range_readahead(
         results["depths"][str(depth)] = {
             "seconds": elapsed,
             "segments_decoded": reader.segments_decoded,
+            # Restore throughput over the slowed backend: higher is better.
+            "mb_per_s": slice_bytes / 1e6 / max(elapsed, 1e-9),
+            # Ratio of the readahead=0 time to this depth's: higher is better;
+            # 1.0 means prefetching hid no backend latency.
             "speedup_vs_lazy": baseline / max(elapsed, 1e-9),
         }
     return results

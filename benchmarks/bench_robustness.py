@@ -20,7 +20,7 @@ from conftest import report
 
 def test_inner_code_damage_threshold(benchmark):
     """Sweep byte-corruption rates across one emblem's RS blocks."""
-    rng = np.random.default_rng(5)
+    rng = np.random.default_rng(5)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     data = rng.integers(0, 256, size=(40, 223), dtype=np.int32)
     codewords = INNER_CODE.encode_blocks(data)
 
@@ -48,7 +48,7 @@ def test_outer_code_emblem_loss(benchmark):
     """Any 3 of 20 emblems may be missing; 4 is too many."""
     spec = TEST_PROFILE.spec
     mocoder = MOCoder(spec)
-    rng = np.random.default_rng(9)
+    rng = np.random.default_rng(9)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     data = bytes(rng.integers(0, 256, size=spec.payload_capacity * 17, dtype=np.uint8))
     images = mocoder.encode_to_images(data)
 
@@ -70,7 +70,7 @@ def test_outer_code_emblem_loss(benchmark):
 def test_emblem_vs_barcode_under_scanner_damage(benchmark):
     """Emblems keep decoding under dust levels that break the QR-style baseline."""
     spec = TEST_PROFILE.spec
-    rng = np.random.default_rng(3)
+    rng = np.random.default_rng(3)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     payload = bytes(rng.integers(0, 256, size=spec.payload_capacity, dtype=np.uint8))
     emblem = build_emblem(spec, EmblemKind.DATA, 0, 1, 0, 0, payload, len(payload), 0)
     emblem_image = emblem.to_image()

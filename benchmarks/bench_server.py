@@ -40,7 +40,7 @@ from repro.server import ArchiveRepository, ReproServer
 
 
 def payload_bytes(size: int, seed: int) -> bytes:
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed)  # lint: disable=REP101 -- benchmark harness; seed is an explicit literal
     return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
 
 

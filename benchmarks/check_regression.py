@@ -6,10 +6,14 @@ The repo commits one baseline JSON per benchmark at the root
 CI re-records the same benchmarks into a scratch directory and runs this
 checker, which walks every numeric ``mb_per_s`` field in the baselines and
 fails if the freshly measured value dropped below ``tolerance`` times the
-committed one (default 0.7, i.e. a > 30 % throughput regression).
+committed one (default 0.7, i.e. a > 30 % throughput regression).  Numeric
+``*_penalty_vs_*``/``penalty_vs_*`` fields are gated in the opposite
+direction — they are slowdown ratios, lower is better — failing when the
+fresh penalty exceeds ``1 / tolerance`` times the committed one.
 
-Throughput fields only: latency/seconds fields vary with machine speed in
-the *opposite* direction, and heap-peak fields belong to a different gate.
+Otherwise throughput fields only: latency/seconds fields vary with machine
+speed in the *opposite* direction, and heap-peak fields belong to a
+different gate.
 
 Updating the baseline after a deliberate change::
 
@@ -38,8 +42,13 @@ BENCH_FILES = (
     "BENCH_volumes.json",
 )
 
-#: Field name that marks a gated throughput measurement.
+#: Field name that marks a gated throughput measurement (higher is better).
 GATED_FIELD = "mb_per_s"
+
+
+def is_penalty_field(key: str) -> bool:
+    """Whether ``key`` names a gated slowdown ratio (lower is better)."""
+    return key.startswith("penalty_vs_") or "_penalty_vs_" in key
 
 
 def collect_throughputs(node, prefix: str = "") -> dict[str, float]:
@@ -58,6 +67,22 @@ def collect_throughputs(node, prefix: str = "") -> dict[str, float]:
     return found
 
 
+def collect_penalties(node, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric penalty-ratio field in ``node``."""
+    found: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if is_penalty_field(key) and isinstance(value, (int, float)):
+                found[path] = float(value)
+            else:
+                found.update(collect_penalties(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(collect_penalties(value, f"{prefix}[{index}]"))
+    return found
+
+
 def check_file(baseline_path: Path, fresh_path: Path, tolerance: float) -> list[str]:
     """Return a list of failure messages for one baseline/fresh pair."""
     if not baseline_path.is_file():
@@ -66,11 +91,15 @@ def check_file(baseline_path: Path, fresh_path: Path, tolerance: float) -> list[
     if not fresh_path.is_file():
         return [f"{fresh_path}: fresh measurement is missing "
                 f"(did 'make bench-record BENCH_DIR=...' run?)"]
-    baseline = collect_throughputs(json.loads(baseline_path.read_text()))
-    fresh = collect_throughputs(json.loads(fresh_path.read_text()))
+    baseline_doc = json.loads(baseline_path.read_text())
+    fresh_doc = json.loads(fresh_path.read_text())
+    baseline = collect_throughputs(baseline_doc)
+    fresh = collect_throughputs(fresh_doc)
+    baseline_penalties = collect_penalties(baseline_doc)
+    fresh_penalties = collect_penalties(fresh_doc)
     failures: list[str] = []
     print(f"{baseline_path.name}:")
-    if not baseline:
+    if not baseline and not baseline_penalties:
         # Latency-only reports (e.g. restore latency) carry seconds and
         # speedup ratios, not throughput — presence/parse is all we gate.
         print(f"  (no '{GATED_FIELD}' fields — parse-checked only)")
@@ -90,6 +119,25 @@ def check_file(baseline_path: Path, fresh_path: Path, tolerance: float) -> list[
                 f"{fresh_path.name}: '{path}' regressed to {fresh_value:.2f} MB/s "
                 f"({ratio:.2f}x of the {base_value:.2f} MB/s baseline; "
                 f"floor is {tolerance:.2f}x)"
+            )
+    for path, base_value in baseline_penalties.items():
+        fresh_value = fresh_penalties.get(path)
+        if fresh_value is None:
+            failures.append(f"{fresh_path.name}: field '{path}' present in the "
+                            f"baseline but missing from the fresh run")
+            continue
+        # Penalty ratios gate inverted: lower is better, so the fresh value
+        # may grow to at most baseline / tolerance before failing.
+        ceiling = base_value / tolerance if tolerance else float("inf")
+        ratio = fresh_value / base_value if base_value else float("inf")
+        verdict = "ok" if fresh_value <= ceiling else "REGRESSION"
+        print(f"  {verdict:<10} {path:<50} {base_value:8.2f} -> {fresh_value:8.2f} "
+              f"({ratio:5.2f}x, lower is better)")
+        if verdict != "ok":
+            failures.append(
+                f"{fresh_path.name}: penalty '{path}' grew to {fresh_value:.2f}x "
+                f"({ratio:.2f}x of the {base_value:.2f}x baseline; "
+                f"ceiling is {1 / tolerance:.2f}x of it)"
             )
     return failures
 

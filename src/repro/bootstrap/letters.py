@@ -9,6 +9,8 @@ text trivially OCR-able and even hand-typable decades from now.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import LetterCodecError
 
 #: Letter used for nibble value v is ALPHABET[v]; ALPHABET[0xF] == "A".
@@ -20,9 +22,37 @@ LETTER_VALUES = {letter: value for value, letter in enumerate(ALPHABET)}
 #: Characters that are ignored when decoding (layout whitespace).
 _IGNORED = set(" \t\r\n")
 
+#: Per-ASCII-character class for the vectorised decoder: the nibble value for
+#: A..P / a..p, ``_CLASS_IGNORED`` for layout whitespace, ``_CLASS_INVALID``
+#: otherwise.  Non-ASCII text falls back to the reference loop (a handful of
+#: exotic codepoints, e.g. dotless i, also uppercase into A..P).
+_CLASS_INVALID = np.int8(-1)
+_CLASS_IGNORED = np.int8(-2)
+_CHAR_CLASS = np.full(128, _CLASS_INVALID, dtype=np.int8)
+for _letter, _value in LETTER_VALUES.items():
+    _CHAR_CLASS[ord(_letter)] = _value
+    _CHAR_CLASS[ord(_letter.lower())] = _value
+for _char in _IGNORED:
+    _CHAR_CLASS[ord(_char)] = _CLASS_IGNORED
+
+#: Letter-pair lookup for the vectorised encoder: entry ``b`` is the two
+#: letters of byte ``b`` (high nibble first) as two ASCII codes.
+_BYTE_PAIRS = np.empty((256, 2), dtype=np.uint8)
+for _byte in range(256):
+    _BYTE_PAIRS[_byte, 0] = ord(ALPHABET[(_byte >> 4) & 0xF])
+    _BYTE_PAIRS[_byte, 1] = ord(ALPHABET[_byte & 0xF])
+
 
 def bytes_to_letters(data: bytes) -> str:
     """Encode bytes as Bootstrap letters, two letters per byte (high nibble first)."""
+    if not data:
+        return ""
+    pairs = _BYTE_PAIRS[np.frombuffer(bytes(data), dtype=np.uint8)]
+    return pairs.tobytes().decode("ascii")
+
+
+def _bytes_to_letters_reference(data: bytes) -> str:
+    """The per-byte encoding loop; ground truth for :func:`bytes_to_letters`."""
     letters = []
     for byte in data:
         letters.append(ALPHABET[(byte >> 4) & 0xF])
@@ -37,7 +67,38 @@ def letters_to_bytes(text: str) -> bytes:
     ------
     LetterCodecError
         On characters outside A..P or an odd number of letters.
+
+    The hot path classifies every character with one table gather (the
+    Bootstrap document is parsed on each restore, and the reference loop was
+    a measurable slice of restore latency); the reference loop remains the
+    behaviour it is equivalence-tested against.
     """
+    # One uint32 per character keeps error positions aligned with ``text``.
+    try:
+        encoded = text.encode("utf-32-le")
+    except UnicodeEncodeError:  # lone surrogates: let the reference report them
+        return _letters_to_bytes_reference(text)
+    codes = np.frombuffer(encoded, dtype=np.uint32)
+    if codes.size == 0:
+        return b""
+    if codes.max() >= 128:
+        return _letters_to_bytes_reference(text)
+    classes = _CHAR_CLASS[codes]
+    invalid = classes == _CLASS_INVALID
+    if invalid.any():
+        position = int(np.nonzero(invalid)[0][0])
+        raise LetterCodecError(
+            f"invalid Bootstrap letter {text[position]!r} at position {position}"
+        )
+    nibbles = classes[classes != _CLASS_IGNORED]
+    if nibbles.size % 2:
+        raise LetterCodecError("odd number of letters: each byte needs two")
+    values = nibbles.astype(np.uint8)
+    return ((values[0::2] << 4) | values[1::2]).tobytes()
+
+
+def _letters_to_bytes_reference(text: str) -> bytes:
+    """The per-character decoding loop; ground truth for :func:`letters_to_bytes`."""
     nibbles = []
     for position, char in enumerate(text):
         if char in _IGNORED:

@@ -165,7 +165,12 @@ class RestoreEngine:
         emblem-image decoding is split into up to this many contiguous
         chunks mapped through ``executor``, so a single huge segment no
         longer serialises restore.  ``1`` keeps the historical
-        one-job-per-segment behaviour.
+        one-job-per-segment behaviour.  Chunks never shrink below
+        ``repro.mocoder.mocoder.MIN_DECODE_CHUNK`` images: the per-image
+        decode is itself batch-vectorised, so splitting a small stream
+        costs more in executor round-trips than it overlaps (the measured
+        ``decode_parallelism=2`` slowdown on benchmark smoke payloads),
+        and such streams collapse back to the serial path.
     """
 
     def __init__(

@@ -16,6 +16,8 @@ Rule IDs (stable; see ``--explain`` for full rationales):
   their owning module; everyone else imports the named constant.
 - ``REP301`` — no lambdas/closures handed to executor-submitted jobs.
 - ``REP401`` — every name registered in :mod:`repro.registry` resolves.
+- ``REP601`` — benchmark ``*_vs_*`` ratio keys carry a "higher/lower is
+  better" direction comment.
 - ``REP501`` — fields annotated ``# lint: guarded-by(<lock>)`` are only
   touched under ``with self.<lock>:`` (or in methods annotated
   ``# lint: requires-lock(<lock>)``); ``__init__`` is exempt.

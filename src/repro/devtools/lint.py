@@ -17,6 +17,7 @@ REP201    on-media format literals live only in their owning module
 REP301    no lambdas/closures handed to executor-submitted jobs
 REP401    every name registered in :mod:`repro.registry` resolves at import
 REP501    ``# lint: guarded-by(<lock>)`` fields touched only under their lock
+REP601    benchmark ``*_vs_*`` ratio keys document their direction
 ========  ====================================================================
 
 Annotation conventions (written in comments, parsed via :mod:`tokenize`):
@@ -111,6 +112,8 @@ class ModuleInfo:
     guarded_by: dict[int, str] = field(default_factory=dict)
     #: line -> lock name declared via ``requires-lock(...)``.
     requires_lock: dict[int, str] = field(default_factory=dict)
+    #: line -> raw comment text (without the leading ``#``) for every comment.
+    comment_lines: dict[int, str] = field(default_factory=dict)
 
 
 def _dotted_name(node: ast.AST) -> str | None:
@@ -137,6 +140,7 @@ def _scan_comments(source: str, info: ModuleInfo) -> None:
             continue
         text = token.string.lstrip("#").strip()
         line = token.start[0]
+        info.comment_lines[line] = text
         match = _DISABLE_RE.search(text)
         if match:
             ids = {part.strip() for part in match.group("ids").split(",")}
@@ -629,6 +633,66 @@ class GuardedByRule(Rule):
         for child in ast.iter_child_nodes(node):
             yield from self._check_node(module, child, guarded, held, method)
 
+class RatioDirectionRule(Rule):
+    """Benchmark ratio keys named ``*_vs_*`` must document their direction.
+
+    The committed benchmark trajectory gates on JSON fields, and a ratio
+    named ``a_vs_b`` reads plausibly in either orientation — the
+    ``penalty_vs_healthy`` field was recorded *inverted* for two releases
+    because nothing said whether bigger meant faster or slower.  Any string
+    literal containing ``_vs_`` used as a dict key (or subscript target) in
+    benchmark code must therefore carry a comment within the three lines
+    above it (or on its own line) saying ``higher is better`` or ``lower is
+    better``.
+
+    Only modules under a ``benchmarks`` directory are checked.
+    """
+
+    id = "REP601"
+    title = "benchmark *_vs_* ratio keys document their direction"
+
+    #: How far above the key a direction comment may sit.
+    LOOKBACK_LINES = 3
+
+    _DIRECTION_RE = re.compile(r"(higher|lower)\s+is\s+better", re.IGNORECASE)
+
+    def _is_benchmark_module(self, module: ModuleInfo) -> bool:
+        parts = Path(module.relpath).parts
+        return "benchmarks" in parts[:-1]
+
+    def _has_direction_comment(self, module: ModuleInfo, line: int) -> bool:
+        for candidate in range(line - self.LOOKBACK_LINES, line + 1):
+            text = module.comment_lines.get(candidate)
+            if text and self._DIRECTION_RE.search(text):
+                return True
+        return False
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._is_benchmark_module(module):
+            return
+        for node in ast.walk(module.tree):
+            keys: list[ast.expr] = []
+            if isinstance(node, ast.Dict):
+                keys = [key for key in node.keys if key is not None]
+            elif isinstance(node, ast.Subscript) and isinstance(
+                getattr(node, "ctx", None), ast.Store
+            ):
+                keys = [node.slice]
+            for key in keys:
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and "_vs_" in key.value
+                ):
+                    continue
+                if not self._has_direction_comment(module, key.lineno):
+                    yield Finding(
+                        self.id, module.relpath, key.lineno,
+                        f"ratio key {key.value!r} has no direction comment; "
+                        "add `# ... higher is better` or `# ... lower is "
+                        "better` within the three lines above it",
+                    )
+
 
 def default_rules() -> list[Rule]:
     """The rule set ``python -m repro.devtools.lint`` runs with."""
@@ -639,6 +703,7 @@ def default_rules() -> list[Rule]:
         ExecutorPickleRule(),
         RegistryRule(),
         GuardedByRule(),
+        RatioDirectionRule(),
     ]
 
 
@@ -649,6 +714,7 @@ _ALL_RULE_CLASSES: tuple[type[Rule], ...] = (
     ExecutorPickleRule,
     RegistryRule,
     GuardedByRule,
+    RatioDirectionRule,
 )
 
 

@@ -29,8 +29,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import EmblemDetectionError, EmblemFormatError
-from repro.mocoder.interleave import deinterleave_blocks, interleave_blocks
+from repro.errors import EmblemDetectionError, EmblemFormatError, MOCoderError
+from repro.mocoder.interleave import (
+    deinterleave_blocks,
+    deinterleave_blocks_batch,
+    interleave_blocks,
+)
 from repro.mocoder.manchester import (
     manchester_decode,
     manchester_encode_fast,
@@ -650,6 +654,377 @@ def otsu_threshold(image: np.ndarray) -> float:
     between_variance = weight_background * weight_foreground * (mean_background - mean_foreground) ** 2
     between_variance[~valid] = -1.0
     return float(bin_centers[int(np.argmax(between_variance))])
+
+
+# --------------------------------------------------------------------------- #
+# Batched decode: many scanned rasters -> emblems in vectorised passes
+# --------------------------------------------------------------------------- #
+#: Minimum number of same-shape scans for which ``decode_image_batch`` takes
+#: the vectorised stack path; below it ``Emblem.from_image`` is just as fast.
+_DECODE_BATCH_MIN = 2
+
+#: Pixel budget per decoded sub-batch: bounds the (count, H, W) stack and its
+#: boolean binarisation so the temporaries stay cache-friendly; measured on
+#: the committed restore benchmark, smaller sub-batches beat one huge stack.
+_DECODE_PIXEL_BUDGET = 16_000_000
+
+
+def decode_image_batch(
+    spec: EmblemSpec, images: "list[np.ndarray]"
+) -> "list[tuple[Emblem, int] | MOCoderError]":
+    """Decode many scanned emblem images in vectorised batch passes.
+
+    Returns one entry per image, in input order: either ``(emblem,
+    rs_corrections)`` or the :class:`~repro.errors.MOCoderError` that image's
+    decode raised.  Entry ``i`` matches ``Emblem.from_image(spec, images[i])``
+    exactly — bit-identical emblem bytes and correction counts, identical
+    error types and messages — but same-shape scans share one pass each for
+    thresholding, frame location, cell sampling, Manchester decode,
+    deinterleave and RS syndromes, so a chunk of pristine test-profile scans
+    decodes several times faster than the image-at-a-time reference.
+
+    ``Emblem.from_image`` (via :class:`EmblemSampler`) is retained as the
+    per-image reference implementation this path is equivalence-tested
+    against.
+    """
+    results: "list[tuple[Emblem, int] | MOCoderError | None]" = [None] * len(images)
+    groups: "dict[tuple, list[int]]" = {}
+    for index, image in enumerate(images):
+        array = np.asarray(image)
+        if array.ndim != 2:
+            results[index] = EmblemDetectionError("expected a single-channel grayscale scan")
+            continue
+        groups.setdefault((array.shape, array.dtype), []).append(index)
+    for (shape, _dtype), members in groups.items():
+        if len(members) < _DECODE_BATCH_MIN:
+            for index in members:
+                results[index] = _decode_single(spec, images[index])
+            continue
+        step = max(1, _DECODE_PIXEL_BUDGET // max(1, shape[0] * shape[1]))
+        for start in range(0, len(members), step):
+            chosen = members[start:start + step]
+            stack = np.stack([np.asarray(images[index]) for index in chosen])
+            for offset, outcome in enumerate(_decode_stack(spec, stack)):
+                results[chosen[offset]] = outcome
+    return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def _decode_single(spec: EmblemSpec, image: np.ndarray) -> "tuple[Emblem, int] | MOCoderError":
+    """Reference per-image decode with the error captured instead of raised."""
+    try:
+        return Emblem.from_image(spec, image)
+    except MOCoderError as error:
+        return error
+
+
+def _decode_stack(spec: EmblemSpec, stack: np.ndarray) -> "list[tuple[Emblem, int] | MOCoderError]":
+    """Decode a (count, H, W) stack of same-shape scans; one entry per scan.
+
+    Every stage mirrors :meth:`Emblem.from_image` / :class:`EmblemSampler`
+    exactly, with per-image failures captured so one bad scan never disturbs
+    its batch-mates.
+    """
+    count = stack.shape[0]
+    outcomes: "list[tuple[Emblem, int] | MOCoderError | None]" = [None] * count
+    code = spec.inner_code()
+
+    # Per-image binarisation thresholds (EmblemSampler.__init__).
+    if stack.dtype == np.uint8:
+        thresholds = _otsu_threshold_stack(stack)
+    else:
+        thresholds = np.array([otsu_threshold(stack[i]) for i in range(count)], dtype=np.float64)
+
+    # Ink profiles of every scan in one pass (EmblemSampler._locate_frame).
+    # int32 accumulators: same counts as the reference's default int64 (a
+    # profile entry is at most one scan dimension), half the memory traffic.
+    floors = np.floor(thresholds)
+    if (
+        stack.dtype == np.uint8
+        and np.all((floors >= 0) & (floors <= 255) & (floors != thresholds))
+    ):
+        # Otsu thresholds are histogram-bin centres (k + 0.5), so for integer
+        # pixels ``v < k + 0.5`` is exactly ``v <= k`` — a pure uint8 compare
+        # instead of promoting every pixel to float64.
+        dark = stack <= floors.astype(np.uint8)[:, None, None]
+    else:
+        dark = stack < thresholds[:, None, None]
+    row_ink = dark.sum(axis=2, dtype=np.int32)
+    column_ink = dark.sum(axis=1, dtype=np.int32)
+    has_ink = (row_ink.max(axis=1) > 0) & (column_ink.max(axis=1) > 0)
+    for index in np.nonzero(~has_ink)[0]:
+        outcomes[index] = EmblemDetectionError("no dark structure found in the scan")
+    alive = np.nonzero(has_ink)[0]
+    if alive.size == 0:
+        return outcomes  # type: ignore[return-value]
+
+    top_center, bottom_center = _band_centers_rows(row_ink[alive])
+    left_center, right_center = _band_centers_rows(column_ink[alive])
+    span_y = spec.frame_cells_y - spec.border_cells
+    span_x = spec.frame_cells_x - spec.border_cells
+    too_small = (bottom_center - top_center < span_y) | (right_center - left_center < span_x)
+    for index in alive[too_small]:
+        outcomes[index] = EmblemDetectionError("detected frame is too small for this emblem spec")
+    keep = ~too_small
+    alive = alive[keep]
+    if alive.size == 0:
+        return outcomes  # type: ignore[return-value]
+    top_center, bottom_center = top_center[keep], bottom_center[keep]
+    left_center, right_center = left_center[keep], right_center[keep]
+    cell_height = (bottom_center - top_center) / span_y
+    cell_width = (right_center - left_center) / span_x
+    top = top_center - spec.border_cells / 2.0 * cell_height
+    left = left_center - spec.border_cells / 2.0 * cell_width
+    use_cross = np.minimum(cell_width, cell_height) >= 3.0
+
+    # Header-band sync verification (EmblemSampler._verify_header_band).
+    inner_left = spec.border_cells + spec.gap_cells
+    inner_top = spec.border_cells + spec.gap_cells
+    dot_centers_x = np.array([
+        inner_left + dot_index * spec.dot_cells + spec.dot_cells / 2.0 - 0.5
+        for dot_index in range(HEADER_DOT_COUNT)
+    ])
+    dot_centers_y = np.array([
+        inner_top + (spec.dot_cells * spec.header_dot_rows) / 2.0 - 0.5
+    ] * HEADER_DOT_COUNT)
+    dot_xs = left[:, None] + (dot_centers_x[None, :] + 0.5) * cell_width[:, None]
+    dot_ys = top[:, None] + (dot_centers_y[None, :] + 0.5) * cell_height[:, None]
+    dot_values = _sample_stack_split(stack, alive, dot_xs, dot_ys, use_cross)
+    header_bits = (dot_values < thresholds[alive][:, None]).astype(int)
+    sync_length = len(HEADER_SYNC_PATTERN)
+    synced_rows = []
+    for row, index in enumerate(alive):
+        observed_sync = tuple(header_bits[row, :sync_length])
+        if observed_sync != HEADER_SYNC_PATTERN:
+            outcomes[index] = EmblemDetectionError(
+                f"header-band sync mismatch: expected {HEADER_SYNC_PATTERN}, got {observed_sync}"
+            )
+        else:
+            synced_rows.append(row)
+    if not synced_rows:
+        return outcomes  # type: ignore[return-value]
+    synced = np.array(synced_rows)
+    alive = alive[synced]
+    top, left = top[synced], left[synced]
+    cell_width, cell_height = cell_width[synced], cell_height[synced]
+    use_cross = use_cross[synced]
+
+    # Data-area sampling (EmblemSampler.sample_data_cells) and binarisation.
+    data_top = spec.border_cells + spec.gap_cells + spec.header_band_cells
+    grid_x, grid_y = np.meshgrid(np.arange(spec.data_cells_x), np.arange(spec.data_cells_y))
+    base_x = (grid_x + inner_left) + 0.5
+    base_y = (grid_y + data_top) + 0.5
+    cell_xs = left[:, None, None] + base_x[None, :, :] * cell_width[:, None, None]
+    cell_ys = top[:, None, None] + base_y[None, :, :] * cell_height[:, None, None]
+    cell_values = _sample_stack_split(stack, alive, cell_xs, cell_ys, use_cross)
+    cells = (cell_values.reshape(alive.size, -1) < thresholds[alive][:, None]).astype(np.uint8)
+
+    # Row-batched Manchester decode, bit packing and deinterleave.
+    usable = (spec.data_cell_count // 2) * 2
+    bits = (cells[:, 0:usable:2] == cells[:, 1:usable:2]).astype(np.uint8)
+    streams = np.packbits(bits, axis=1)[:, : spec.coded_byte_capacity]
+    codewords = deinterleave_blocks_batch(streams, spec.rs_block_count, spec.rs_codeword)
+
+    # One syndrome pass over every RS block of every emblem in the chunk;
+    # clean emblems (the common case) skip the corrector outright, and only
+    # the damaged ones run decode_blocks — which batches Chien internally —
+    # reusing the syndromes computed here.
+    syndromes = code.syndromes_blocks(
+        codewords.reshape(-1, spec.rs_codeword).astype(np.int32)
+    ).reshape(alive.size, spec.rs_block_count, -1)
+    emblem_damaged = np.any(syndromes != 0, axis=(1, 2))
+
+    for row, index in enumerate(alive):
+        try:
+            if emblem_damaged[row]:
+                data_blocks, corrections = code.decode_blocks(
+                    codewords[row].astype(np.int32), syndromes=syndromes[row]
+                )
+            else:
+                data_blocks, corrections = codewords[row][:, : code.k], 0
+            protected = data_blocks.astype(np.uint8).tobytes()
+            header = EmblemHeader.unpack(protected[: EmblemHeader.SIZE])
+            payload = protected[
+                EmblemHeader.SIZE:EmblemHeader.SIZE + header.payload_length
+            ]
+            if header.payload_length > spec.payload_capacity:
+                raise EmblemFormatError(
+                    f"decoded payload length {header.payload_length} exceeds capacity"
+                )
+            outcomes[index] = (Emblem(spec=spec, header=header, payload=payload), corrections)
+        except MOCoderError as error:
+            outcomes[index] = error
+    return outcomes  # type: ignore[return-value]
+
+
+def _sample_stack_split(
+    stack: np.ndarray,
+    image_rows: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    use_cross: np.ndarray,
+) -> np.ndarray:
+    """Batched ``_sample_at`` dispatch: images may mix cross/no-cross modes."""
+    values = np.empty(xs.shape, dtype=np.float64)
+    for flag in (False, True):
+        selected = np.nonzero(use_cross == flag)[0]
+        if selected.size:
+            values[selected] = _sample_stack(
+                stack, image_rows[selected], xs[selected], ys[selected], flag
+            )
+    return values
+
+
+def _sample_stack(
+    stack: np.ndarray,
+    image_rows: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    use_cross: bool,
+) -> np.ndarray:
+    """Sample many images of a stack at per-image positions in one gather.
+
+    ``xs``/``ys`` carry one leading row per entry of ``image_rows`` (an index
+    into ``stack``).  Matches :meth:`EmblemSampler._sample_at` bit-for-bit:
+    gathered samples are exact in float64 (uint8 values are integers), and
+    the 5-point cross accumulates in the same order, so converting *after*
+    the gather instead of converting the whole image up front changes
+    nothing but the amount of work.
+    """
+    height, width = stack.shape[1], stack.shape[2]
+    # int32 indices halve the gather's index bandwidth; the pixel budget
+    # keeps stacks far below the int32 range, but guard anyway.
+    index_dtype = np.int64 if stack.size >= 2**31 - width else np.int32
+    xs = np.clip(np.round(xs).astype(index_dtype), 0, width - 1)
+    ys = np.clip(np.round(ys).astype(index_dtype), 0, height - 1)
+    lead = image_rows.reshape(image_rows.shape + (1,) * (xs.ndim - 1))
+    if not use_cross:
+        return stack[lead, ys, xs].astype(np.float64)
+    if (
+        stack.dtype == np.uint8
+        and xs.size
+        and xs.min() >= 1
+        and xs.max() <= width - 2
+        and ys.min() >= 1
+        and ys.max() <= height - 2
+    ):
+        # Interior fast path: every cross arm stays inside the scan, so the
+        # per-arm clips are identities and the five arms become constant
+        # offsets into the flattened stack — five flat ``np.take`` gathers
+        # instead of five fancy-indexed ones.  uint16 holds the sum exactly
+        # (5 * 255 < 2**16) and small integers convert to float64 exactly,
+        # so total / 5.0 matches the clipped float64 path bit-for-bit.
+        base = lead.astype(index_dtype) * (height * width) + ys * width + xs
+        flat = stack.reshape(-1)
+        total = np.zeros(xs.shape, dtype=np.uint16)
+        for offset in (0, 1, -1, width, -width):
+            total += np.take(flat, base + offset)
+        return total.astype(np.float64) / 5.0
+    total = np.zeros(xs.shape, dtype=np.float64)
+    for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)):
+        sample_x = np.clip(xs + dx, 0, width - 1)
+        sample_y = np.clip(ys + dy, 0, height - 1)
+        total += stack[lead, sample_y, sample_x]
+    return total / 5.0
+
+
+def _otsu_threshold_stack(stack: np.ndarray) -> np.ndarray:
+    """Per-image Otsu thresholds for a (count, H, W) uint8 stack.
+
+    Entry ``i`` equals ``otsu_threshold(stack[i])`` exactly: the histogram is
+    still one bincount per image (that part is intrinsic), but the whole
+    inter-class-variance sweep — a dozen-plus numpy passes per image in the
+    reference — runs once across the stack.  Degenerate histograms (empty or
+    single-valued images) fall back to the reference per image.
+
+    The per-image histogram counts byte *pairs* (the scan viewed as uint16)
+    and folds the 256x256 pair matrix back to two byte histograms.  Emblem
+    scans are near-bimodal, so a plain byte bincount serialises on the same
+    few counters; pair counting halves the increments and measures ~30%
+    faster, while the fold is exact integer arithmetic — identical counts.
+    """
+    count = stack.shape[0]
+    flat = stack.reshape(count, -1)
+    pixels = flat.shape[1]
+    even = pixels // 2 * 2
+    pairs = flat[:, :even]
+    histograms = np.empty((count, 256), dtype=np.float64)
+    for index in range(count):
+        pair_counts = np.bincount(
+            pairs[index].view(np.uint16), minlength=65536
+        ).reshape(256, 256)
+        # Little-endian pair (low, high) lands at pair_counts[high, low]:
+        # axis-0 sums count low bytes, axis-1 sums count high bytes.
+        histogram = pair_counts.sum(axis=0) + pair_counts.sum(axis=1)
+        if even != pixels:
+            histogram[flat[index, -1]] += 1
+        histograms[index] = histogram
+    totals = histograms.sum(axis=1)
+    bin_centers = np.arange(256, dtype=np.float64) + 0.5
+    weight_background = np.cumsum(histograms, axis=1)
+    weight_foreground = totals[:, None] - weight_background
+    cumulative_mean = np.cumsum(histograms * bin_centers[None, :], axis=1)
+    grand_mean = cumulative_mean[:, -1]
+    valid = (weight_background > 0) & (weight_foreground > 0)
+    mean_background = np.where(
+        valid, cumulative_mean / np.maximum(weight_background, 1), 0.0
+    )
+    mean_foreground = np.where(
+        valid,
+        (grand_mean[:, None] - cumulative_mean) / np.maximum(weight_foreground, 1),
+        0.0,
+    )
+    between_variance = (
+        weight_background * weight_foreground * (mean_background - mean_foreground) ** 2
+    )
+    between_variance[~valid] = -1.0
+    thresholds = bin_centers[np.argmax(between_variance, axis=1)]
+    degenerate = ~np.any(valid, axis=1)
+    for index in np.nonzero(degenerate)[0]:
+        thresholds[index] = otsu_threshold(stack[index])
+    return thresholds
+
+
+def _band_centers_rows(profiles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """First/last band centres for every row of an ink-profile matrix.
+
+    Row ``r`` equals ``EmblemSampler._band_centers(profiles[r])`` exactly
+    (the centre of a run of consecutive indices is ``(first + last) / 2``,
+    which ``np.mean`` also returns exactly in float64), but run extraction
+    uses one edge-transition pass plus segmented ``reduceat`` reductions for
+    the whole batch instead of a sort/split per profile.  Callers must have
+    checked ``profiles.max(axis=1) > 0`` (the reference's "no dark
+    structure" guard), which guarantees every row has at least one band.
+    """
+    profiles = np.asarray(profiles)
+    count, size = profiles.shape
+    reference_rank = min(8, size)
+    reference = np.partition(profiles, size - reference_rank, axis=1)[:, size - reference_rank]
+    reference = np.where(reference == 0, profiles.max(axis=1), reference)
+    mask = profiles > 0.8 * reference[:, None]
+
+    padded = np.zeros((count, size + 2), dtype=np.int8)
+    padded[:, 1:-1] = mask
+    transitions = padded[:, 1:] - padded[:, :-1]
+    run_rows, run_starts = np.nonzero(transitions == 1)
+    _, run_ends = np.nonzero(transitions == -1)  # aligned: runs are ordered per row
+    lengths = run_ends - run_starts
+    runs_per_row = np.bincount(run_rows, minlength=count)
+    if runs_per_row.min() == 0:
+        raise EmblemDetectionError("emblem frame not found in the scan")
+    offsets = np.zeros(count, dtype=np.int64)
+    np.cumsum(runs_per_row[:-1], out=offsets[1:])
+
+    longest = np.maximum.reduceat(lengths, offsets)
+    kept = lengths >= np.repeat(np.maximum(2, longest // 2), runs_per_row)
+    any_kept = np.logical_or.reduceat(kept, offsets)
+    # The reference falls back to *all* runs when none is thick enough.
+    kept |= ~np.repeat(any_kept, runs_per_row)
+    run_index = np.arange(lengths.size)
+    first_run = np.minimum.reduceat(np.where(kept, run_index, lengths.size), offsets)
+    last_run = np.maximum.reduceat(np.where(kept, run_index, -1), offsets)
+    first_center = (run_starts[first_run] + run_ends[first_run] - 1) / 2.0
+    last_center = (run_starts[last_run] + run_ends[last_run] - 1) / 2.0
+    return first_center, last_center
 
 
 def build_emblem(

@@ -28,3 +28,25 @@ def deinterleave_blocks(stream: bytes, block_count: int, codeword_length: int) -
         )
     flat = np.frombuffer(bytes(stream[:expected]), dtype=np.uint8)
     return flat.reshape(codeword_length, block_count).T.copy()
+
+
+def deinterleave_blocks_batch(streams: np.ndarray, block_count: int, codeword_length: int) -> np.ndarray:
+    """Deinterleave many streams at once: (count, bytes) -> (count, blocks, n).
+
+    Row ``i`` of the result equals
+    ``deinterleave_blocks(streams[i].tobytes(), block_count, codeword_length)``
+    exactly.  The whole batch is one strided reshape/transpose over the
+    stacked streams — no per-stream (let alone per-codeword) gathers — so a
+    chunk of emblems deinterleaves in a single numpy pass.
+    """
+    streams = np.asarray(streams, dtype=np.uint8)
+    if streams.ndim != 2:
+        raise ValueError(f"expected a (count, bytes) stream array, got shape {streams.shape}")
+    expected = block_count * codeword_length
+    if streams.shape[1] < expected:
+        raise ValueError(
+            f"interleaved streams hold {streams.shape[1]} bytes each, "
+            f"expected at least {expected}"
+        )
+    view = streams[:, :expected].reshape(-1, codeword_length, block_count)
+    return np.ascontiguousarray(view.transpose(0, 2, 1))

@@ -20,6 +20,7 @@ from repro.mocoder.emblem import (
     EmblemKind,
     EmblemSpec,
     build_emblem,
+    decode_image_batch,
     render_emblem_batch,
 )
 from repro.mocoder.outer_code import GROUP_DATA, GROUP_PARITY, GROUP_SIZE, OuterCode
@@ -184,15 +185,18 @@ class MOCoder:
         keeps failure messages numbered by the original scan position), then
         merge the returned ``{emblem index: emblem}`` maps and finish with
         :meth:`assemble`.
+
+        Decoding runs through the vectorised
+        :func:`~repro.mocoder.emblem.decode_image_batch` (bit-identical to
+        per-image ``Emblem.from_image``, including failure messages).
         """
         decoded: dict[int, Emblem] = {}
-        for image_index, image in enumerate(images):
-            try:
-                emblem, corrections = Emblem.from_image(self.spec, image)
-            except MOCoderError as error:
+        for image_index, outcome in enumerate(decode_image_batch(self.spec, images)):
+            if isinstance(outcome, MOCoderError):
                 report.emblems_failed += 1
-                report.failures.append(f"emblem image {image_offset + image_index}: {error}")
+                report.failures.append(f"emblem image {image_offset + image_index}: {outcome}")
                 continue
+            emblem, corrections = outcome
             report.emblems_decoded += 1
             report.rs_corrections += corrections
             decoded[emblem.header.index] = emblem
@@ -214,7 +218,11 @@ class MOCoder:
         path) into that many contiguous chunks and maps them through
         ``executor`` (an executor spec or instance; defaults to a thread pool
         of ``parallelism`` workers) before the serial group reassembly —
-        byte-identical to the serial decode for any chunking.
+        byte-identical to the serial decode for any chunking.  Chunks are
+        floored at :data:`MIN_DECODE_CHUNK` images: below that the executor
+        round-trip costs more than the vectorised decode it fans out, so
+        small streams collapse to the serial path (the recorded
+        ``decode_parallelism=2`` *slowdown* on the smoke payload).
 
         Raises
         ------
@@ -224,8 +232,9 @@ class MOCoder:
             If the reassembled stream fails its CRC-32 check.
         """
         report = DecodeReport(emblems_seen=len(images))
-        if parallelism > 1 and len(images) > 1:
-            decoded = self._decode_images_parallel(images, report, parallelism, executor)
+        bounds = chunk_bounds(len(images), parallelism, min_chunk=MIN_DECODE_CHUNK)
+        if parallelism > 1 and len(bounds) > 1:
+            decoded = self._decode_images_parallel(images, report, parallelism, executor, bounds)
         else:
             decoded = self.decode_images(images, report)
         return self.assemble(decoded, report)
@@ -236,6 +245,7 @@ class MOCoder:
         report: DecodeReport,
         parallelism: int,
         executor: "str | object | None",
+        bounds: "list[tuple[int, int]]",
     ) -> dict[int, Emblem]:
         """Map :meth:`decode_images` over contiguous chunks via an executor."""
         from repro.pipeline.executors import SegmentExecutor, get_executor
@@ -251,7 +261,7 @@ class MOCoder:
                 image_offset=start,
                 images=images[start:end],
             )
-            for start, end in chunk_bounds(len(images), parallelism)
+            for start, end in bounds
         ]
         decoded: dict[int, Emblem] = {}
         try:
@@ -352,12 +362,27 @@ class MOCoder:
 # --------------------------------------------------------------------------- #
 # Sub-stream parallel decode plumbing (module-level so process pools pickle it)
 # --------------------------------------------------------------------------- #
-def chunk_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+#: Floor on images per decode chunk when a chunking caller does not override
+#: it.  The batched decode path amortises its per-call numpy dispatch across
+#: a whole chunk, so splitting a small stream across executor workers costs
+#: more (job pickling, thread wake-ups, a GIL'd merge) than it saves —
+#: ``decode_parallelism=2`` measured *0.89x of serial* on the 287-frame bench
+#: smoke payload before this floor collapsed such streams to one chunk.
+MIN_DECODE_CHUNK = 160
+
+
+def chunk_bounds(count: int, parts: int, min_chunk: int = 1) -> list[tuple[int, int]]:
     """Split ``count`` items into at most ``parts`` contiguous (start, end) runs.
 
     Runs differ in length by at most one and never come back empty, so the
     split is deterministic and every item lands in exactly one run.
+    ``min_chunk`` caps ``parts`` so no run is shorter than it (a single run
+    is always allowed): parallel decode callers pass
+    :data:`MIN_DECODE_CHUNK` so tiny streams stay serial instead of paying
+    executor overhead per near-empty chunk.
     """
+    if min_chunk > 1:
+        parts = min(parts, count // min_chunk)
     parts = max(1, min(parts, count)) if count else 1
     base, extra = divmod(count, parts)
     bounds: list[tuple[int, int]] = []

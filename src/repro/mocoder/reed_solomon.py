@@ -277,7 +277,9 @@ class ReedSolomonCode:
             ].astype(np.uint8)
         return self._syndrome_powers
 
-    def decode_blocks(self, codewords: SymbolArray) -> tuple[SymbolArray, int]:
+    def decode_blocks(
+        self, codewords: SymbolArray, syndromes: SymbolArray | None = None
+    ) -> tuple[SymbolArray, int]:
         """Correct every codeword in place and return (data blocks, corrected symbols).
 
         The per-block machinery is batched across every damaged block: one
@@ -285,6 +287,12 @@ class ReedSolomonCode:
         batched syndrome re-check replaces the per-block guards.  Only
         Berlekamp-Massey and Forney (loops over <= ``parity`` coefficients)
         run per block.  Bit-identical to :meth:`_decode_blocks_reference`.
+
+        ``syndromes`` may carry precomputed :meth:`syndromes_blocks` output
+        for these codewords (shape ``(blocks, parity)``): the batched decode
+        path computes the syndromes of a whole chunk of emblems in one pass
+        and hands each damaged emblem's rows back in here, so the clean-frame
+        fast path never pays for a second syndrome sweep.
 
         Raises
         ------
@@ -294,7 +302,15 @@ class ReedSolomonCode:
         codewords = np.array(codewords, dtype=np.int32, copy=True)
         if codewords.ndim != 2 or codewords.shape[1] != self.n:
             raise ValueError(f"expected shape (blocks, {self.n}), got {codewords.shape}")
-        syndromes = self.syndromes_blocks(codewords)
+        if syndromes is None:
+            syndromes = self.syndromes_blocks(codewords)
+        else:
+            syndromes = np.asarray(syndromes, dtype=np.int32)
+            if syndromes.shape != (codewords.shape[0], self.parity):
+                raise ValueError(
+                    f"expected syndromes of shape ({codewords.shape[0]}, "
+                    f"{self.parity}), got {syndromes.shape}"
+                )
         damaged = np.nonzero(np.any(syndromes != 0, axis=1))[0]
         if damaged.size == 0:
             return codewords[:, : self.k], 0

@@ -40,7 +40,13 @@ from repro.dbcoder.dbcoder import Profile
 from repro.dynarisc.programs import get_program
 from repro.errors import RestorationError
 from repro.mocoder.emblem import EmblemKind, EmblemSpec
-from repro.mocoder.mocoder import DecodeReport, Emblem, MOCoder, chunk_bounds
+from repro.mocoder.mocoder import (
+    MIN_DECODE_CHUNK,
+    DecodeReport,
+    Emblem,
+    MOCoder,
+    chunk_bounds,
+)
 from repro.nested import dynarisc_emulator_image
 from repro.pipeline.executors import SegmentExecutor, get_executor
 from repro.pipeline.segmenter import (
@@ -611,7 +617,11 @@ class RestorePipeline:
     ) -> Iterator[_SegmentChunkJob]:
         for record in records:
             images = frames_for(record)
-            bounds = chunk_bounds(len(images), self.decode_parallelism)
+            # Floored chunks: a small segment is one vectorised decode call,
+            # so fanning it out would only add executor round-trips.
+            bounds = chunk_bounds(
+                len(images), self.decode_parallelism, min_chunk=MIN_DECODE_CHUNK
+            )
             for chunk_index, (start, end) in enumerate(bounds):
                 yield _SegmentChunkJob(
                     spec=self.profile.spec,

@@ -460,9 +460,19 @@ class _VolumeSetSource(ArchiveSource):
         self._reconstructed: "OrderedDict[int, dict[str, bytes]]" = (
             OrderedDict()
         )  # lint: guarded-by(_lock)
+        #: stripe index -> event set once its in-flight repair finishes.
+        self._repairs: dict[int, threading.Event] = {}  # lint: guarded-by(_lock)
         self._pool = ThreadPoolExecutor(
             max_workers=min(self._geometry.total, _MAX_FETCH_WORKERS),
             thread_name_prefix="repro-volume",
+        )
+        # Stripe reconstruction fans out its own shard fetches.  It must NOT
+        # share ``_pool``: a degraded ``get_frames`` already saturates that
+        # pool with frame fetches, and a nested submit-and-wait from inside a
+        # worker would deadlock once every worker blocks on a queued subtask.
+        self._repair_pool = ThreadPoolExecutor(
+            max_workers=min(self._geometry.total, _MAX_FETCH_WORKERS),
+            thread_name_prefix="repro-volume-repair",
         )
 
     # -------------------------------------------------------------- #
@@ -672,21 +682,53 @@ class _VolumeSetSource(ArchiveSource):
         return payload
 
     def _reconstruct_stripe(self, stripe_at: int) -> dict[str, bytes]:
-        """Rebuild every frame of one stripe from its surviving shards."""
-        with self._lock:
-            cached = self._reconstructed.get(stripe_at)
-            if cached is not None:
-                self._reconstructed.move_to_end(stripe_at)
-                return cached
+        """Rebuild every frame of one stripe from its surviving shards.
+
+        Single-flight per stripe: a degraded ``get_frames`` fans frames of the
+        *same* stripe across the fetch pool, and each one lands here.  Only the
+        first caller runs the (expensive) repair; the rest wait on its event and
+        then read the cache.  A waiter that finds the cache still empty (the
+        repair raised) takes over and retries rather than inheriting the error.
+        """
+        while True:
+            with self._lock:
+                cached = self._reconstructed.get(stripe_at)
+                if cached is not None:
+                    self._reconstructed.move_to_end(stripe_at)
+                    return cached
+                pending = self._repairs.get(stripe_at)
+                if pending is None:
+                    pending = self._repairs[stripe_at] = threading.Event()
+                    break
+            pending.wait()
+        try:
+            return self._repair_stripe(stripe_at)
+        finally:
+            with self._lock:
+                del self._repairs[stripe_at]
+            pending.set()
+
+    def _repair_stripe(self, stripe_at: int) -> dict[str, bytes]:
         stripe = self._ensure_map()[stripe_at]
         geometry = self._geometry
         slots: "list[bytes | None]" = [None] * geometry.total
-        for member, shard in enumerate(stripe.shards):
-            slots[member] = self._shard_payload(shard, stripe.kind)
+        # Shard and parity payloads live on distinct member backends, so the
+        # reads (and their SHA-256 sweeps) overlap on the source's fetch pool
+        # just like a healthy get_frames fan-out.
+        shard_payloads = map_concurrently(
+            lambda shard: self._shard_payload(shard, stripe.kind),
+            stripe.shards,
+            self._repair_pool,
+        )
+        for member, payload in enumerate(shard_payloads):
+            slots[member] = payload
         for member in range(len(stripe.shards), geometry.data):
             slots[member] = b""  # a short stripe's absent shards are all-zero
-        for parity_index, entry in enumerate(stripe.parity):
-            slots[geometry.data + parity_index] = self._parity_payload(entry)
+        parity_payloads = map_concurrently(
+            self._parity_payload, stripe.parity, self._repair_pool
+        )
+        for parity_index, payload in enumerate(parity_payloads):
+            slots[geometry.data + parity_index] = payload
         outer = get_outer_code(geometry.data, geometry.parity)
         try:
             payloads = outer.reconstruct_group(slots)
@@ -774,6 +816,7 @@ class _VolumeSetSource(ArchiveSource):
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        self._repair_pool.shutdown(wait=True)
         for sub in self._subs:
             if sub is not None:
                 sub.close()

@@ -21,6 +21,7 @@ from repro.devtools.lint import (
     GuardedByRule,
     Linter,
     OwnedLiteralRule,
+    RatioDirectionRule,
     RegistryRule,
     RngRule,
     SilentExceptRule,
@@ -36,7 +37,13 @@ def lint_snippet(tmp_path: Path, source: str, *, rules=None, name: str = "mod.py
     path = tmp_path / name
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(textwrap.dedent(source))
-    linter = Linter(rules=rules if rules is not None else default_rules()[:-2])
+    if rules is None:
+        # Project-wide/runtime rules need the live tree, not a snippet.
+        rules = [
+            rule for rule in default_rules()
+            if not isinstance(rule, (RegistryRule, GuardedByRule))
+        ]
+    linter = Linter(rules=rules)
     return linter.run([path]).findings
 
 
@@ -417,6 +424,89 @@ class TestGuardedByRule:
 # --------------------------------------------------------------------------- #
 # Suppression + annotation hygiene
 # --------------------------------------------------------------------------- #
+# --------------------------------------------------------------------------- #
+# REP601 — benchmark ratio keys document their direction
+# --------------------------------------------------------------------------- #
+class TestRatioDirectionRule:
+    def test_undocumented_ratio_key_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            report = {
+                "speedup_vs_serial": 2.0,
+            }
+            """,
+            rules=[RatioDirectionRule()],
+            name="benchmarks/bench_mod.py",
+        )
+        assert rule_ids(findings) == ["REP601"]
+        assert "speedup_vs_serial" in findings[0].message
+
+    def test_documented_ratio_key_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            report = {
+                # serial time over parallel time: higher is better.
+                "speedup_vs_serial": 2.0,
+                # degraded time over healthy time: lower is better.
+                "penalty_vs_healthy": 1.4,
+            }
+            """,
+            rules=[RatioDirectionRule()],
+            name="benchmarks/bench_mod.py",
+        )
+        assert findings == []
+
+    def test_subscript_assignment_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            report = {}
+            report["speedup_vs_full"] = 3.0
+            """,
+            rules=[RatioDirectionRule()],
+            name="benchmarks/bench_mod.py",
+        )
+        assert rule_ids(findings) == ["REP601"]
+
+    def test_comment_beyond_lookback_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            # higher is better
+            x = 1
+            y = 2
+            z = 3
+            report = {"speedup_vs_serial": 2.0}
+            """,
+            rules=[RatioDirectionRule()],
+            name="benchmarks/bench_mod.py",
+        )
+        assert rule_ids(findings) == ["REP601"]
+
+    def test_non_benchmark_module_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            report = {"speedup_vs_serial": 2.0}
+            """,
+            rules=[RatioDirectionRule()],
+        )
+        assert findings == []
+
+    def test_non_ratio_keys_ignored(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            report = {"mb_per_s": 2.0, "seconds": 1.0}
+            """,
+            rules=[RatioDirectionRule()],
+            name="benchmarks/bench_mod.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences(self, tmp_path):
         findings = lint_snippet(

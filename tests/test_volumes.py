@@ -157,6 +157,40 @@ class TestCorruption:
 
 
 # --------------------------------------------------------------------------- #
+# Degraded reads repair each stripe once, however many frames need it
+# --------------------------------------------------------------------------- #
+class TestSingleFlightRepair:
+    def test_degraded_read_repairs_each_stripe_exactly_once(
+        self, tmp_path, make_payload, monkeypatch
+    ):
+        """A degraded ``get_frames`` fans frames of the same stripe across the
+        fetch pool concurrently; without the single-flight guard each of them
+        would redo the whole reconstruction (the measured ~2x redundant work
+        behind the degraded-read penalty)."""
+        from repro.store import volumes as volumes_mod
+
+        payload = make_payload(12_000, seed=95)
+        uri = vol_uri(tmp_path, 6, k=4, m=2, stripe=2)
+        write_volume_archive(uri, payload)
+        kill_volumes(tmp_path, [0, 1])
+
+        repairs: list[int] = []
+        original = volumes_mod._VolumeSetSource._repair_stripe
+
+        def counting(self, stripe_at):
+            repairs.append(stripe_at)
+            return original(self, stripe_at)
+
+        monkeypatch.setattr(volumes_mod._VolumeSetSource, "_repair_stripe", counting)
+        with open_restore(uri) as reader:
+            assert reader.read().payload == payload
+        assert repairs, "a 2-of-6 loss must force stripe repairs"
+        assert len(repairs) == len(set(repairs)), (
+            f"stripes repaired more than once: {sorted(repairs)}"
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Append sessions stripe new generations consistently
 # --------------------------------------------------------------------------- #
 class TestAppend:
